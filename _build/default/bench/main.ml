@@ -1,0 +1,595 @@
+(* Benchmark harness: regenerates the paper's evaluation.
+
+   - table1:  Table 1 — 10 DaCapo-profile benchmarks x 12 analyses,
+              4 precision metrics + time + context-sensitive
+              var-points-to size, grouped as in the paper.
+   - figure3: Figure 3 — per-benchmark ASCII scatter of running time (y)
+              against may-fail casts (x) over all analyses.
+   - summary: the headline aggregate ratios quoted in the paper's
+              abstract/intro/Section 4.
+   - micro:   Bechamel micro-benchmarks of the solver's building blocks.
+
+   With no argument, runs table1 + figure3 + summary (sharing analysis
+   runs).  PTA_BENCH_TIMEOUT (seconds, default 90) is the per-analysis
+   cutoff; timeouts print as "-" like the paper's dashes. *)
+
+module Ir = Pta_ir.Ir
+module Metrics = Pta_clients.Metrics
+module Profile = Pta_workloads.Profile
+module Workloads = Pta_workloads.Workloads
+module Strategies = Pta_context.Strategies
+module Solver = Pta_solver.Solver
+module Table = Pta_report.Table
+module Scatter = Pta_report.Scatter
+
+let timeout_s =
+  match Sys.getenv_opt "PTA_BENCH_TIMEOUT" with
+  | Some s -> float_of_string s
+  | None -> 90.
+
+(* Table-1 column order and the per-group partition used for marking the
+   best time (the paper's bold entries; we use a trailing '*'). *)
+let analysis_groups =
+  [
+    [ "1call"; "1call+H" ];
+    [ "1obj"; "U-1obj"; "SA-1obj"; "SB-1obj" ];
+    [ "2obj+H"; "U-2obj+H"; "S-2obj+H" ];
+    [ "2type+H"; "U-2type+H"; "S-2type+H" ];
+  ]
+
+let analyses = List.concat analysis_groups
+
+type outcome =
+  | Done of Metrics.t * float  (* metrics, elapsed seconds *)
+  | Timed_out
+
+let runs : (string * string, outcome) Hashtbl.t = Hashtbl.create 256
+
+let run_one profile analysis_name =
+  let key = (profile.Profile.name, analysis_name) in
+  match Hashtbl.find_opt runs key with
+  | Some o -> o
+  | None ->
+    let program = Workloads.program profile in
+    let factory = Option.get (Strategies.by_name analysis_name) in
+    let strategy = factory program in
+    (* Median of three timed runs, as in the paper; the analysis is
+       deterministic, so metrics are computed once. *)
+    let outcome =
+      try
+        let timed () =
+          let t0 = Unix.gettimeofday () in
+          let solver = Solver.run ~timeout_s program strategy in
+          (Unix.gettimeofday () -. t0, solver)
+        in
+        let t1, solver = timed () in
+        let t2, _ = timed () in
+        let t3, _ = timed () in
+        let median =
+          match List.sort compare [ t1; t2; t3 ] with
+          | [ _; m; _ ] -> m
+          | _ -> t1
+        in
+        Done (Metrics.compute solver, median)
+      with Solver.Timeout -> Timed_out
+    in
+    Hashtbl.replace runs key outcome;
+    (match outcome with
+    | Done (_, s) ->
+      Printf.eprintf "  [bench] %-10s %-10s %6.2fs\n%!" profile.Profile.name
+        analysis_name s
+    | Timed_out ->
+      Printf.eprintf "  [bench] %-10s %-10s TIMEOUT (>%.0fs)\n%!"
+        profile.Profile.name analysis_name timeout_s);
+    outcome
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_float x = Printf.sprintf "%.2f" x
+let fmt_int = string_of_int
+let fmt_k n = Printf.sprintf "%.1fK" (float_of_int n /. 1000.)
+
+let table1_block profile =
+  let outcomes = List.map (fun a -> (a, run_one profile a)) analyses in
+  let program = Workloads.program profile in
+  let some_metrics =
+    List.find_map (function _, Done (m, _) -> Some m | _ -> None) outcomes
+  in
+  let headline =
+    match some_metrics with
+    | Some m ->
+      Printf.sprintf
+        "%s  (%d methods, ~%d reachable; v-calls of ~%d, casts of ~%d)"
+        profile.Profile.name
+        (Ir.Program.n_meths program)
+        m.Metrics.reachable_methods m.Metrics.total_vcalls m.Metrics.total_casts
+    | None -> profile.Profile.name
+  in
+  let t = Table.create ~headers:("metric" :: analyses) in
+  let metric_row label f =
+    Table.add_row t
+      (label
+      :: List.map
+           (fun (_, o) -> match o with Done (m, _) -> f m | Timed_out -> "-")
+           outcomes)
+  in
+  metric_row "avg objs per var" (fun m -> fmt_float m.Metrics.avg_objs_per_var);
+  metric_row "call-graph edges" (fun m -> fmt_int m.Metrics.call_graph_edges);
+  metric_row "poly v-calls" (fun m -> fmt_int m.Metrics.poly_vcalls);
+  metric_row "may-fail casts" (fun m -> fmt_int m.Metrics.may_fail_casts);
+  Table.add_separator t;
+  (* Best (lowest) time within each analysis group is starred, like the
+     paper's bold entries. *)
+  let best_in_group =
+    List.concat_map
+      (fun group ->
+        let times =
+          List.filter_map
+            (fun a ->
+              match run_one profile a with
+              | Done (_, s) -> Some (a, s)
+              | Timed_out -> None)
+            group
+        in
+        match times with
+        | [] -> []
+        | (a0, s0) :: rest ->
+          [
+            fst
+              (List.fold_left
+                 (fun (ba, bs) (a, s) -> if s < bs then (a, s) else (ba, bs))
+                 (a0, s0) rest);
+          ])
+      analysis_groups
+  in
+  Table.add_row t
+    ("elapsed time (s)"
+    :: List.map
+         (fun (a, o) ->
+           match o with
+           | Done (_, s) ->
+             Printf.sprintf "%.2f%s" s
+               (if List.mem a best_in_group then "*" else "")
+           | Timed_out -> "-")
+         outcomes);
+  metric_row "sensitive var-points-to" (fun m -> fmt_k m.Metrics.sensitive_vpt);
+  (headline, Table.render t)
+
+let cmd_table1 () =
+  print_endline
+    "=== Table 1: precision and performance, all benchmarks x all analyses ===";
+  Printf.printf
+    "(per-analysis timeout: %.0fs; '-' = timeout, '*' = best time in its \
+     analysis group)\n\n"
+    timeout_s;
+  List.iter
+    (fun profile ->
+      let headline, rendered = table1_block profile in
+      print_endline headline;
+      print_endline rendered)
+    Profile.dacapo;
+  (* Also emit machine-readable CSV next to the textual table. *)
+  let rows = ref [] in
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun a ->
+          match run_one profile a with
+          | Done (m, s) ->
+            rows :=
+              [
+                profile.Profile.name;
+                a;
+                fmt_float m.Metrics.avg_objs_per_var;
+                fmt_int m.Metrics.call_graph_edges;
+                fmt_int m.Metrics.poly_vcalls;
+                fmt_int m.Metrics.may_fail_casts;
+                fmt_int m.Metrics.total_casts;
+                Printf.sprintf "%.3f" s;
+                fmt_int m.Metrics.sensitive_vpt;
+                fmt_int m.Metrics.n_ctxs;
+              ]
+              :: !rows
+          | Timed_out ->
+            rows :=
+              [ profile.Profile.name; a; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-" ]
+              :: !rows)
+        analyses)
+    Profile.dacapo;
+  let csv =
+    Table.csv
+      ~headers:
+        [
+          "benchmark";
+          "analysis";
+          "avg_objs_per_var";
+          "call_graph_edges";
+          "poly_vcalls";
+          "may_fail_casts";
+          "total_casts";
+          "time_s";
+          "sensitive_vpt";
+          "contexts";
+        ]
+      (List.rev !rows)
+  in
+  let oc = open_out "table1.csv" in
+  output_string oc csv;
+  close_out oc;
+  print_endline "[table1.csv written]\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let figure3_keys =
+  [
+    ("1call", 'c');
+    ("1call+H", 'C');
+    ("1obj", 'o');
+    ("U-1obj", 'O');
+    ("SA-1obj", 'a');
+    ("SB-1obj", 'b');
+    ("2obj+H", '2');
+    ("U-2obj+H", 'U');
+    ("S-2obj+H", 'S');
+    ("2type+H", 't');
+    ("U-2type+H", 'Y');
+    ("S-2type+H", 's');
+  ]
+
+let cmd_figure3 () =
+  print_endline
+    "=== Figure 3: performance (time, y) vs precision (may-fail casts, x) ===";
+  print_endline "(lower is better on both axes; timeouts omitted)\n";
+  List.iter
+    (fun profile ->
+      let points =
+        List.filter_map
+          (fun (a, key) ->
+            match run_one profile a with
+            | Done (m, s) ->
+              Some
+                {
+                  Scatter.key;
+                  label = a;
+                  x = float_of_int m.Metrics.may_fail_casts;
+                  y = s;
+                }
+            | Timed_out -> None)
+          figure3_keys
+      in
+      print_endline
+        (Scatter.render
+           ~title:(Printf.sprintf "--- %s ---" profile.Profile.name)
+           ~x_label:"may-fail casts" ~y_label:"time (s)" points))
+    Profile.dacapo
+
+(* ------------------------------------------------------------------ *)
+(* Summary: the paper's headline ratios                                *)
+(* ------------------------------------------------------------------ *)
+
+let geomean = function
+  | [] -> nan
+  | xs ->
+    exp
+      (List.fold_left (fun acc x -> acc +. log x) 0. xs
+      /. float_of_int (List.length xs))
+
+(* Per-benchmark ratios of two analyses' outcomes, over benchmarks where
+   both finished. *)
+let ratio_over_benchmarks f num den =
+  List.filter_map
+    (fun profile ->
+      match (run_one profile num, run_one profile den) with
+      | Done (m1, s1), Done (m2, s2) -> (
+        match f (m1, s1) (m2, s2) with
+        | r when r > 0. && Float.is_finite r -> Some r
+        | _ -> None)
+      | _ -> None)
+    Profile.dacapo
+
+let time_ratio num den =
+  geomean (ratio_over_benchmarks (fun (_, s1) (_, s2) -> s1 /. s2) num den)
+
+let svpt_ratio num den =
+  geomean
+    (ratio_over_benchmarks
+       (fun (m1, _) (m2, _) ->
+         float_of_int m1.Metrics.sensitive_vpt
+         /. float_of_int m2.Metrics.sensitive_vpt)
+       num den)
+
+let casts_delta better worse =
+  geomean
+    (ratio_over_benchmarks
+       (fun (m1, _) (m2, _) ->
+         float_of_int m2.Metrics.may_fail_casts
+         /. float_of_int (max 1 m1.Metrics.may_fail_casts))
+       better worse)
+
+let cmd_summary () =
+  print_endline "=== Summary: headline ratios (geometric means over benchmarks) ===\n";
+  let line fmt = Printf.printf (fmt ^^ "\n") in
+  line "S-2obj+H vs 2obj+H:";
+  line "  speedup (time)        : %.2fx   (paper: 1.53x average speedup)"
+    (time_ratio "2obj+H" "S-2obj+H");
+  line "  sensitive-vpt ratio   : %.2fx smaller" (svpt_ratio "2obj+H" "S-2obj+H");
+  line "  may-fail-casts margin : %.2fx fewer  (paper: more precise)"
+    (casts_delta "S-2obj+H" "2obj+H");
+  line "";
+  line "SB-1obj vs 1obj:";
+  line "  speedup (time)        : %.2fx   (paper: ~1.12x with higher precision)"
+    (time_ratio "1obj" "SB-1obj");
+  line "  may-fail-casts margin : %.2fx fewer" (casts_delta "SB-1obj" "1obj");
+  line "";
+  line "SA-1obj vs 1obj:";
+  line
+    "  speedup (time)        : %.2fx   (paper: consistently faster, similar \
+     precision)"
+    (time_ratio "1obj" "SA-1obj");
+  line "";
+  line "Uniform hybrids (the cost of keeping both contexts everywhere):";
+  line
+    "  U-1obj    slowdown vs 1obj    : %.2fx   (paper: ~3.9x avg for the naive \
+     hybrid)"
+    (time_ratio "U-1obj" "1obj");
+  line "  U-2obj+H  slowdown vs S-2obj+H: %.2fx   (paper: typically well over 3x)"
+    (time_ratio "U-2obj+H" "S-2obj+H");
+  line
+    "  U-2type+H slowdown vs 2type+H : %.2fx   (paper: often under 2x; the \
+     reasonable uniform)"
+    (time_ratio "U-2type+H" "2type+H");
+  line "";
+  line "Call-site sensitivity (reference points):";
+  line "  1call+H slowdown vs 1call     : %.2fx   (paper: large cost, little gain)"
+    (time_ratio "1call+H" "1call");
+  line "  1call+H casts margin vs 1call : %.2fx fewer" (casts_delta "1call+H" "1call");
+  line "";
+  line "Precision ordering (total may-fail casts across finished benchmarks):";
+  List.iter
+    (fun a ->
+      let total =
+        List.fold_left
+          (fun acc profile ->
+            match run_one profile a with
+            | Done (m, _) -> acc + m.Metrics.may_fail_casts
+            | Timed_out -> acc)
+          0 Profile.dacapo
+      in
+      line "  %-10s %6d" a total)
+    analyses
+
+(* ------------------------------------------------------------------ *)
+(* Ablation study: the bad context combinations of Section 3            *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_ablation () =
+  print_endline "=== Ablation: the context combinations the paper dismisses ===";
+  print_endline
+    "(X-2obj+IH: call-site heap context; X-2obj+Hrev: inverted heap/hctx
+    \ significance; X-freemix: free mixing that can drop the receiver;
+    \ 2obj+H/fb: field-based instead of field-sensitive heap)
+";
+  let subjects = [ "2obj+H"; "S-2obj+H"; "X-2obj+IH"; "X-2obj+Hrev"; "X-freemix" ] in
+  List.iter
+    (fun bench_name ->
+      let profile = Option.get (Profile.by_name bench_name) in
+      let t =
+        Table.create
+          ~headers:
+            [ "analysis"; "avg objs"; "cg edges"; "may-fail casts"; "time (s)";
+              "sensitive vpt" ]
+      in
+      List.iter
+        (fun a ->
+          match run_one profile a with
+          | Done (m, secs) ->
+            Table.add_row t
+              [
+                a;
+                fmt_float m.Metrics.avg_objs_per_var;
+                fmt_int m.Metrics.call_graph_edges;
+                fmt_int m.Metrics.may_fail_casts;
+                Printf.sprintf "%.2f" secs;
+                fmt_int m.Metrics.sensitive_vpt;
+              ]
+          | Timed_out -> Table.add_row t [ a; "-"; "-"; "-"; "-"; "-" ])
+        subjects;
+      (* Field-based heap abstraction as a further ablation row. *)
+      (let program = Workloads.program profile in
+       let factory = Option.get (Strategies.by_name "2obj+H") in
+       match
+         let t0 = Unix.gettimeofday () in
+         let solver =
+           Solver.run ~timeout_s ~field_based:true program (factory program)
+         in
+         (Unix.gettimeofday () -. t0, Metrics.compute solver)
+       with
+       | secs, m ->
+         Table.add_row t
+           [
+             "2obj+H/fb";
+             fmt_float m.Metrics.avg_objs_per_var;
+             fmt_int m.Metrics.call_graph_edges;
+             fmt_int m.Metrics.may_fail_casts;
+             Printf.sprintf "%.2f" secs;
+             fmt_int m.Metrics.sensitive_vpt;
+           ]
+       | exception Solver.Timeout ->
+         Table.add_row t [ "2obj+H/fb"; "-"; "-"; "-"; "-"; "-" ]);
+      Printf.printf "--- %s ---\n%s\n" bench_name (Table.render t))
+    [ "antlr"; "luindex"; "pmd" ]
+
+(* ------------------------------------------------------------------ *)
+(* Future work (paper Section 6): adaptive context constructors         *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_futurework () =
+  print_endline "=== Future work: adaptive constructors (paper Section 6) ===";
+  print_endline
+    "(A-*: MergeStatic/Record inspect the incoming context's form)\n";
+  let subjects =
+    [ "2obj+H"; "S-2obj+H"; "A-2obj+H"; "2type+H"; "S-2type+H"; "A-2type+H" ]
+  in
+  List.iter
+    (fun bench_name ->
+      let profile = Option.get (Profile.by_name bench_name) in
+      let t =
+        Table.create
+          ~headers:
+            [ "analysis"; "avg objs"; "cg edges"; "may-fail casts"; "time (s)";
+              "sensitive vpt" ]
+      in
+      List.iter
+        (fun a ->
+          match run_one profile a with
+          | Done (m, secs) ->
+            Table.add_row t
+              [
+                a;
+                fmt_float m.Metrics.avg_objs_per_var;
+                fmt_int m.Metrics.call_graph_edges;
+                fmt_int m.Metrics.may_fail_casts;
+                Printf.sprintf "%.2f" secs;
+                fmt_int m.Metrics.sensitive_vpt;
+              ]
+          | Timed_out -> Table.add_row t [ a; "-"; "-"; "-"; "-"; "-" ])
+        subjects;
+      Printf.printf "--- %s ---\n%s\n" bench_name (Table.render t))
+    [ "antlr"; "jython"; "lusearch" ]
+
+(* ------------------------------------------------------------------ *)
+(* Scaling study (extension): how cost grows with program size          *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_scaling () =
+  print_endline "=== Scaling: analysis cost vs program size (luindex profile) ===\n";
+  let base = Option.get (Profile.by_name "luindex") in
+  let t =
+    Table.create
+      ~headers:
+        [ "scale"; "methods"; "1obj time"; "1obj svpt"; "2obj+H time";
+          "2obj+H svpt"; "S-2obj+H time"; "S-2obj+H svpt" ]
+  in
+  List.iter
+    (fun factor ->
+      let profile =
+        { (Profile.scale factor base) with Profile.name = Printf.sprintf "luindex-x%.1f" factor }
+      in
+      let program = Workloads.program profile in
+      let cell name =
+        let factory = Option.get (Strategies.by_name name) in
+        match
+          let t0 = Unix.gettimeofday () in
+          let solver = Solver.run ~timeout_s program (factory program) in
+          (Unix.gettimeofday () -. t0, Metrics.compute solver)
+        with
+        | secs, m ->
+          (Printf.sprintf "%.2f" secs, fmt_int m.Metrics.sensitive_vpt)
+        | exception Solver.Timeout -> ("-", "-")
+      in
+      let t1, s1 = cell "1obj" in
+      let t2, s2 = cell "2obj+H" in
+      let t3, s3 = cell "S-2obj+H" in
+      Table.add_row t
+        [
+          Printf.sprintf "%.1fx" factor;
+          string_of_int (Ir.Program.n_meths program);
+          t1; s1; t2; s2; t3; s3;
+        ])
+    [ 0.5; 1.0; 1.5; 2.0 ];
+  print_string (Table.render t);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let module Intset = Pta_solver.Intset in
+  let random_set seed n =
+    let rng = Pta_workloads.Rng.create seed in
+    let rec go acc k =
+      if k = 0 then acc
+      else go (Intset.add (Pta_workloads.Rng.int rng 100_000) acc) (k - 1)
+    in
+    go Intset.empty n
+  in
+  let s1 = random_set 1L 10_000 and s2 = random_set 2L 10_000 in
+  let tiny = Option.get (Profile.by_name "tiny") in
+  let tiny_program = Workloads.program tiny in
+  let mjdk_src = Pta_mjdk.Mjdk.source in
+  let tests =
+    Test.make_grouped ~name:"hybridpta"
+      [
+        Test.make ~name:"intset-union-10k"
+          (Staged.stage (fun () -> ignore (Intset.union s1 s2)));
+        Test.make ~name:"intset-add-1k"
+          (Staged.stage (fun () -> ignore (random_set 3L 1_000)));
+        Test.make ~name:"parse-mjdk"
+          (Staged.stage (fun () ->
+               ignore (Pta_frontend.Frontend.parse ~file:"<mjdk>" mjdk_src)));
+        Test.make ~name:"solver-1obj-tiny"
+          (Staged.stage (fun () ->
+               ignore (Solver.run tiny_program (Strategies.obj1 tiny_program))));
+        Test.make ~name:"solver-S-2obj+H-tiny"
+          (Staged.stage (fun () ->
+               ignore
+                 (Solver.run tiny_program
+                    (Strategies.selective_obj2_heap tiny_program))));
+        Test.make ~name:"solver-U-2obj+H-tiny"
+          (Staged.stage (fun () ->
+               ignore
+                 (Solver.run tiny_program
+                    (Strategies.uniform_obj2_heap tiny_program))));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols (List.hd instances) raw in
+  print_endline "=== Micro-benchmarks (Bechamel, monotonic clock) ===\n";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let cmds = List.tl (Array.to_list Sys.argv) in
+  let cmds = if cmds = [] then [ "all" ] else cmds in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | "table1" -> cmd_table1 ()
+      | "figure3" -> cmd_figure3 ()
+      | "summary" -> cmd_summary ()
+      | "micro" -> cmd_micro ()
+      | "ablation" -> cmd_ablation ()
+      | "scaling" -> cmd_scaling ()
+      | "futurework" -> cmd_futurework ()
+      | "all" ->
+        cmd_table1 ();
+        cmd_figure3 ();
+        cmd_summary ();
+        cmd_ablation ();
+        cmd_futurework ();
+        cmd_scaling ();
+        cmd_micro ()
+      | other ->
+        Printf.eprintf
+          "unknown command %S (expected table1 | figure3 | summary | ablation | scaling | futurework | micro | all)\n"
+          other;
+        exit 2)
+    cmds

@@ -1,0 +1,427 @@
+(* The pointsto command-line driver.
+
+   Subcommands:
+     analyze    — run one analysis on MJ sources, print metrics
+     compare    — run several analyses, print a metric table
+     query      — points-to set of one variable
+     casts      — may-fail casts with witness allocation sites
+     callgraph  — context-insensitive call graph
+     dump-ir    — parse, lower and pretty-print the IR
+     gen        — emit a synthetic benchmark's MJ source
+     strategies — list available analyses *)
+
+module Ir = Pta_ir.Ir
+module Solver = Pta_solver.Solver
+module Intset = Pta_solver.Intset
+module Metrics = Pta_clients.Metrics
+module Strategies = Pta_context.Strategies
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument definitions                                         *)
+(* ------------------------------------------------------------------ *)
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"MJ source files.")
+
+let analysis_arg =
+  let doc = "Context-sensitivity strategy (see $(b,pointsto strategies))." in
+  Arg.(value & opt string "S-2obj+H" & info [ "a"; "analysis" ] ~docv:"NAME" ~doc)
+
+let no_stdlib_arg =
+  let doc = "Do not link the bundled mini-JDK." in
+  Arg.(value & flag & info [ "no-stdlib" ] ~doc)
+
+let timeout_arg =
+  let doc = "Abort the analysis after $(docv) seconds." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let load_program ~no_stdlib files =
+  let sources =
+    (if no_stdlib then []
+     else [ (Pta_mjdk.Mjdk.file_name, Pta_mjdk.Mjdk.source) ])
+    @ List.map
+        (fun path ->
+          let ic = open_in_bin path in
+          let contents =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          (path, contents))
+        files
+  in
+  Pta_frontend.Frontend.program_of_sources sources
+
+let strategy_of_name program name =
+  match Strategies.by_name name with
+  | Some factory -> factory program
+  | None ->
+    Printf.eprintf "unknown analysis %S; see `pointsto strategies'\n" name;
+    exit 2
+
+let with_frontend_errors f =
+  try f () with
+  | exn ->
+    if Pta_frontend.Frontend.report Format.err_formatter exn then exit 1
+    else raise exn
+
+let run_analysis ?timeout_s program name =
+  let strategy = strategy_of_name program name in
+  try Solver.run ?timeout_s program strategy with
+  | Solver.Timeout ->
+    Printf.eprintf "analysis %s timed out\n" name;
+    exit 3
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_meth_var program meth_name var_name =
+  let cls, rest =
+    match String.index_opt meth_name '.' with
+    | Some i ->
+      ( String.sub meth_name 0 i,
+        String.sub meth_name (i + 1) (String.length meth_name - i - 1) )
+    | None ->
+      Printf.eprintf "--method expects Class.meth/arity\n";
+      exit 2
+  in
+  let mname, arity =
+    match String.index_opt rest '/' with
+    | Some i ->
+      ( String.sub rest 0 i,
+        int_of_string (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    | None -> (rest, 0)
+  in
+  let meth =
+    match Ir.Program.find_meth program cls mname arity with
+    | Some m -> m
+    | None ->
+      Printf.eprintf "no method %s.%s/%d\n" cls mname arity;
+      exit 2
+  in
+  let var =
+    let found = ref None in
+    Ir.Program.iter_vars program (fun v info ->
+        if Ir.Meth_id.equal info.Ir.var_owner meth
+           && String.equal info.Ir.var_name var_name
+        then found := Some v);
+    match !found with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "no variable %s in %s\n" var_name meth_name;
+      exit 2
+  in
+  (meth, var)
+
+
+
+let analyze_cmd =
+  let run files analysis no_stdlib timeout_s =
+    with_frontend_errors @@ fun () ->
+    let program = load_program ~no_stdlib files in
+    let t0 = Unix.gettimeofday () in
+    let solver = run_analysis ?timeout_s program analysis in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let metrics = Metrics.compute solver in
+    Format.printf "analysis: %s (%s)@." analysis
+      (strategy_of_name program analysis).Pta_context.Strategy.description;
+    Format.printf "%a@." Metrics.pp metrics;
+    Format.printf "elapsed: %.3fs@." elapsed
+  in
+  let doc = "Run one points-to analysis and print its metrics." in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg)
+
+let compare_cmd =
+  let analyses_arg =
+    let doc = "Comma-separated analyses to compare." in
+    Arg.(
+      value
+      & opt (list string) [ "1call"; "1obj"; "SB-1obj"; "2obj+H"; "S-2obj+H"; "2type+H" ]
+      & info [ "analyses" ] ~docv:"NAMES" ~doc)
+  in
+  let run files analyses no_stdlib timeout_s =
+    with_frontend_errors @@ fun () ->
+    let program = load_program ~no_stdlib files in
+    let table =
+      Pta_report.Table.create
+        ~headers:
+          [ "analysis"; "avg objs"; "cg edges"; "poly v-calls"; "may-fail casts";
+            "time (s)"; "sensitive vpt" ]
+    in
+    List.iter
+      (fun name ->
+        let strategy = strategy_of_name program name in
+        match
+          let t0 = Unix.gettimeofday () in
+          let solver = Solver.run ?timeout_s program strategy in
+          (Metrics.compute solver, Unix.gettimeofday () -. t0)
+        with
+        | m, s ->
+          Pta_report.Table.add_row table
+            [
+              name;
+              Printf.sprintf "%.2f" m.Metrics.avg_objs_per_var;
+              string_of_int m.Metrics.call_graph_edges;
+              Printf.sprintf "%d/%d" m.Metrics.poly_vcalls m.Metrics.total_vcalls;
+              Printf.sprintf "%d/%d" m.Metrics.may_fail_casts m.Metrics.total_casts;
+              Printf.sprintf "%.3f" s;
+              string_of_int m.Metrics.sensitive_vpt;
+            ]
+        | exception Solver.Timeout ->
+          Pta_report.Table.add_row table [ name; "-"; "-"; "-"; "-"; "-"; "-" ])
+      analyses;
+    print_string (Pta_report.Table.render table)
+  in
+  let doc = "Compare several analyses on the same program." in
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(const run $ files_arg $ analyses_arg $ no_stdlib_arg $ timeout_arg)
+
+let query_cmd =
+  let meth_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "method" ] ~docv:"Class.meth/arity" ~doc:"Qualified method name.")
+  in
+  let var_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "var" ] ~docv:"NAME" ~doc:"Local variable name.")
+  in
+  let run files analysis no_stdlib meth_name var_name =
+    with_frontend_errors @@ fun () ->
+    let program = load_program ~no_stdlib files in
+    let _, var = resolve_meth_var program meth_name var_name in
+    let solver = run_analysis program analysis in
+    let heaps = Solver.ci_var_points_to solver var in
+    Format.printf "%s may point to %d allocation site(s):@."
+      (Ir.Program.var_qualified_name program var)
+      (Intset.cardinal heaps);
+    Intset.iter
+      (fun h ->
+        Format.printf "  %s@." (Ir.Program.heap_name program (Ir.Heap_id.of_int h)))
+      heaps
+  in
+  let doc = "Print the points-to set of one variable." in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ meth_arg $ var_arg)
+
+let casts_cmd =
+  let run files analysis no_stdlib =
+    with_frontend_errors @@ fun () ->
+    let program = load_program ~no_stdlib files in
+    let solver = run_analysis program analysis in
+    let sites = Pta_clients.Casts.analyze solver in
+    List.iter
+      (fun (site : Pta_clients.Casts.site) ->
+        match site.verdict with
+        | Pta_clients.Casts.Safe -> ()
+        | Pta_clients.Casts.May_fail witnesses ->
+          Format.printf "MAY FAIL: (%s) cast of %s in %s@."
+            (Ir.Program.type_name program site.cast_type)
+            (Ir.Program.var_info program site.source).Ir.var_name
+            (Ir.Program.meth_qualified_name program site.in_meth);
+          List.iteri
+            (fun i h ->
+              if i < 3 then
+                Format.printf "    witness: %s@." (Ir.Program.heap_name program h))
+            witnesses)
+      sites;
+    Format.printf "%d of %d casts may fail under %s@."
+      (Pta_clients.Casts.may_fail_count sites)
+      (List.length sites) analysis
+  in
+  let doc = "List casts the analysis cannot prove safe." in
+  Cmd.v
+    (Cmd.info "casts" ~doc)
+    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg)
+
+let callgraph_cmd =
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot on stdout.")
+  in
+  let run files analysis no_stdlib dot =
+    with_frontend_errors @@ fun () ->
+    let program = load_program ~no_stdlib files in
+    let solver = run_analysis program analysis in
+    (* Method-level edges: caller method -> callee method. *)
+    let edges = Hashtbl.create 256 in
+    Ir.Program.iter_invos program (fun invo info ->
+        Ir.Meth_id.Set.iter
+          (fun target ->
+            Hashtbl.replace edges
+              ( Ir.Program.meth_qualified_name program info.Ir.invo_owner,
+                Ir.Program.meth_qualified_name program target )
+              ())
+          (Solver.invo_targets solver invo));
+    let sorted =
+      Hashtbl.fold (fun e () acc -> e :: acc) edges [] |> List.sort compare
+    in
+    if dot then begin
+      Format.printf "digraph callgraph {@.";
+      List.iter
+        (fun (src, dst) -> Format.printf "  %S -> %S;@." src dst)
+        sorted;
+      Format.printf "}@."
+    end
+    else begin
+      List.iter (fun (src, dst) -> Format.printf "%s -> %s@." src dst) sorted;
+      Format.printf "%d method-level call edges@." (List.length sorted)
+    end
+  in
+  let doc = "Print the computed (context-insensitive) call graph." in
+  Cmd.v
+    (Cmd.info "callgraph" ~doc)
+    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ dot_arg)
+
+let why_cmd =
+  let meth_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "method" ] ~docv:"Class.meth/arity" ~doc:"Qualified method name.")
+  in
+  let var_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "var" ] ~docv:"NAME" ~doc:"Local variable name.")
+  in
+  let run files analysis no_stdlib meth_name var_name =
+    with_frontend_errors @@ fun () ->
+    let program = load_program ~no_stdlib files in
+    let meth, var = resolve_meth_var program meth_name var_name in
+    ignore meth;
+    let solver = run_analysis program analysis in
+    let heaps = Solver.ci_var_points_to solver var in
+    if Intset.is_empty heaps then
+      Format.printf "%s points to nothing under %s@."
+        (Ir.Program.var_qualified_name program var)
+        analysis
+    else
+      Intset.iter
+        (fun h ->
+          let heap = Ir.Heap_id.of_int h in
+          Format.printf "@[<v>%s may point to %s because:@,"
+            (Ir.Program.var_qualified_name program var)
+            (Ir.Program.heap_name program heap);
+          (match Pta_clients.Provenance.explain solver ~var ~heap with
+          | Some chain -> Pta_clients.Provenance.pp_chain Format.std_formatter chain
+          | None -> Format.printf "  (no witness chain found)@,");
+          Format.printf "@]@.")
+        heaps
+  in
+  let doc = "Explain why a variable may point to each of its allocation sites." in
+  Cmd.v
+    (Cmd.info "why" ~doc)
+    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ meth_arg $ var_arg)
+
+let stats_cmd =
+  let run files analysis no_stdlib =
+    with_frontend_errors @@ fun () ->
+    let program = load_program ~no_stdlib files in
+    let solver = run_analysis program analysis in
+    Format.printf "%a@."
+      (Pta_clients.Stats.pp program)
+      (Pta_clients.Stats.compute solver)
+  in
+  let doc =
+    "Show where the context-sensitive facts come from (heaviest methods,      fattest variables, context histogram)."
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg)
+
+let decompile_cmd =
+  let run files no_stdlib =
+    with_frontend_errors @@ fun () ->
+    let program = load_program ~no_stdlib files in
+    print_string (Pta_frontend.To_mj.program_to_source program)
+  in
+  let doc = "Parse, lower, and print back equivalent MJ source." in
+  Cmd.v (Cmd.info "decompile" ~doc) Term.(const run $ files_arg $ no_stdlib_arg)
+
+let exceptions_cmd =
+  let run files analysis no_stdlib =
+    with_frontend_errors @@ fun () ->
+    let program = load_program ~no_stdlib files in
+    let solver = run_analysis program analysis in
+    let escapes = Pta_clients.Exceptions.escapes solver in
+    List.iter
+      (fun (e : Pta_clients.Exceptions.escape) ->
+        Format.printf "%s may leak:@."
+          (Ir.Program.meth_qualified_name program e.meth);
+        List.iter
+          (fun h -> Format.printf "    %s@." (Ir.Program.heap_name program h))
+          e.exceptions)
+      escapes;
+    let uncaught = Pta_clients.Exceptions.uncaught_at_entries solver in
+    Format.printf "%d method(s) may leak exceptions; %d site(s) may escape main@."
+      (List.length escapes) (List.length uncaught)
+  in
+  let doc = "Report which exceptions may escape which methods." in
+  Cmd.v
+    (Cmd.info "exceptions" ~doc)
+    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg)
+
+let dump_ir_cmd =
+  let run files no_stdlib =
+    with_frontend_errors @@ fun () ->
+    let program = load_program ~no_stdlib files in
+    Format.printf "@[<v>%a@]@." Pta_ir.Ir_pp.pp_program program
+  in
+  let doc = "Parse, lower and pretty-print the IR." in
+  Cmd.v (Cmd.info "dump-ir" ~doc) Term.(const run $ files_arg $ no_stdlib_arg)
+
+let gen_cmd =
+  let bench_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (or 'tiny').")
+  in
+  let run name =
+    match Pta_workloads.Profile.by_name name with
+    | None ->
+      Printf.eprintf "unknown benchmark %S; available: tiny %s\n" name
+        (String.concat " " Pta_workloads.Workloads.names);
+      exit 2
+    | Some profile -> print_string (Pta_workloads.Gen.generate profile)
+  in
+  let doc = "Emit a synthetic benchmark's MJ source on stdout." in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ bench_arg)
+
+let strategies_cmd =
+  let run () =
+    List.iter
+      (fun (name, factory) ->
+        (* A strategy's description does not depend on the program; use a
+           trivial one to materialize it. *)
+        let program =
+          Pta_frontend.Frontend.program_of_string "class Main { static method main() { } }"
+        in
+        let s = factory program in
+        Printf.printf "%-10s %s\n" name s.Pta_context.Strategy.description)
+      Strategies.all
+  in
+  let doc = "List available context-sensitivity strategies." in
+  Cmd.v (Cmd.info "strategies" ~doc) Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "Hybrid context-sensitive points-to analysis for MJ programs" in
+  let info = Cmd.info "pointsto" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      analyze_cmd; compare_cmd; query_cmd; why_cmd; casts_cmd; exceptions_cmd;
+      callgraph_cmd; stats_cmd; dump_ir_cmd; decompile_cmd; gen_cmd;
+      strategies_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/cast_safety.ml: List Option Printf Pta_clients Pta_context Pta_frontend Pta_ir Pta_mjdk Pta_solver String

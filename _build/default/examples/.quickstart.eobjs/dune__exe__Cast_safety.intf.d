@@ -1,0 +1,1 @@
+examples/cast_safety.mli:

@@ -1,0 +1,1 @@
+examples/custom_strategy.ml: Option Printf Pta_clients Pta_context Pta_report Pta_solver Pta_workloads

@@ -1,0 +1,1 @@
+examples/devirtualization.ml: List Option Printf Pta_clients Pta_context Pta_ir Pta_report Pta_solver Pta_workloads

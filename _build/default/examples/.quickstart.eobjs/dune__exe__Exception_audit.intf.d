@@ -1,0 +1,1 @@
+examples/exception_audit.mli:

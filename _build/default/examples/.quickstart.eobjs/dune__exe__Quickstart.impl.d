@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Printf Pta_clients Pta_context Pta_frontend Pta_ir Pta_solver String

@@ -1,0 +1,93 @@
+(* Cast safety: the paper's headline precision client.
+
+   A container-heavy program in which every downcast is actually safe —
+   but only a sufficiently context-sensitive analysis can prove it.
+   Shows, per analysis, which casts remain "may fail" and the witness
+   allocation sites the analysis cannot exclude.
+
+     dune exec examples/cast_safety.exe *)
+
+module Ir = Pta_ir.Ir
+module Solver = Pta_solver.Solver
+module Casts = Pta_clients.Casts
+
+let source =
+  {|
+  class Token {}
+  class WordToken extends Token {}
+  class NumberToken extends Token {}
+
+  class Lexer {
+    method wordStream() : List {
+      var list = new ArrayList();
+      list.add(new WordToken);
+      list.add(new WordToken);
+      return list;
+    }
+    method numberStream() : List {
+      var list = new ArrayList();
+      list.add(new NumberToken);
+      return list;
+    }
+  }
+
+  class Main {
+    static method main() {
+      var lexer = new Lexer;
+      var words = lexer.wordStream();
+      var numbers = lexer.numberStream();
+      // Both casts are safe: each list holds only one token kind.
+      var w = (WordToken) words.get(null);
+      var n = (NumberToken) numbers.get(null);
+    }
+  }
+  |}
+
+let () =
+  let program = Pta_frontend.Frontend.program_of_sources
+      [ (Pta_mjdk.Mjdk.file_name, Pta_mjdk.Mjdk.source); ("cast_safety", source) ]
+  in
+  List.iter
+    (fun name ->
+      let factory = Option.get (Pta_context.Strategies.by_name name) in
+      let solver = Solver.run program (factory program) in
+      let sites = Casts.analyze solver in
+      (* Only report the casts written in Main (the mini-JDK has its own). *)
+      let in_main (s : Casts.site) =
+        String.equal
+          (Ir.Program.type_name program
+             (Ir.Program.meth_info program s.in_meth).Ir.meth_owner)
+          "Main"
+      in
+      let mine = List.filter in_main sites in
+      let failing =
+        List.filter
+          (fun (s : Casts.site) -> match s.verdict with Casts.May_fail _ -> true | Casts.Safe -> false)
+          mine
+      in
+      Printf.printf "%-10s %d of %d casts in Main may fail\n" name
+        (List.length failing) (List.length mine);
+      List.iter
+        (fun (s : Casts.site) ->
+          match s.verdict with
+          | Casts.Safe -> ()
+          | Casts.May_fail witnesses ->
+            Printf.printf "    (%s) %s — spurious witnesses:\n"
+              (Ir.Program.type_name program s.cast_type)
+              (Ir.Program.var_info program s.source).Ir.var_name;
+            List.iter
+              (fun h ->
+                Printf.printf "        %s\n" (Ir.Program.heap_name program h))
+              witnesses)
+        failing)
+    [ "insens"; "1call"; "1obj"; "2type+H"; "2obj+H"; "S-2obj+H" ];
+  print_newline ();
+  print_endline
+    "insens/1call conflate the two lists' contents inside ArrayList.add;";
+  print_endline
+    "1obj and 2obj+H separate the adds by receiver allocation site.  Note";
+  print_endline
+    "2type+H fails: both lists are allocated in class Lexer, so its";
+  print_endline
+    "class-level contexts merge them — exactly the moderate precision loss";
+  print_endline "the paper reports for type-sensitivity."

@@ -1,0 +1,61 @@
+(* Defining a new analysis in ~15 lines.
+
+   The entire analysis framework is parameterized by the paper's three
+   constructor functions.  Here we build a strategy the paper doesn't
+   evaluate: a selective hybrid of 2type+H that keeps an *invocation
+   site* in the heap context of objects allocated under static calls —
+   then compare it against its neighbours.
+
+     dune exec examples/custom_strategy.exe *)
+
+module Ctx = Pta_context.Ctx
+module Solver = Pta_solver.Solver
+
+(* C  = T x (T u I) x (T u I u {*})     (as in S-2type+H)
+   HC = (T u I): a type, or — for allocations under static calls — the
+   static call's invocation site. *)
+let my_strategy program : Pta_context.Strategy.t =
+  let ca heap = Ctx.Type (Pta_context.Strategies.class_of_alloc program heap) in
+  {
+    name = "SI-2type+H";
+    description = "S-2type+H with invocation-site heap context under statics";
+    initial_ctx = [| Ctx.Star; Ctx.Star; Ctx.Star |];
+    record =
+      (fun ~heap:_ ~ctx ->
+        (* If the allocating method was entered through a static call,
+           its second context element is the invocation site — keep it. *)
+        match Ctx.second ctx with
+        | Ctx.Invo _ as invo -> [| invo |]
+        | Ctx.Star | Ctx.Heap _ | Ctx.Type _ -> [| Ctx.first ctx |]);
+    merge =
+      (fun ~heap ~hctx ~invo:_ ~ctx:_ -> [| ca heap; Ctx.first hctx; Ctx.Star |]);
+    merge_static =
+      (fun ~invo ~ctx -> [| Ctx.first ctx; Ctx.Invo invo; Ctx.second ctx |]);
+  }
+
+let () =
+  let profile = Option.get (Pta_workloads.Profile.by_name "eclipse") in
+  let program = Pta_workloads.Workloads.program profile in
+  let table =
+    Pta_report.Table.create
+      ~headers:[ "analysis"; "avg objs"; "cg edges"; "may-fail casts"; "sensitive vpt" ]
+  in
+  let run name strategy =
+    let solver = Solver.run program strategy in
+    let m = Pta_clients.Metrics.compute solver in
+    Pta_report.Table.add_row table
+      [
+        name;
+        Printf.sprintf "%.2f" m.Pta_clients.Metrics.avg_objs_per_var;
+        string_of_int m.Pta_clients.Metrics.call_graph_edges;
+        string_of_int m.Pta_clients.Metrics.may_fail_casts;
+        string_of_int m.Pta_clients.Metrics.sensitive_vpt;
+      ]
+  in
+  run "2type+H" (Pta_context.Strategies.type2_heap program);
+  run "S-2type+H" (Pta_context.Strategies.selective_type2_heap program);
+  run "SI-2type+H" (my_strategy program);
+  run "U-2type+H" (Pta_context.Strategies.uniform_type2_heap program);
+  print_string (Pta_report.Table.render table);
+  print_endline "\nSI-2type+H is this example's own invention: the framework makes";
+  print_endline "exploring new points in the hybrid design space a 15-line exercise."

@@ -1,0 +1,1 @@
+lib/clients/casts.ml: Heap_id List Meth_id Program Pta_ir Pta_solver Type_id Var_id

@@ -1,0 +1,1 @@
+lib/clients/casts.mli: Pta_ir Pta_solver

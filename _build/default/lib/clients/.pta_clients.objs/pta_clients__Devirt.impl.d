@@ -1,0 +1,1 @@
+lib/clients/devirt.ml: Invo_id List Meth_id Program Pta_ir Pta_solver

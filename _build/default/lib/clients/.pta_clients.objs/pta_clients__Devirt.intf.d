@@ -1,0 +1,1 @@
+lib/clients/devirt.mli: Pta_ir Pta_solver

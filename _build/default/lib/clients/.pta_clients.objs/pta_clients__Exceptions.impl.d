@@ -1,0 +1,1 @@
+lib/clients/exceptions.ml: Heap_id List Meth_id Option Program Pta_ir Pta_solver

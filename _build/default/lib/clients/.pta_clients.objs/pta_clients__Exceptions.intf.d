@@ -1,0 +1,1 @@
+lib/clients/exceptions.mli: Pta_ir Pta_solver

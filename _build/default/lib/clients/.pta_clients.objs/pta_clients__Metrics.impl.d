@@ -1,0 +1,1 @@
+lib/clients/metrics.ml: Casts Devirt Exceptions Format List Pta_ir Pta_solver

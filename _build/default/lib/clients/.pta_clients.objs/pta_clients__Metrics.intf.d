@@ -1,0 +1,1 @@
+lib/clients/metrics.mli: Format Pta_solver

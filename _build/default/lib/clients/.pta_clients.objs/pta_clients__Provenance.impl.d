@@ -1,0 +1,1 @@
+lib/clients/provenance.ml: Array Format Heap_id List Printf Program Pta_context Pta_ir Pta_solver Queue

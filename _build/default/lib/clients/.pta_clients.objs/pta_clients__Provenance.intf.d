@@ -1,0 +1,1 @@
+lib/clients/provenance.mli: Format Pta_ir Pta_solver

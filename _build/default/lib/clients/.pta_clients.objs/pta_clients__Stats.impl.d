@@ -1,0 +1,1 @@
+lib/clients/stats.ml: Format Hashtbl List Meth_id Option Program Pta_ir Pta_solver Var_id

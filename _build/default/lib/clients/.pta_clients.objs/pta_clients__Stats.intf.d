@@ -1,0 +1,1 @@
+lib/clients/stats.mli: Format Pta_ir Pta_solver

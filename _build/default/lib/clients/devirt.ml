@@ -1,0 +1,49 @@
+module Ir = Pta_ir.Ir
+module Solver = Pta_solver.Solver
+open Ir
+
+type classification =
+  | Unresolved
+  | Monomorphic of Meth_id.t
+  | Polymorphic of Meth_id.Set.t
+
+type site = {
+  invo : Invo_id.t;
+  in_meth : Meth_id.t;
+  classification : classification;
+}
+
+let analyze solver =
+  let program = Solver.program solver in
+  let reachable = Solver.reachable_meths solver in
+  let sites = ref [] in
+  Meth_id.Set.iter
+    (fun meth ->
+      let mi = Program.meth_info program meth in
+      iter_instrs
+        (fun instr ->
+          match instr with
+          | Virtual_call { invo; _ } ->
+            let targets = Solver.invo_targets solver invo in
+            let classification =
+              match Meth_id.Set.cardinal targets with
+              | 0 -> Unresolved
+              | 1 -> Monomorphic (Meth_id.Set.choose targets)
+              | _ -> Polymorphic targets
+            in
+            sites := { invo; in_meth = meth; classification } :: !sites
+          | Alloc _ | Move _ | Load _ | Store _ | Cast _ | Static_call _
+          | Static_load _ | Static_store _ | Throw _ -> ())
+        mi.body)
+    reachable;
+  List.sort (fun a b -> Invo_id.compare a.invo b.invo) !sites
+
+let poly_count sites =
+  List.length
+    (List.filter (fun s -> match s.classification with Polymorphic _ -> true | _ -> false) sites)
+
+let mono_count sites =
+  List.length
+    (List.filter
+       (fun s -> match s.classification with Monomorphic _ -> true | _ -> false)
+       sites)

@@ -1,0 +1,23 @@
+(** Devirtualization client: classify every virtual call site in a
+    reachable method by the number of targets the analysis resolves.
+    A site with exactly one target can be devirtualized (inlined or
+    compiled to a direct call); the paper's "poly v-calls" metric counts
+    the sites that cannot. *)
+
+type classification =
+  | Unresolved  (** no target: dead or dispatch always fails *)
+  | Monomorphic of Pta_ir.Ir.Meth_id.t
+  | Polymorphic of Pta_ir.Ir.Meth_id.Set.t  (** two or more targets *)
+
+type site = {
+  invo : Pta_ir.Ir.Invo_id.t;
+  in_meth : Pta_ir.Ir.Meth_id.t;
+  classification : classification;
+}
+
+val analyze : Pta_solver.Solver.t -> site list
+(** All virtual call sites in context-insensitively reachable methods, in
+    deterministic (invocation-id) order. *)
+
+val poly_count : site list -> int
+val mono_count : site list -> int

@@ -1,0 +1,47 @@
+module Ir = Pta_ir.Ir
+module Solver = Pta_solver.Solver
+module Intset = Pta_solver.Intset
+open Ir
+
+type escape = {
+  meth : Meth_id.t;
+  exceptions : Heap_id.t list;
+}
+
+let per_meth_heapsets solver =
+  let acc : Intset.t Meth_id.Tbl.t = Meth_id.Tbl.create 64 in
+  Solver.iter_throw_points_to solver (fun meth _ hobjs ->
+      if not (Intset.is_empty hobjs) then begin
+        let heaps =
+          Intset.fold
+            (fun hobj set -> Intset.add (Heap_id.to_int (Solver.hobj_heap solver hobj)) set)
+            hobjs Intset.empty
+        in
+        let existing =
+          Option.value ~default:Intset.empty (Meth_id.Tbl.find_opt acc meth)
+        in
+        Meth_id.Tbl.replace acc meth (Intset.union existing heaps)
+      end);
+  acc
+
+let escapes solver =
+  per_meth_heapsets solver |> fun tbl ->
+  Meth_id.Tbl.fold
+    (fun meth heaps out ->
+      { meth; exceptions = List.map Heap_id.of_int (Intset.elements heaps) } :: out)
+    tbl []
+  |> List.sort (fun a b -> Meth_id.compare a.meth b.meth)
+
+let uncaught_at_entries solver =
+  let program = Solver.program solver in
+  let entries = Program.entries program in
+  let tbl = per_meth_heapsets solver in
+  let escaped =
+    List.fold_left
+      (fun acc entry ->
+        match Meth_id.Tbl.find_opt tbl entry with
+        | Some heaps -> Intset.union acc heaps
+        | None -> acc)
+      Intset.empty entries
+  in
+  List.map Heap_id.of_int (Intset.elements escaped)

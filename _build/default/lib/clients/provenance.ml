@@ -1,0 +1,110 @@
+module Ir = Pta_ir.Ir
+module Ctx = Pta_context.Ctx
+module Solver = Pta_solver.Solver
+module Intset = Pta_solver.Intset
+open Ir
+
+type step = {
+  description : string;
+  is_origin : bool;
+}
+
+let describe_node solver nid =
+  let program = Solver.program solver in
+  let ctx_str ctx =
+    Format.asprintf "%a" (Ctx.pp_value program) (Solver.ctx_value solver ctx)
+  in
+  match Solver.node_kind solver nid with
+  | Solver.Var_node (var, ctx) ->
+    Printf.sprintf "%s under %s" (Program.var_qualified_name program var)
+      (ctx_str ctx)
+  | Solver.Fld_node (hobj, field) ->
+    Printf.sprintf "field %s of %s"
+      (Program.field_info program field).field_name
+      (Program.heap_name program (Solver.hobj_heap solver hobj))
+  | Solver.Static_fld_node field ->
+    let fi = Program.field_info program field in
+    Printf.sprintf "static field %s::%s"
+      (Program.type_name program fi.field_owner)
+      fi.field_name
+  | Solver.Throw_node (meth, ctx) ->
+    Printf.sprintf "exceptions escaping %s under %s"
+      (Program.meth_qualified_name program meth)
+      (ctx_str ctx)
+  | Solver.Scope_node -> "a try-block scope"
+
+(* Breadth-first search backwards from the target among nodes containing
+   the abstract object; the chain root is a node with no predecessor
+   passing the object (the allocation target, a receiver binding, ...). *)
+let explain solver ~var ~heap =
+  if not (Intset.mem (Heap_id.to_int heap) (Solver.ci_var_points_to solver var))
+  then None
+  else begin
+    (* Collect the hobjs of this allocation site. *)
+    let hobjs = ref [] in
+    for h = 0 to Solver.n_hobjs solver - 1 do
+      if Heap_id.equal (Solver.hobj_heap solver h) heap then hobjs := h :: !hobjs
+    done;
+    (* Reverse adjacency restricted to nodes containing some such hobj,
+       tracking which hobj travels each edge (any one works). *)
+    let n = Solver.n_nodes solver in
+    let holds nid =
+      List.exists
+        (fun h -> Intset.mem h (Solver.node_points_to solver nid))
+        !hobjs
+    in
+    let preds = Array.make n [] in
+    for src = 0 to n - 1 do
+      if holds src then
+        List.iter
+          (fun h ->
+            if Intset.mem h (Solver.node_points_to solver src) then
+              List.iter
+                (fun dst -> if holds dst then preds.(dst) <- src :: preds.(dst))
+                (Solver.node_succs_passing solver src h))
+          !hobjs
+    done;
+    let targets =
+      List.filter holds (Solver.var_node_ids solver var)
+    in
+    match targets with
+    | [] -> None
+    | target :: _ ->
+      (* BFS backwards to the furthest reachable origin (a node with no
+         unvisited predecessor). *)
+      let visited = Array.make n false in
+      let parent = Array.make n (-1) in
+      let queue = Queue.create () in
+      Queue.add target queue;
+      visited.(target) <- true;
+      let origin = ref target in
+      while not (Queue.is_empty queue) do
+        let nid = Queue.pop queue in
+        let fresh = List.filter (fun p -> not visited.(p)) preds.(nid) in
+        if fresh = [] && preds.(nid) = [] then origin := nid;
+        List.iter
+          (fun p ->
+            visited.(p) <- true;
+            parent.(p) <- nid;
+            Queue.add p queue)
+          fresh
+      done;
+      (* Forward chain from origin following parent pointers. *)
+      let rec chain nid acc =
+        if nid = target then List.rev (target :: acc)
+        else chain parent.(nid) (nid :: acc)
+      in
+      let nodes = chain !origin [] in
+      Some
+        (List.mapi
+           (fun i nid ->
+             { description = describe_node solver nid; is_origin = i = 0 })
+           nodes)
+  end
+
+let pp_chain ppf steps =
+  List.iteri
+    (fun i s ->
+      if s.is_origin then Format.fprintf ppf "  origin: %s@," s.description
+      else Format.fprintf ppf "  %2d: flows to %s@," i s.description)
+    steps

@@ -1,0 +1,24 @@
+(** Provenance: explain {e why} the analysis thinks a variable may point
+    to an allocation site, as a witness chain through the solver's
+    supergraph — from a node where the abstract object first appears
+    (its allocation, a receiver binding, or a caught exception) to the
+    queried variable.
+
+    This is debug tooling in the spirit of Doop's provenance queries: the
+    chain is one shortest derivation, not all of them. *)
+
+type step = {
+  description : string;  (** human-readable node description *)
+  is_origin : bool;  (** true on the first step *)
+}
+
+val explain :
+  Pta_solver.Solver.t ->
+  var:Pta_ir.Ir.Var_id.t ->
+  heap:Pta_ir.Ir.Heap_id.t ->
+  step list option
+(** [explain solver ~var ~heap] returns a forward witness chain ending at
+    one of [var]'s contexts, or [None] if the analysis does not compute
+    [var] pointing to [heap]. *)
+
+val pp_chain : Format.formatter -> step list -> unit

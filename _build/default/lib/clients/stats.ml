@@ -1,0 +1,97 @@
+module Ir = Pta_ir.Ir
+module Solver = Pta_solver.Solver
+module Intset = Pta_solver.Intset
+open Ir
+
+type meth_contexts = {
+  meth : Meth_id.t;
+  n_contexts : int;
+  facts : int;
+}
+
+type fat_var = {
+  var : Var_id.t;
+  ci_size : int;
+  cs_facts : int;
+}
+
+type t = {
+  by_method : meth_contexts list;
+  fattest : fat_var list;
+  context_histogram : (int * int) list;
+}
+
+let compute ?(top = 15) solver =
+  let program = Solver.program solver in
+  (* Per-method context counts and fact volume. *)
+  let n_ctxs : int Meth_id.Tbl.t = Meth_id.Tbl.create 256 in
+  Solver.iter_reachable solver (fun meth _ ->
+      Meth_id.Tbl.replace n_ctxs meth
+        (1 + Option.value ~default:0 (Meth_id.Tbl.find_opt n_ctxs meth)));
+  let facts : int Meth_id.Tbl.t = Meth_id.Tbl.create 256 in
+  let var_facts : int Var_id.Tbl.t = Var_id.Tbl.create 1024 in
+  Solver.iter_var_points_to solver (fun var _ hobjs ->
+      let n = Intset.cardinal hobjs in
+      let owner = (Program.var_info program var).var_owner in
+      Meth_id.Tbl.replace facts owner
+        (n + Option.value ~default:0 (Meth_id.Tbl.find_opt facts owner));
+      Var_id.Tbl.replace var_facts var
+        (n + Option.value ~default:0 (Var_id.Tbl.find_opt var_facts var)));
+  let by_method =
+    Meth_id.Tbl.fold
+      (fun meth n_contexts acc ->
+        {
+          meth;
+          n_contexts;
+          facts = Option.value ~default:0 (Meth_id.Tbl.find_opt facts meth);
+        }
+        :: acc)
+      n_ctxs []
+    |> List.sort (fun a b ->
+           match compare b.facts a.facts with
+           | 0 -> Meth_id.compare a.meth b.meth
+           | c -> c)
+    |> List.filteri (fun i _ -> i < top)
+  in
+  let fattest =
+    Var_id.Tbl.fold
+      (fun var cs_facts acc ->
+        let ci_size = Intset.cardinal (Solver.ci_var_points_to solver var) in
+        { var; ci_size; cs_facts } :: acc)
+      var_facts []
+    |> List.sort (fun a b ->
+           match compare b.ci_size a.ci_size with
+           | 0 -> Var_id.compare a.var b.var
+           | c -> c)
+    |> List.filteri (fun i _ -> i < top)
+  in
+  let histogram = Hashtbl.create 16 in
+  Meth_id.Tbl.iter
+    (fun _ n ->
+      Hashtbl.replace histogram n
+        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram n)))
+    n_ctxs;
+  let context_histogram =
+    Hashtbl.fold (fun n count acc -> (n, count) :: acc) histogram []
+    |> List.sort compare
+  in
+  { by_method; fattest; context_histogram }
+
+let pp program ppf t =
+  Format.fprintf ppf "@[<v>contexts-per-method histogram (contexts: methods):@,";
+  List.iter
+    (fun (n, count) -> Format.fprintf ppf "  %6d: %d@," n count)
+    t.context_histogram;
+  Format.fprintf ppf "@,heaviest methods (cs facts / contexts):@,";
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "  %8d / %-6d %s@," m.facts m.n_contexts
+        (Program.meth_qualified_name program m.meth))
+    t.by_method;
+  Format.fprintf ppf "@,fattest variables (ci points-to size, cs facts):@,";
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "  %6d %8d  %s@," v.ci_size v.cs_facts
+        (Program.var_qualified_name program v.var))
+    t.fattest;
+  Format.fprintf ppf "@]"

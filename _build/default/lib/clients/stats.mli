@@ -1,0 +1,27 @@
+(** Introspection over an analysis run: where the context-sensitive
+    facts come from.  This is the tooling behind the paper's discussion
+    of the context-sensitive var-points-to size as "the foremost internal
+    complexity metric" — it shows which methods get many contexts and
+    which variables carry fat points-to sets. *)
+
+type meth_contexts = {
+  meth : Pta_ir.Ir.Meth_id.t;
+  n_contexts : int;
+  facts : int;  (** sum of points-to sizes over the method's var nodes *)
+}
+
+type fat_var = {
+  var : Pta_ir.Ir.Var_id.t;
+  ci_size : int;  (** context-insensitive points-to size *)
+  cs_facts : int;  (** total facts over all the variable's contexts *)
+}
+
+type t = {
+  by_method : meth_contexts list;  (** descending by [facts] *)
+  fattest : fat_var list;  (** descending by [ci_size] *)
+  context_histogram : (int * int) list;
+      (** (number of contexts, how many methods have that many) *)
+}
+
+val compute : ?top:int -> Pta_solver.Solver.t -> t
+val pp : Pta_ir.Ir.Program.t -> Format.formatter -> t -> unit

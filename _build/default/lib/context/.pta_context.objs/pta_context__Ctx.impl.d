@@ -1,0 +1,1 @@
+lib/context/ctx.ml: Array Format Hashtbl Pta_ir

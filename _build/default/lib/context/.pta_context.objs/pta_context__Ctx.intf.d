@@ -1,0 +1,1 @@
+lib/context/ctx.mli: Format Pta_ir

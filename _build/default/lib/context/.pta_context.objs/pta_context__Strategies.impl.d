@@ -1,0 +1,1 @@
+lib/context/strategies.ml: Ctx List Pta_ir Strategy

@@ -1,0 +1,1 @@
+lib/context/strategies.mli: Pta_ir Strategy

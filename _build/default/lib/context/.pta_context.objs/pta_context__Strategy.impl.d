@@ -1,0 +1,1 @@
+lib/context/strategy.ml: Ctx Pta_ir

@@ -1,0 +1,1 @@
+lib/context/strategy.mli: Ctx Pta_ir

@@ -1,0 +1,67 @@
+(** All analyses from the paper (Sections 2.2, 3.1, 3.2) plus the
+    deeper-context extensions it points to, each as a
+    {!Strategy.t} built from a program.
+
+    The paper's equations map one-to-one onto these definitions; see the
+    implementation, which is written to read like Section 2.2/3. *)
+
+type factory = Pta_ir.Ir.Program.t -> Strategy.t
+
+val insens : factory  (** context-insensitive *)
+
+val call1 : factory  (** 1call *)
+
+val call1_heap : factory  (** 1call+H *)
+
+val call2_heap : factory  (** 2call+H (deeper-context extension) *)
+
+val obj1 : factory  (** 1obj *)
+
+val obj1_heap : factory
+(** 1obj+H — included for the paper's "strictly inferior choice" ablation *)
+
+val obj2_heap : factory  (** 2obj+H *)
+
+val type2_heap : factory  (** 2type+H *)
+
+val uniform_obj1 : factory  (** U-1obj (Section 3.1) *)
+
+val uniform_obj2_heap : factory  (** U-2obj+H *)
+
+val uniform_type2_heap : factory  (** U-2type+H *)
+
+val selective_a_obj1 : factory  (** SA-1obj (Section 3.2) *)
+
+val selective_b_obj1 : factory  (** SB-1obj *)
+
+val selective_obj2_heap : factory  (** S-2obj+H *)
+
+val selective_type2_heap : factory  (** S-2type+H *)
+
+val obj3_heap2 : factory  (** 3obj+2H (future-work extension) *)
+
+val adaptive : (string * factory) list
+(** Section 6's future-work direction, implemented: hybrids whose
+    constructor functions inspect the incoming context's form —
+    deepening static call strings and stamping invocation-site heap
+    contexts onto objects allocated under static chains. *)
+
+val ablations : (string * factory) list
+(** The deliberately bad context combinations Section 3 dismisses —
+    call-site heap contexts, inverted heap/hctx significance, free
+    mixing that can drop the receiver element — kept to reproduce the
+    paper's "we verified experimentally that such combinations yield bad
+    analyses". *)
+
+val all : (string * factory) list
+(** Every strategy, keyed by its paper abbreviation, in the paper's
+    presentation order (Table 1 column order, then extensions). *)
+
+val table1 : (string * factory) list
+(** Exactly the 12 analyses of Table 1, in column order. *)
+
+val by_name : string -> factory option
+
+val class_of_alloc : Pta_ir.Ir.Program.t -> Pta_ir.Ir.Heap_id.t -> Pta_ir.Ir.Type_id.t
+(** The paper's [CA : H -> T] — the class containing the allocation
+    site, used by type-sensitive analyses. *)

@@ -1,0 +1,13 @@
+type t = {
+  name : string;
+  description : string;
+  initial_ctx : Ctx.value;
+  record : heap:Pta_ir.Ir.Heap_id.t -> ctx:Ctx.value -> Ctx.value;
+  merge :
+    heap:Pta_ir.Ir.Heap_id.t ->
+    hctx:Ctx.value ->
+    invo:Pta_ir.Ir.Invo_id.t ->
+    ctx:Ctx.value ->
+    Ctx.value;
+  merge_static : invo:Pta_ir.Ir.Invo_id.t -> ctx:Ctx.value -> Ctx.value;
+}

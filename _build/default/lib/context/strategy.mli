@@ -1,0 +1,30 @@
+(** The context-strategy interface: the paper's three constructor
+    functions.
+
+    The analysis core (both the native solver and the Datalog reference
+    implementation) is written once against this interface; instantiating
+    it with different [record]/[merge]/[merge_static] definitions yields
+    every analysis in the paper — context-insensitive, call-site-,
+    object- and type-sensitive, and all uniform/selective hybrids
+    (see {!module:Strategies}). *)
+
+type t = {
+  name : string;  (** the paper's abbreviation, e.g. ["S-2obj+H"] *)
+  description : string;
+  initial_ctx : Ctx.value;
+      (** context under which entry points are analyzed; [Star]-padded to
+          the analysis's context shape *)
+  record : heap:Pta_ir.Ir.Heap_id.t -> ctx:Ctx.value -> Ctx.value;
+      (** new heap context at an allocation (paper: [Record(heap, ctx)]) *)
+  merge :
+    heap:Pta_ir.Ir.Heap_id.t ->
+    hctx:Ctx.value ->
+    invo:Pta_ir.Ir.Invo_id.t ->
+    ctx:Ctx.value ->
+    Ctx.value;
+      (** new callee context at a virtual call
+          (paper: [Merge(heap, hctx, invo, ctx)]) *)
+  merge_static : invo:Pta_ir.Ir.Invo_id.t -> ctx:Ctx.value -> Ctx.value;
+      (** new callee context at a static call
+          (paper: [MergeStatic(invo, ctx)]) *)
+}

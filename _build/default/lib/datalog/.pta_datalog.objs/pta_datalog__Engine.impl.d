@@ -1,0 +1,1 @@
+lib/datalog/engine.ml: Array Hashtbl List Relation

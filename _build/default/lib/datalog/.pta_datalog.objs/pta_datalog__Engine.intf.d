@@ -1,0 +1,1 @@
+lib/datalog/engine.mli: Relation

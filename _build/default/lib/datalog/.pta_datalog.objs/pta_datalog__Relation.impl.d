@@ -1,0 +1,1 @@
+lib/datalog/relation.ml: Array Hashtbl List Printf Pta_ir

@@ -1,0 +1,155 @@
+type term =
+  | V of int
+  | C of int
+
+type atom = { rel : Relation.t; args : term array }
+
+type head_term =
+  | Hv of int
+  | Hc of int
+  | Hf of (int array -> int)
+
+type head = { hrel : Relation.t; hargs : head_term array }
+
+type rule = {
+  rname : string;
+  n_vars : int;
+  heads : head list;
+  body : atom list;
+}
+
+let rule rname ~n_vars heads body = { rname; n_vars; heads; body }
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Try to extend [env] so that [atom]'s args match [fact]; returns the
+   variables newly bound (for backtracking) or None. *)
+let match_fact env (atom : atom) fact =
+  let bound = ref [] in
+  let ok = ref true in
+  let n = Array.length atom.args in
+  let i = ref 0 in
+  while !ok && !i < n do
+    (match atom.args.(!i) with
+    | C c -> if fact.(!i) <> c then ok := false
+    | V v ->
+      if env.(v) = -1 then begin
+        env.(v) <- fact.(!i);
+        bound := v :: !bound
+      end
+      else if env.(v) <> fact.(!i) then ok := false);
+    incr i
+  done;
+  if !ok then Some !bound
+  else begin
+    List.iter (fun v -> env.(v) <- -1) !bound;
+    None
+  end
+
+let undo env bound = List.iter (fun v -> env.(v) <- -1) bound
+
+let selection_pattern env (atom : atom) =
+  Array.map
+    (fun t ->
+      match t with
+      | C c -> c
+      | V v -> env.(v) (* -1 when unbound = wildcard *))
+    atom.args
+
+(* Solve the remaining body atoms left to right, calling [emit] on every
+   complete binding. *)
+let rec solve env atoms emit =
+  match atoms with
+  | [] -> emit ()
+  | atom :: rest ->
+    Relation.select atom.rel
+      ~pattern:(selection_pattern env atom)
+      (fun fact ->
+        match match_fact env atom fact with
+        | None -> ()
+        | Some bound ->
+          solve env rest emit;
+          undo env bound)
+
+let head_fact env head =
+  Array.map
+    (fun t ->
+      match t with
+      | Hc c -> c
+      | Hv v ->
+        if env.(v) = -1 then invalid_arg "Engine: unbound head variable";
+        env.(v)
+      | Hf f -> f env)
+    head.hargs
+
+(* ------------------------------------------------------------------ *)
+(* Semi-naive driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let relations_of rules =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let note r =
+    if not (Hashtbl.mem seen (Relation.name r)) then begin
+      Hashtbl.add seen (Relation.name r) ();
+      out := r :: !out
+    end
+  in
+  List.iter
+    (fun rule ->
+      List.iter (fun h -> note h.hrel) rule.heads;
+      List.iter (fun a -> note a.rel) rule.body)
+    rules;
+  !out
+
+let run rules =
+  let rels = relations_of rules in
+  (* delta = facts with index in [low, high) *)
+  let low = Hashtbl.create 16 and high = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace low (Relation.name r) 0;
+      Hashtbl.replace high (Relation.name r) (Relation.cardinal r))
+    rels;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Evaluate every rule once per body position, with that position
+       restricted to the previous round's delta. *)
+    List.iter
+      (fun rule ->
+        let env = Array.make rule.n_vars (-1) in
+        List.iteri
+          (fun p atom ->
+            let lo = Hashtbl.find low (Relation.name atom.rel) in
+            let hi = Hashtbl.find high (Relation.name atom.rel) in
+            if hi > lo then
+              for i = lo to hi - 1 do
+                let fact = Relation.nth atom.rel i in
+                match match_fact env atom fact with
+                | None -> ()
+                | Some bound ->
+                  let rest = List.filteri (fun q _ -> q <> p) rule.body in
+                  solve env rest (fun () ->
+                      List.iter
+                        (fun h ->
+                          if Relation.add h.hrel (head_fact env h) then
+                            changed := true)
+                        rule.heads);
+                  undo env bound
+              done)
+          rule.body)
+      rules;
+    (* Advance the delta windows. *)
+    List.iter
+      (fun r ->
+        let name = Relation.name r in
+        Hashtbl.replace low name (Hashtbl.find high name);
+        Hashtbl.replace high name (Relation.cardinal r))
+      rels;
+    (* A final catch-up round: facts derived this round become the next
+       delta; loop continues while any rule fired. *)
+    ()
+  done

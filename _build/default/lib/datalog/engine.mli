@@ -1,0 +1,41 @@
+(** A small semi-naive Datalog engine over {!Relation}s.
+
+    Rules are positive Horn clauses over integer tuples.  Head argument
+    positions may also be {e computed} by an OCaml hook over the rule's
+    variable bindings — the analogue of LogicBlox constructor functions,
+    which is exactly how Doop creates contexts ([Record]/[Merge]/
+    [MergeStatic]).  Hooks must be deterministic and total; because
+    contexts are interned tuples of bounded depth, the generated domain
+    stays finite and evaluation terminates.
+
+    Evaluation is semi-naive: each round joins every rule once per body
+    atom, restricting that atom to the facts derived in the previous
+    round.  No negation or stratification is needed by the points-to
+    rules (they are monotone, as the paper notes). *)
+
+type term =
+  | V of int  (** rule variable, numbered from 0 *)
+  | C of int  (** constant *)
+
+type atom = { rel : Relation.t; args : term array }
+
+type head_term =
+  | Hv of int  (** copy a bound rule variable *)
+  | Hc of int  (** constant *)
+  | Hf of (int array -> int)
+      (** computed from the full variable-binding environment *)
+
+type head = { hrel : Relation.t; hargs : head_term array }
+
+type rule = {
+  rname : string;
+  n_vars : int;
+  heads : head list;
+  body : atom list;  (** evaluated left to right; order affects speed only *)
+}
+
+val rule : string -> n_vars:int -> head list -> atom list -> rule
+
+val run : rule list -> unit
+(** Evaluate to fixpoint, mutating the relations appearing in the rules.
+    Facts already present count as the initial delta. *)

@@ -1,0 +1,1 @@
+lib/frontend/frontend.ml: Format Fun List Lower Parser Srcloc

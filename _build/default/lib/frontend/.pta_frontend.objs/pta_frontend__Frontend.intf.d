@@ -1,0 +1,1 @@
+lib/frontend/frontend.mli: Ast Format Pta_ir

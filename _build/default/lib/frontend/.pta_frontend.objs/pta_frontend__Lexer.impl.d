@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: List Srcloc String Token

@@ -1,0 +1,1 @@
+lib/frontend/lexer.mli: Srcloc Token

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Builder Field_id Hashtbl List Meth_id Option Printf Program Pta_ir Srcloc String Type_id Var_id

@@ -1,0 +1,1 @@
+lib/frontend/srcloc.ml: Format

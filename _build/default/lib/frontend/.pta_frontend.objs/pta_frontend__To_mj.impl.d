@@ -1,0 +1,1 @@
+lib/frontend/to_mj.ml: Array Buffer Field_id Hashtbl List Meth_id Option Printf Program Pta_ir String Type_id Var_id

@@ -1,0 +1,1 @@
+lib/frontend/to_mj.mli: Pta_ir

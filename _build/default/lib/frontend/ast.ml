@@ -1,0 +1,76 @@
+(** Abstract syntax of MJ, the mini-Java input language.
+
+    MJ is deliberately at the level of the paper's input language: object
+    allocation, copies, field loads/stores, virtual and static calls,
+    casts, and nondeterministic control flow ([if(@)], [while(@)] with @ meaning a nondeterministic condition written as a star).
+    Scalar data, arithmetic and real branch conditions are out of scope —
+    a points-to analysis never inspects them. *)
+
+type ident = string
+
+type expr = { e : expr_kind; e_pos : Srcloc.pos }
+
+and expr_kind =
+  | E_var of ident
+  | E_this
+  | E_null
+  | E_new of ident * expr list option
+      (** [new C] or [new C(args)]; the latter also calls [C.init]. *)
+  | E_load of expr * ident  (** [e.f] *)
+  | E_vcall of expr * ident * expr list  (** [e.m(args)] *)
+  | E_scall of ident * ident * expr list  (** [C::m(args)] *)
+  | E_sfield of ident * ident  (** [C::f], a static field read *)
+  | E_cast of ident * expr  (** [(C) e] *)
+
+type stmt = { s : stmt_kind; s_pos : Srcloc.pos }
+
+and stmt_kind =
+  | S_decl of ident * expr option  (** [var x;] or [var x = e;] *)
+  | S_assign of ident * expr
+  | S_store of expr * ident * expr  (** [e.f = e'] *)
+  | S_sstore of ident * ident * expr  (** [C::f = e] *)
+  | S_expr of expr  (** call evaluated for effect *)
+  | S_return of expr option
+  | S_if of stmt list * stmt list
+  | S_while of stmt list
+  | S_throw of expr
+  | S_try of stmt list * catch_clause list
+
+and catch_clause = {
+  cc_type : ident;
+  cc_var : ident;
+  cc_body : stmt list;
+}
+
+type meth_decl = {
+  m_name : ident;
+  m_static : bool;
+  m_abstract : bool;  (** interface methods: signature only *)
+  m_params : ident list;
+  m_ret_ty : ident option;  (** declared return type; documentation only *)
+  m_body : stmt list;
+  m_pos : Srcloc.pos;
+}
+
+type field_decl = {
+  f_name : ident;
+  f_static : bool;
+  f_ty : ident option;  (** declared type; documentation only *)
+  f_pos : Srcloc.pos;
+}
+
+type kind =
+  | K_class
+  | K_interface
+
+type class_decl = {
+  c_name : ident;
+  c_kind : kind;
+  c_super : ident option;
+  c_ifaces : ident list;
+  c_fields : field_decl list;
+  c_meths : meth_decl list;
+  c_pos : Srcloc.pos;
+}
+
+type program = class_decl list

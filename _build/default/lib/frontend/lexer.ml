@@ -1,0 +1,127 @@
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let create ~file src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let here lx =
+  { Srcloc.file = lx.file; line = lx.line; col = lx.pos - lx.bol + 1 }
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let rec skip_space lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_space lx
+  | Some '/' when lx.pos + 1 < String.length lx.src -> (
+    match lx.src.[lx.pos + 1] with
+    | '/' ->
+      while peek lx <> None && peek lx <> Some '\n' do
+        advance lx
+      done;
+      skip_space lx
+    | '*' ->
+      let start = here lx in
+      advance lx;
+      advance lx;
+      let rec close () =
+        match peek lx with
+        | None -> Srcloc.error start "unterminated block comment"
+        | Some '*' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+          advance lx;
+          advance lx
+        | Some _ ->
+          advance lx;
+          close ()
+      in
+      close ();
+      skip_space lx
+    | _ -> ())
+  | _ -> ()
+
+let read_ident lx =
+  let start = lx.pos in
+  while
+    match peek lx with
+    | Some c -> is_ident_char c
+    | None -> false
+  do
+    advance lx
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let next lx =
+  skip_space lx;
+  let pos = here lx in
+  match peek lx with
+  | None -> (Token.Eof, pos)
+  | Some c when is_ident_start c ->
+    let word = read_ident lx in
+    let tok =
+      match Token.keyword_of_string word with
+      | Some kw -> kw
+      | None -> Token.Ident word
+    in
+    (tok, pos)
+  | Some '{' ->
+    advance lx;
+    (Token.Lbrace, pos)
+  | Some '}' ->
+    advance lx;
+    (Token.Rbrace, pos)
+  | Some '(' ->
+    advance lx;
+    (Token.Lparen, pos)
+  | Some ')' ->
+    advance lx;
+    (Token.Rparen, pos)
+  | Some ',' ->
+    advance lx;
+    (Token.Comma, pos)
+  | Some ';' ->
+    advance lx;
+    (Token.Semi, pos)
+  | Some '=' ->
+    advance lx;
+    (Token.Eq, pos)
+  | Some '.' ->
+    advance lx;
+    (Token.Dot, pos)
+  | Some '*' ->
+    advance lx;
+    (Token.Star, pos)
+  | Some ':' ->
+    advance lx;
+    if peek lx = Some ':' then begin
+      advance lx;
+      (Token.Coloncolon, pos)
+    end
+    else (Token.Colon, pos)
+  | Some c -> Srcloc.error pos "invalid character %C" c
+
+let tokenize ~file src =
+  let lx = create ~file src in
+  let rec loop acc =
+    let tok, pos = next lx in
+    let acc = (tok, pos) :: acc in
+    match tok with
+    | Token.Eof -> List.rev acc
+    | _ -> loop acc
+  in
+  loop []

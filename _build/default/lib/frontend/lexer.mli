@@ -1,0 +1,13 @@
+(** Hand-written lexer for MJ source text. *)
+
+type t
+
+val create : file:string -> string -> t
+
+val next : t -> Token.t * Srcloc.pos
+(** Returns the next token and its starting position.  After [Eof] it keeps
+    returning [Eof].  @raise Srcloc.Error on invalid input characters or
+    unterminated comments. *)
+
+val tokenize : file:string -> string -> (Token.t * Srcloc.pos) list
+(** Entire input, ending with [Eof]. *)

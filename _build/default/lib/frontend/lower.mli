@@ -1,0 +1,10 @@
+(** Lowering from the MJ AST to the analyzed IR: name resolution,
+    hierarchy construction (with a synthesized [Object] root when absent),
+    flattening of expressions to three-address instructions with
+    compiler-introduced temporaries, and entry-point discovery
+    (every [static method main()]).
+
+    @raise Srcloc.Error on semantic errors (unknown names, inheritance
+    cycles, duplicate declarations, invalid static-call targets, ...). *)
+
+val program : Ast.program -> Pta_ir.Ir.Program.t

@@ -1,0 +1,5 @@
+(** Recursive-descent parser for MJ.
+
+    @raise Srcloc.Error on syntax errors, with position information. *)
+
+val parse_string : file:string -> string -> Ast.program

@@ -1,0 +1,17 @@
+(** Source positions and frontend errors. *)
+
+type pos = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+}
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+let pp_pos ppf p = Format.fprintf ppf "%s:%d:%d" p.file p.line p.col
+
+exception Error of pos * string
+
+let error pos fmt = Format.kasprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+let pp_error ppf (pos, msg) =
+  Format.fprintf ppf "%a: error: %s" pp_pos pos msg

@@ -1,0 +1,204 @@
+module Ir = Pta_ir.Ir
+open Ir
+
+let buf_add = Buffer.add_string
+
+type ctx = {
+  program : Program.t;
+  buf : Buffer.t;
+  mutable depth : int;
+  (* IR variable names need not be unique within a method (and the
+     builder may create several "$ret"/"exc"); MJ requires uniqueness,
+     so printed names are uniquified per method. *)
+  names : (int, string) Hashtbl.t;
+}
+
+let line c fmt =
+  Printf.ksprintf
+    (fun s ->
+      for _ = 1 to c.depth do
+        buf_add c.buf "  "
+      done;
+      buf_add c.buf s;
+      buf_add c.buf "\n")
+    fmt
+
+let block c header body =
+  line c "%s {" header;
+  c.depth <- c.depth + 1;
+  body ();
+  c.depth <- c.depth - 1;
+  line c "}"
+
+let var c v =
+  match Hashtbl.find_opt c.names (Var_id.to_int v) with
+  | Some n -> n
+  | None -> (Program.var_info c.program v).var_name
+
+let assign_names c meth =
+  Hashtbl.reset c.names;
+  let used = Hashtbl.create 16 in
+  Program.iter_vars c.program (fun v info ->
+      if Meth_id.equal info.var_owner meth then begin
+        let base = info.var_name in
+        let name =
+          if Hashtbl.mem used base then
+            Printf.sprintf "%s_u%d" base (Var_id.to_int v)
+          else base
+        in
+        Hashtbl.add used name ();
+        Hashtbl.add c.names (Var_id.to_int v) name
+      end)
+let ty c t = Program.type_name c.program t
+let fld c f = (Program.field_info c.program f).field_name
+
+let static_fld c f =
+  let fi = Program.field_info c.program f in
+  Printf.sprintf "%s::%s" (ty c fi.field_owner) fi.field_name
+
+let args_str c args = String.concat ", " (List.map (var c) args)
+
+let call_lhs c = function
+  | None -> ""
+  | Some v -> var c v ^ " = "
+
+let emit_instr c = function
+  | Alloc { target; heap } ->
+    line c "%s = new %s;" (var c target) (ty c (Program.heap_info c.program heap).heap_type)
+  | Move { target; source } -> line c "%s = %s;" (var c target) (var c source)
+  | Load { target; base; field } ->
+    line c "%s = %s.%s;" (var c target) (var c base) (fld c field)
+  | Store { base; field; source } ->
+    line c "%s.%s = %s;" (var c base) (fld c field) (var c source)
+  | Cast { target; source; cast_type } ->
+    line c "%s = (%s) %s;" (var c target) (ty c cast_type) (var c source)
+  | Virtual_call { base; signature; invo = _; args; ret_target } ->
+    line c "%s%s.%s(%s);" (call_lhs c ret_target) (var c base)
+      (Program.sig_info c.program signature).sig_name (args_str c args)
+  | Static_call { callee; invo = _; args; ret_target } ->
+    let mi = Program.meth_info c.program callee in
+    line c "%s%s::%s(%s);" (call_lhs c ret_target) (ty c mi.meth_owner)
+      mi.meth_name (args_str c args)
+  | Static_load { target; field } ->
+    line c "%s = %s;" (var c target) (static_fld c field)
+  | Static_store { field; source } ->
+    line c "%s = %s;" (static_fld c field) (var c source)
+  | Throw { source } -> line c "throw %s;" (var c source)
+
+let rec emit_code c = function
+  | Instr i -> emit_instr c i
+  | Seq cs -> List.iter (emit_code c) cs
+  | Branch (a, b) ->
+    line c "if (*) {";
+    c.depth <- c.depth + 1;
+    emit_code c a;
+    c.depth <- c.depth - 1;
+    line c "} else {";
+    c.depth <- c.depth + 1;
+    emit_code c b;
+    c.depth <- c.depth - 1;
+    line c "}"
+  | Loop body ->
+    block c "while (*)" (fun () -> emit_code c body)
+  | Try (body, handlers) ->
+    line c "try {";
+    c.depth <- c.depth + 1;
+    emit_code c body;
+    c.depth <- c.depth - 1;
+    List.iter
+      (fun h ->
+        line c "} catch (%s %s) {" (ty c h.catch_type) (var c h.catch_var);
+        c.depth <- c.depth + 1;
+        emit_code c h.handler_body;
+        c.depth <- c.depth - 1)
+      handlers;
+    line c "}"
+
+(* Catch variables are declared by their catch clause, so they must not
+   be pre-declared at method entry. *)
+let catch_vars body =
+  let acc = ref Var_id.Set.empty in
+  let rec walk = function
+    | Instr _ -> ()
+    | Seq cs -> List.iter walk cs
+    | Branch (a, b) ->
+      walk a;
+      walk b
+    | Loop c -> walk c
+    | Try (c, handlers) ->
+      walk c;
+      List.iter
+        (fun h ->
+          acc := Var_id.Set.add h.catch_var !acc;
+          walk h.handler_body)
+        handlers
+  in
+  walk body;
+  !acc
+
+let emit_meth c meth (mi : meth_info) =
+  assign_names c meth;
+  let formals = Array.to_list mi.formals in
+  let header =
+    Printf.sprintf "%smethod %s(%s)"
+      (if mi.meth_static then "static " else "")
+      mi.meth_name
+      (String.concat ", " (List.map (var c) formals))
+  in
+  block c header (fun () ->
+      (* Pre-declare every local (null-initialized, adding no facts) so
+         reads before writes stay legal after reparsing. *)
+      let skip =
+        Var_id.Set.union (catch_vars mi.body)
+          (Var_id.Set.of_list
+             (formals
+             @ Option.to_list mi.this_var))
+      in
+      Program.iter_vars c.program (fun v info ->
+          if
+            Meth_id.equal info.var_owner meth
+            && (not (Var_id.Set.mem v skip))
+            && not (String.equal info.var_name "this")
+          then line c "var %s = null;" info.var_name);
+      emit_code c mi.body;
+      match mi.ret_var with
+      | Some v -> line c "return %s;" (var c v)
+      | None -> ())
+
+let program_to_source program =
+  let c =
+    { program; buf = Buffer.create 65536; depth = 0; names = Hashtbl.create 64 }
+  in
+  Program.iter_types program (fun type_id info ->
+      let kind =
+        match info.type_kind with Class -> "class" | Interface -> "interface"
+      in
+      let super =
+        match info.superclass with
+        | Some s when not (String.equal (ty c s) "Object") ->
+          " extends " ^ ty c s
+        | Some _ | None -> ""
+      in
+      let ifaces =
+        match info.interfaces with
+        | [] -> ""
+        | l ->
+          (match info.type_kind with Class -> " implements " | Interface -> " extends ")
+          ^ String.concat ", " (List.map (ty c) l)
+      in
+      block c (Printf.sprintf "%s %s%s%s" kind info.type_name super ifaces)
+        (fun () ->
+          (* Fields declared in this class. *)
+          let n_fields = Program.n_fields program in
+          for i = 0 to n_fields - 1 do
+            let f = Field_id.of_int i in
+            let fi = Program.field_info program f in
+            if Type_id.equal fi.field_owner type_id then
+              line c "%sfield %s;" (if fi.field_static then "static " else "")
+                fi.field_name
+          done;
+          List.iter
+            (fun (_, m) -> emit_meth c m (Program.meth_info program m))
+            info.declared);
+      buf_add c.buf "\n");
+  Buffer.contents c.buf

@@ -1,0 +1,9 @@
+(** Decompile an IR program back to MJ source.
+
+    The output reparses to an analysis-equivalent program: lowering the
+    printed source yields the same metrics under every strategy (the
+    round-trip property tested in the suite).  Useful for dumping
+    programs built programmatically (e.g. by the fuzzer) into a form the
+    CLI and a human can work with. *)
+
+val program_to_source : Pta_ir.Ir.Program.t -> string

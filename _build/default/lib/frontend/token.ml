@@ -1,0 +1,88 @@
+(** Tokens of the MJ language. *)
+
+type t =
+  | Ident of string
+  | Kw_class
+  | Kw_interface
+  | Kw_extends
+  | Kw_implements
+  | Kw_field
+  | Kw_method
+  | Kw_static
+  | Kw_var
+  | Kw_new
+  | Kw_return
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_this
+  | Kw_null
+  | Kw_throw
+  | Kw_try
+  | Kw_catch
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Eq
+  | Dot
+  | Coloncolon
+  | Colon
+  | Star
+  | Eof
+
+let keyword_of_string = function
+  | "class" -> Some Kw_class
+  | "interface" -> Some Kw_interface
+  | "extends" -> Some Kw_extends
+  | "implements" -> Some Kw_implements
+  | "field" -> Some Kw_field
+  | "method" -> Some Kw_method
+  | "static" -> Some Kw_static
+  | "var" -> Some Kw_var
+  | "new" -> Some Kw_new
+  | "return" -> Some Kw_return
+  | "if" -> Some Kw_if
+  | "else" -> Some Kw_else
+  | "while" -> Some Kw_while
+  | "this" -> Some Kw_this
+  | "null" -> Some Kw_null
+  | "throw" -> Some Kw_throw
+  | "try" -> Some Kw_try
+  | "catch" -> Some Kw_catch
+  | _ -> None
+
+let to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Kw_class -> "'class'"
+  | Kw_interface -> "'interface'"
+  | Kw_extends -> "'extends'"
+  | Kw_implements -> "'implements'"
+  | Kw_field -> "'field'"
+  | Kw_method -> "'method'"
+  | Kw_static -> "'static'"
+  | Kw_var -> "'var'"
+  | Kw_new -> "'new'"
+  | Kw_return -> "'return'"
+  | Kw_if -> "'if'"
+  | Kw_else -> "'else'"
+  | Kw_while -> "'while'"
+  | Kw_this -> "'this'"
+  | Kw_null -> "'null'"
+  | Kw_throw -> "'throw'"
+  | Kw_try -> "'try'"
+  | Kw_catch -> "'catch'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Semi -> "';'"
+  | Eq -> "'='"
+  | Dot -> "'.'"
+  | Coloncolon -> "'::'"
+  | Colon -> "':'"
+  | Star -> "'*'"
+  | Eof -> "end of input"

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Field_id Hashtbl Heap_id Invo_id List Meth_id Option Program Pta_ir Pta_workloads Type_id Var_id

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Hashtbl Pta_ir

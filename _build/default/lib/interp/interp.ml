@@ -1,0 +1,247 @@
+module Ir = Pta_ir.Ir
+module Hierarchy = Pta_ir.Hierarchy
+module Rng = Pta_workloads.Rng
+open Ir
+
+type value =
+  | Null
+  | Obj of obj
+
+and obj = {
+  tag : Heap_id.t;
+  obj_type : Type_id.t;
+  fields : (int, value) Hashtbl.t;
+}
+
+type trace = {
+  var_points : (int * int, unit) Hashtbl.t;
+  call_edges : (int * int, unit) Hashtbl.t;
+  reached : (int, unit) Hashtbl.t;
+  mutable steps : int;
+}
+
+(* Outcome of executing a piece of code: fall-through, or an in-flight
+   exception unwinding towards a matching handler. *)
+type outcome =
+  | Normal
+  | Raised of obj
+
+exception Out_of_budget
+
+type state = {
+  program : Program.t;
+  hierarchy : Hierarchy.t;
+  rng : Rng.t;
+  trace : trace;
+  statics : (int, value) Hashtbl.t;  (* static field cells *)
+  max_steps : int;
+  max_depth : int;
+}
+
+let record_var st var value =
+  match value with
+  | Null -> ()
+  | Obj o ->
+    Hashtbl.replace st.trace.var_points
+      (Var_id.to_int var, Heap_id.to_int o.tag)
+      ()
+
+(* A frame maps the method's locals to values; all locals start null. *)
+let assign st frame var value =
+  Hashtbl.replace frame (Var_id.to_int var) value;
+  record_var st var value
+
+let lookup_var frame var =
+  Option.value ~default:Null (Hashtbl.find_opt frame (Var_id.to_int var))
+
+let tick st =
+  st.trace.steps <- st.trace.steps + 1;
+  if st.trace.steps > st.max_steps then raise Out_of_budget
+
+(* [call] returns the callee's return value, or the exception escaping
+   it.  Depth exhaustion silently returns null (the run is truncated). *)
+let rec call st ~depth meth ~this ~args : (value, obj) result =
+  if depth > st.max_depth then Ok Null
+  else begin
+    let mi = Program.meth_info st.program meth in
+    Hashtbl.replace st.trace.reached (Meth_id.to_int meth) ();
+    let frame = Hashtbl.create 16 in
+    (match (mi.this_var, this) with
+    | Some v, Some value -> assign st frame v value
+    | Some _, None | None, _ -> ());
+    Array.iteri
+      (fun i formal ->
+        match List.nth_opt args i with
+        | Some value -> assign st frame formal value
+        | None -> ())
+      mi.formals;
+    match exec_code st ~depth frame mi.body with
+    | Raised exc -> Error exc
+    | Normal -> (
+      match mi.ret_var with
+      | Some v -> Ok (lookup_var frame v)
+      | None -> Ok Null)
+  end
+
+and exec_code st ~depth frame code : outcome =
+  match code with
+  | Instr i -> exec_instr st ~depth frame i
+  | Seq cs ->
+    let rec go = function
+      | [] -> Normal
+      | c :: rest -> (
+        match exec_code st ~depth frame c with
+        | Normal -> go rest
+        | Raised _ as r -> r)
+    in
+    go cs
+  | Branch (a, b) ->
+    if Rng.bool st.rng 0.5 then exec_code st ~depth frame a
+    else exec_code st ~depth frame b
+  | Loop body ->
+    (* Geometric number of iterations, capped. *)
+    let rec go n =
+      if n < 4 && Rng.bool st.rng 0.6 then
+        match exec_code st ~depth frame body with
+        | Normal -> go (n + 1)
+        | Raised _ as r -> r
+      else Normal
+    in
+    go 0
+  | Try (body, handlers) -> (
+    match exec_code st ~depth frame body with
+    | Normal -> Normal
+    | Raised exc ->
+      let rec dispatch = function
+        | [] -> Raised exc
+        | h :: rest ->
+          if Hierarchy.subtype st.hierarchy ~sub:exc.obj_type ~sup:h.catch_type
+          then begin
+            assign st frame h.catch_var (Obj exc);
+            exec_code st ~depth frame h.handler_body
+          end
+          else dispatch rest
+      in
+      dispatch handlers)
+
+and exec_instr st ~depth frame instr : outcome =
+  tick st;
+  match instr with
+  | Alloc { target; heap } ->
+    let hi = Program.heap_info st.program heap in
+    assign st frame target
+      (Obj { tag = heap; obj_type = hi.heap_type; fields = Hashtbl.create 4 });
+    Normal
+  | Move { target; source } ->
+    assign st frame target (lookup_var frame source);
+    Normal
+  | Cast { target; source; cast_type } ->
+    (match lookup_var frame source with
+    | Null -> ()
+    | Obj o ->
+      (* A failing cast would throw ClassCastException; as with other
+         runtime faults, the faulting instruction is skipped. *)
+      if Hierarchy.subtype st.hierarchy ~sub:o.obj_type ~sup:cast_type then
+        assign st frame target (Obj o));
+    Normal
+  | Load { target; base; field } ->
+    (match lookup_var frame base with
+    | Null -> ()
+    | Obj o -> (
+      match Hashtbl.find_opt o.fields (Field_id.to_int field) with
+      | Some v -> assign st frame target v
+      | None -> ()));
+    Normal
+  | Store { base; field; source } ->
+    (match lookup_var frame base with
+    | Null -> ()
+    | Obj o ->
+      Hashtbl.replace o.fields (Field_id.to_int field) (lookup_var frame source));
+    Normal
+  | Throw { source } -> (
+    match lookup_var frame source with
+    | Null -> Normal  (* throwing null faults; skipped like other faults *)
+    | Obj o -> Raised o)
+  | Virtual_call { base; signature; invo; args; ret_target } -> (
+    match lookup_var frame base with
+    | Null -> Normal
+    | Obj o -> (
+      match Hierarchy.lookup st.hierarchy o.obj_type signature with
+      | None -> Normal
+      | Some callee ->
+        if (Program.meth_info st.program callee).meth_static then Normal
+        else begin
+          Hashtbl.replace st.trace.call_edges
+            (Invo_id.to_int invo, Meth_id.to_int callee)
+            ();
+          let arg_values = List.map (lookup_var frame) args in
+          match
+            call st ~depth:(depth + 1) callee ~this:(Some (Obj o))
+              ~args:arg_values
+          with
+          | Error exc -> Raised exc
+          | Ok result ->
+            (match ret_target with
+            | Some v -> assign st frame v result
+            | None -> ());
+            Normal
+        end))
+  | Static_call { callee; invo; args; ret_target } -> (
+    Hashtbl.replace st.trace.call_edges
+      (Invo_id.to_int invo, Meth_id.to_int callee)
+      ();
+    let arg_values = List.map (lookup_var frame) args in
+    match call st ~depth:(depth + 1) callee ~this:None ~args:arg_values with
+    | Error exc -> Raised exc
+    | Ok result ->
+      (match ret_target with
+      | Some v -> assign st frame v result
+      | None -> ());
+      Normal)
+  | Static_load { target; field } ->
+    (match Hashtbl.find_opt st.statics (Field_id.to_int field) with
+    | Some v -> assign st frame target v
+    | None -> ());
+    Normal
+  | Static_store { field; source } ->
+    Hashtbl.replace st.statics (Field_id.to_int field) (lookup_var frame source);
+    Normal
+
+let run ?(max_steps = 200_000) ?(max_depth = 300) ~seed program =
+  let st =
+    {
+      program;
+      hierarchy = Hierarchy.create program;
+      rng = Rng.create seed;
+      trace =
+        {
+          var_points = Hashtbl.create 1024;
+          call_edges = Hashtbl.create 1024;
+          reached = Hashtbl.create 256;
+          steps = 0;
+        };
+      statics = Hashtbl.create 64;
+      max_steps;
+      max_depth;
+    }
+  in
+  List.iter
+    (fun entry ->
+      (* An exception escaping main terminates the program normally. *)
+      try ignore (call st ~depth:0 entry ~this:None ~args:[]) with
+      | Out_of_budget -> ())
+    (Program.entries program);
+  st.trace
+
+let observed_var_points trace =
+  Hashtbl.fold
+    (fun (v, h) () acc -> (Var_id.of_int v, Heap_id.of_int h) :: acc)
+    trace.var_points []
+
+let observed_call_edges trace =
+  Hashtbl.fold
+    (fun (i, m) () acc -> (Invo_id.of_int i, Meth_id.of_int m) :: acc)
+    trace.call_edges []
+
+let observed_reached trace =
+  Hashtbl.fold (fun m () acc -> Meth_id.of_int m :: acc) trace.reached []

@@ -1,0 +1,34 @@
+(** Concrete interpreter for MJ programs — the stand-in for running on a
+    JVM.
+
+    Executes the lowered IR with real heap allocation and dynamic
+    dispatch, resolving the nondeterministic [Branch]/[Loop] constructs
+    with a seeded PRNG and bounding execution by a step budget and call
+    depth.  Every points-to, call-graph and reachability fact observed
+    during execution is recorded in a {!trace}; a sound analysis must
+    include every trace fact (see the soundness test suite).
+
+    Runtime faults (null dereference, failed cast, unresolvable
+    dispatch) silently skip the faulting instruction: the static analysis
+    has no notion of null or exceptions, so skipping keeps the observed
+    behaviour within the analyzed semantics. *)
+
+type trace = {
+  var_points : (int * int, unit) Hashtbl.t;  (** (var, alloc site) *)
+  call_edges : (int * int, unit) Hashtbl.t;  (** (invocation, target) *)
+  reached : (int, unit) Hashtbl.t;  (** methods entered *)
+  mutable steps : int;  (** instructions executed *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?max_depth:int ->
+  seed:int64 ->
+  Pta_ir.Ir.Program.t ->
+  trace
+(** Execute every entry point once with the given PRNG seed.
+    Defaults: [max_steps = 200_000], [max_depth = 300]. *)
+
+val observed_var_points : trace -> (Pta_ir.Ir.Var_id.t * Pta_ir.Ir.Heap_id.t) list
+val observed_call_edges : trace -> (Pta_ir.Ir.Invo_id.t * Pta_ir.Ir.Meth_id.t) list
+val observed_reached : trace -> Pta_ir.Ir.Meth_id.t list

@@ -1,0 +1,1 @@
+lib/ir/hierarchy.ml: Array Hashtbl Ir List Meth_id Option Program Sig_id Type_id

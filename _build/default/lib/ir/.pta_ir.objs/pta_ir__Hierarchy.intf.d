@@ -1,0 +1,1 @@
+lib/ir/hierarchy.mli: Ir

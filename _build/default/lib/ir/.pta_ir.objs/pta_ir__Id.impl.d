@@ -1,0 +1,1 @@
+lib/ir/id.ml: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/ir/id.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Hashtbl Id List Option Printf String Vec

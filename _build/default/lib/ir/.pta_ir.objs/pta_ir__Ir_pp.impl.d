@@ -1,0 +1,1 @@
+lib/ir/ir_pp.ml: Array Format Ir List Printf Program String

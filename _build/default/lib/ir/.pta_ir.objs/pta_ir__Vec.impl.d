@@ -1,0 +1,1 @@
+lib/ir/vec.ml: Array List

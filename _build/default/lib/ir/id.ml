@@ -1,0 +1,37 @@
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Tbl : Hashtbl.S with type key = t
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+end
+
+module Make () : S = struct
+  type t = int
+
+  let of_int i = i
+  let to_int i = i
+  let equal (a : int) b = a = b
+  let compare (a : int) b = compare a b
+  let hash (i : int) = i land max_int
+  let pp ppf i = Format.fprintf ppf "#%d" i
+
+  module Key = struct
+    type nonrec t = t
+
+    let equal = equal
+    let compare = compare
+    let hash = hash
+  end
+
+  module Tbl = Hashtbl.Make (Key)
+  module Set = Set.Make (Key)
+  module Map = Map.Make (Key)
+end

@@ -1,0 +1,23 @@
+(** Type-distinct integer identifiers.
+
+    Every IR entity kind (type, field, method, variable, allocation site,
+    invocation site, ...) gets its own id type by applying {!Make}, so the
+    compiler rejects accidental cross-kind mixups while the runtime
+    representation stays an unboxed [int]. *)
+
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Tbl : Hashtbl.S with type key = t
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+end
+
+module Make () : S

@@ -1,0 +1,100 @@
+open Ir
+
+let var p v = (Program.var_info p v).var_name
+let fld p f = (Program.field_info p f).field_name
+
+let pp_static_field p f =
+  let fi = Program.field_info p f in
+  Printf.sprintf "%s::%s" (Program.type_name p fi.field_owner) fi.field_name
+
+let pp_instr p ppf = function
+  | Alloc { target; heap } ->
+    let hi = Program.heap_info p heap in
+    Format.fprintf ppf "%s = new %s  /* %s */" (var p target)
+      (Program.type_name p hi.heap_type)
+      hi.heap_label
+  | Move { target; source } ->
+    Format.fprintf ppf "%s = %s" (var p target) (var p source)
+  | Load { target; base; field } ->
+    Format.fprintf ppf "%s = %s.%s" (var p target) (var p base) (fld p field)
+  | Store { base; field; source } ->
+    Format.fprintf ppf "%s.%s = %s" (var p base) (fld p field) (var p source)
+  | Cast { target; source; cast_type } ->
+    Format.fprintf ppf "%s = (%s) %s" (var p target)
+      (Program.type_name p cast_type)
+      (var p source)
+  | Virtual_call { base; signature; invo; args; ret_target } ->
+    let si = Program.sig_info p signature in
+    let args = String.concat ", " (List.map (var p) args) in
+    let lhs =
+      match ret_target with
+      | None -> ""
+      | Some v -> var p v ^ " = "
+    in
+    Format.fprintf ppf "%s%s.%s(%s)  /* %s */" lhs (var p base) si.sig_name args
+      (Program.invo_info p invo).invo_label
+  | Throw { source } -> Format.fprintf ppf "throw %s" (var p source)
+  | Static_load { target; field } ->
+    Format.fprintf ppf "%s = %s" (var p target) (pp_static_field p field)
+  | Static_store { field; source } ->
+    Format.fprintf ppf "%s = %s" (pp_static_field p field) (var p source)
+  | Static_call { callee; invo; args; ret_target } ->
+    let args = String.concat ", " (List.map (var p) args) in
+    let lhs =
+      match ret_target with
+      | None -> ""
+      | Some v -> var p v ^ " = "
+    in
+    Format.fprintf ppf "%s%s(%s)  /* %s */" lhs
+      (Program.meth_qualified_name p callee)
+      args
+      (Program.invo_info p invo).invo_label
+
+let rec pp_code p ppf = function
+  | Instr i -> Format.fprintf ppf "@,%a;" (pp_instr p) i
+  | Seq cs -> List.iter (pp_code p ppf) cs
+  | Branch (a, b) ->
+    Format.fprintf ppf "@,@[<v 2>if (*) {%a@]@,@[<v 2>} else {%a@]@,}" (pp_code p) a
+      (pp_code p) b
+  | Loop c -> Format.fprintf ppf "@,@[<v 2>while (*) {%a@]@,}" (pp_code p) c
+  | Try (body, handlers) ->
+    Format.fprintf ppf "@,@[<v 2>try {%a@]@,}" (pp_code p) body;
+    List.iter
+      (fun h ->
+        Format.fprintf ppf "@,@[<v 2>catch (%s %s) {%a@]@,}"
+          (Program.type_name p h.catch_type)
+          (var p h.catch_var) (pp_code p) h.handler_body)
+      handlers
+
+let pp_meth p ppf m =
+  let mi = Program.meth_info p m in
+  let formals =
+    mi.formals |> Array.to_list |> List.map (var p) |> String.concat ", "
+  in
+  Format.fprintf ppf "@[<v 2>%s%s(%s) {"
+    (if mi.meth_static then "static " else "")
+    (Program.meth_qualified_name p m)
+    formals;
+  pp_code p ppf mi.body;
+  (match mi.ret_var with
+  | None -> ()
+  | Some v -> Format.fprintf ppf "@,return %s;" (var p v));
+  Format.fprintf ppf "@]@,}"
+
+let pp_program ppf p =
+  Program.iter_types p (fun ty info ->
+      let kind = match info.type_kind with Class -> "class" | Interface -> "interface" in
+      let super =
+        match info.superclass with
+        | None -> ""
+        | Some s -> " extends " ^ Program.type_name p s
+      in
+      let ifaces =
+        match info.interfaces with
+        | [] -> ""
+        | l -> " implements " ^ String.concat ", " (List.map (Program.type_name p) l)
+      in
+      Format.fprintf ppf "@[<v 2>%s %s%s%s {" kind info.type_name super ifaces;
+      List.iter (fun (_, m) -> Format.fprintf ppf "@,%a" (pp_meth p) m) info.declared;
+      Format.fprintf ppf "@]@,}@,";
+      ignore ty)

@@ -1,0 +1,66 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let grow v needed =
+  let cap = max 8 (max needed (2 * Array.length v.data)) in
+  (* The dummy slots beyond [size] hold copies of existing elements, so no
+     [Obj.magic] is needed. *)
+  let data = Array.make cap v.data.(0) in
+  Array.blit v.data 0 data 0 v.size;
+  v.data <- data
+
+let push v x =
+  let i = v.size in
+  if i >= Array.length v.data then
+    if i = 0 then v.data <- Array.make 8 x else grow v (i + 1);
+  v.data.(i) <- x;
+  v.size <- i + 1;
+  i
+
+let get v i =
+  if i < 0 || i >= v.size then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.size then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let length v = v.size
+let is_empty v = v.size = 0
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.size - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.size - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.size && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_array v = Array.sub v.data 0 v.size
+let to_list v = Array.to_list (to_array v)
+
+let of_list xs =
+  let v = create () in
+  List.iter (fun x -> ignore (push v x)) xs;
+  v
+
+let clear v =
+  v.data <- [||];
+  v.size <- 0

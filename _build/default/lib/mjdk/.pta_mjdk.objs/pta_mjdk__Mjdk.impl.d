@@ -1,0 +1,1 @@
+lib/mjdk/mjdk.ml:

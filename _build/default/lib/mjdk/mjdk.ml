@@ -1,0 +1,308 @@
+let file_name = "<mjdk>"
+
+let source =
+  {|
+// ===================================================================
+// The MJ mini-JDK: the core library linked into every workload.
+// Modeled on the allocation behaviour of the real JDK classes that
+// dominate Java points-to analysis.
+// ===================================================================
+
+class Object {
+  method toString() : String { return new String; }
+  method clone() : Object { return this; }
+}
+
+class String {
+  method toString() : String { return this; }
+  method concat(other : String) : String { return new String; }
+  method substring(from) : String { return new String; }
+  method intern() : String { return this; }
+  static method valueOf(o) : String {
+    var s = o.toString();
+    return (String) s;
+  }
+}
+
+class StringBuilder {
+  field sb_chars : String;
+  method init() { this.sb_chars = new String; }
+  method append(o) : StringBuilder {
+    var s = String::valueOf(o);
+    this.sb_chars = s;
+    return this;
+  }
+  method toString() : String { return new String; }
+}
+
+// Boxed values: scalar payloads are irrelevant to points-to, but the
+// box allocations and the static factory methods are not.
+class Integer {
+  // The small-value cache: a shared, statically-held instance, as in
+  // java.lang.Integer.IntegerCache.
+  static field integerCache;
+  static method valueOf(o) : Integer {
+    if (*) {
+      return new Integer;
+    }
+    if (*) { Integer::integerCache = new Integer; }
+    return (Integer) Integer::integerCache;
+  }
+  method intValue() : Integer { return this; }
+}
+
+class Boolean {
+  static method valueOf(o) : Boolean { return new Boolean; }
+}
+
+// ===================================================================
+// Collections
+// ===================================================================
+
+interface Iterator {
+  method hasNext() : Object;
+  method next() : Object;
+}
+
+interface Collection {
+  method add(e) : Object;
+  method iterator() : Iterator;
+  method size() : Integer;
+}
+
+interface List {
+  method add(e) : Object;
+  method get(index) : Object;
+  method set(index, e) : Object;
+  method iterator() : Iterator;
+  method size() : Integer;
+}
+
+interface Map {
+  method put(k, v) : Object;
+  method get(k) : Object;
+  method keyIterator() : Iterator;
+  method valueIterator() : Iterator;
+}
+
+// Array-backed list: contents conflated into one summary field, the
+// standard Doop-level model of ArrayList's elementData.
+class ArrayList implements List, Collection {
+  field elem;
+  method init() { }
+  // Internal helpers mirror the real ArrayList's ensureCapacity /
+  // rangeCheck / elementData plumbing: self-calls with several locals,
+  // so each (collection, context) pair carries real analysis weight.
+  method ensureCapacity(e) : Object {
+    var cur = this.elem;
+    var probe = cur;
+    if (*) { probe = e; }
+    return probe;
+  }
+  method elementData(index) : Object {
+    var cur = this.elem;
+    return cur;
+  }
+  method rangeCheck(index) : Object {
+    var witness = this.elementData(index);
+    return witness;
+  }
+  method add(e) : Object {
+    var room = this.ensureCapacity(e);
+    this.elem = e;
+    return e;
+  }
+  method get(index) : Object {
+    var checked = this.rangeCheck(index);
+    var data = this.elementData(index);
+    return data;
+  }
+  method set(index, e) : Object {
+    var old = this.elementData(index);
+    var room = this.ensureCapacity(e);
+    this.elem = e;
+    return old;
+  }
+  method iterator() : Iterator { return new ArrayListIterator(this); }
+  method size() : Integer { return new Integer; }
+}
+
+class ArrayListIterator implements Iterator {
+  field owner;
+  method init(list) { this.owner = list; }
+  method hasNext() : Object { return null; }
+  method next() : Object {
+    var list = (ArrayList) this.owner;
+    return list.get(null);
+  }
+}
+
+// Linked list with a real node chain, so deeper heap paths exist.
+class LinkedNode {
+  field item;
+  field nextNode;
+}
+
+class LinkedList implements List, Collection {
+  field head;
+  method init() { }
+  method add(e) : Object {
+    var node = new LinkedNode;
+    node.item = e;
+    node.nextNode = this.head;
+    this.head = node;
+    return e;
+  }
+  method get(index) : Object {
+    var node = (LinkedNode) this.head;
+    while (*) { node = (LinkedNode) node.nextNode; }
+    return node.item;
+  }
+  method set(index, e) : Object {
+    var old = this.get(index);
+    this.add(e);
+    return old;
+  }
+  method iterator() : Iterator { return new LinkedListIterator(this); }
+  method size() : Integer { return new Integer; }
+}
+
+class LinkedListIterator implements Iterator {
+  field cursor;
+  method init(list) {
+    var ll = (LinkedList) list;
+    this.cursor = ll.head;
+  }
+  method hasNext() : Object { return null; }
+  method next() : Object {
+    var node = (LinkedNode) this.cursor;
+    this.cursor = node.nextNode;
+    return node.item;
+  }
+}
+
+class MapEntry {
+  field key;
+  field value;
+}
+
+class HashMap implements Map {
+  field entry;
+  method init() { }
+  // Bucket-probe plumbing, as in the real HashMap.getNode/putVal.
+  method findEntry(k) : Object {
+    var e = this.entry;
+    var probe = e;
+    if (*) { probe = this.entry; }
+    return probe;
+  }
+  method put(k, v) : Object {
+    var prior = this.findEntry(k);
+    var e = new MapEntry;
+    e.key = k;
+    e.value = v;
+    this.entry = e;
+    return v;
+  }
+  method get(k) : Object {
+    var found = this.findEntry(k);
+    var e = (MapEntry) found;
+    return e.value;
+  }
+  method keyIterator() : Iterator { return new KeyIterator(this); }
+  method valueIterator() : Iterator { return new ValueIterator(this); }
+}
+
+class KeyIterator implements Iterator {
+  field map;
+  method init(m) { this.map = m; }
+  method hasNext() : Object { return null; }
+  method next() : Object {
+    var m = (HashMap) this.map;
+    var e = (MapEntry) m.entry;
+    return e.key;
+  }
+}
+
+class ValueIterator implements Iterator {
+  field map;
+  method init(m) { this.map = m; }
+  method hasNext() : Object { return null; }
+  method next() : Object {
+    var m = (HashMap) this.map;
+    var e = (MapEntry) m.entry;
+    return e.value;
+  }
+}
+
+class HashSet implements Collection {
+  field backing;
+  method init() { this.backing = new HashMap; }
+  method add(e) : Object {
+    var m = (HashMap) this.backing;
+    m.put(e, e);
+    return e;
+  }
+  method iterator() : Iterator {
+    var m = (HashMap) this.backing;
+    return m.keyIterator();
+  }
+  method size() : Integer { return new Integer; }
+}
+
+// ===================================================================
+// Static utility classes: the pass-through methods whose context the
+// selective hybrids track with invocation sites.
+// ===================================================================
+
+class Objects {
+  static method requireNonNull(o) : Object { return o; }
+  static method requireNonNullElse(o, fallback) : Object {
+    if (*) { return o; }
+    return fallback;
+  }
+  static method toStringOf(o) : String { return String::valueOf(o); }
+}
+
+class Collections {
+  static method singletonList(e) : List {
+    var list = new ArrayList();
+    list.add(e);
+    return list;
+  }
+  static method unmodifiableList(inner) : List {
+    return new UnmodifiableList(inner);
+  }
+  // Shared immutable empty list, as in java.util.Collections.EMPTY_LIST.
+  static field sharedEmptyList;
+  static method emptyList() : List {
+    if (*) { Collections::sharedEmptyList = new UnmodifiableList(new ArrayList()); }
+    return (List) Collections::sharedEmptyList;
+  }
+}
+
+class UnmodifiableList implements List {
+  field inner;
+  method init(list) { this.inner = list; }
+  method add(e) : Object { return null; }
+  method get(index) : Object {
+    var list = (List) this.inner;
+    return list.get(index);
+  }
+  method set(index, e) : Object { return null; }
+  method iterator() : Iterator {
+    var list = (List) this.inner;
+    return list.iterator();
+  }
+  method size() : Integer { return new Integer; }
+}
+
+class Arrays {
+  static method asList(a, b) : List {
+    var list = new ArrayList();
+    list.add(a);
+    list.add(b);
+    return list;
+  }
+}
+|}

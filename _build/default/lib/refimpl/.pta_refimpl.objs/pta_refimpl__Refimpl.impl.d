@@ -1,0 +1,1 @@
+lib/refimpl/refimpl.ml: Array Field_id Heap_id Invo_id List Meth_id Option Program Pta_context Pta_datalog Pta_ir Sig_id Type_id Var_id

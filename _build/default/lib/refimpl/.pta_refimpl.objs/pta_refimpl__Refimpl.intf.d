@@ -1,0 +1,1 @@
+lib/refimpl/refimpl.mli: Pta_context Pta_ir

@@ -1,0 +1,54 @@
+(** Reference implementation of the analysis: the paper's Figure-2 rules
+    encoded literally on the generic Datalog engine, with context
+    construction as engine constructor hooks.
+
+    Orders of magnitude slower than {!Pta_solver.Solver}, but a direct
+    transcription of the declarative specification — used as the
+    differential-testing oracle that the native solver must agree with on
+    every program. *)
+
+type t
+
+val run : Pta_ir.Ir.Program.t -> Pta_context.Strategy.t -> t
+
+val fold_var_points_to :
+  t ->
+  (Pta_ir.Ir.Var_id.t ->
+  Pta_context.Ctx.value ->
+  Pta_ir.Ir.Heap_id.t ->
+  Pta_context.Ctx.value ->
+  'a ->
+  'a) ->
+  'a ->
+  'a
+(** Every [VarPointsTo(var, ctx, heap, hctx)] fact, contexts decoded. *)
+
+val fold_call_edges :
+  t ->
+  (Pta_ir.Ir.Invo_id.t ->
+  Pta_context.Ctx.value ->
+  Pta_ir.Ir.Meth_id.t ->
+  Pta_context.Ctx.value ->
+  'a ->
+  'a) ->
+  'a ->
+  'a
+
+val fold_throw_points_to :
+  t ->
+  (Pta_ir.Ir.Meth_id.t ->
+  Pta_context.Ctx.value ->
+  Pta_ir.Ir.Heap_id.t ->
+  Pta_context.Ctx.value ->
+  'a ->
+  'a) ->
+  'a ->
+  'a
+(** Every [ThrowPointsTo(meth, ctx, heap, hctx)] fact. *)
+
+val fold_reachable :
+  t -> (Pta_ir.Ir.Meth_id.t -> Pta_context.Ctx.value -> 'a -> 'a) -> 'a -> 'a
+
+val n_var_points_to : t -> int
+val n_call_edges : t -> int
+val n_reachable : t -> int

@@ -1,0 +1,1 @@
+lib/report/scatter.ml: Array Buffer List Printf String

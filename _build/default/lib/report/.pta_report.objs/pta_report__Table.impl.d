@@ -1,0 +1,1 @@
+lib/report/table.ml: Array Buffer List Printf String

@@ -1,0 +1,53 @@
+type point = {
+  key : char;
+  label : string;
+  x : float;
+  y : float;
+}
+
+let render ?(width = 64) ?(height = 18) ~title ~x_label ~y_label points =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  (match points with
+  | [] -> Buffer.add_string buf "  (no data)\n"
+  | _ ->
+    let xs = List.map (fun p -> p.x) points in
+    let ys = List.map (fun p -> p.y) points in
+    let x_min = List.fold_left min (List.hd xs) xs in
+    let x_max = List.fold_left max (List.hd xs) xs in
+    let y_max = List.fold_left max (List.hd ys) ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1. in
+    let y_span = if y_max > 0. then y_max else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun p ->
+        let col =
+          int_of_float ((p.x -. x_min) /. x_span *. float_of_int (width - 1))
+        in
+        let row = int_of_float (p.y /. y_span *. float_of_int (height - 1)) in
+        let col = max 0 (min (width - 1) col) in
+        let row = max 0 (min (height - 1) row) in
+        grid.(height - 1 - row).(col) <- p.key)
+      points;
+    Array.iteri
+      (fun i line ->
+        let y_val = y_span *. float_of_int (height - 1 - i) /. float_of_int (height - 1) in
+        Buffer.add_string buf (Printf.sprintf "%8.1f |" y_val);
+        Buffer.add_string buf (String.init width (fun j -> line.(j)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 9 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%9s %-10.0f%*s%.0f\n" "" x_min (width - 12) "" x_max);
+    Buffer.add_string buf
+      (Printf.sprintf "          x: %s, y: %s\n" x_label y_label);
+    List.iter
+      (fun p ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %c = %-12s (%.0f, %.2f)\n" p.key p.label p.x p.y))
+      points);
+  Buffer.contents buf

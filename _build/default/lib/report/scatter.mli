@@ -1,0 +1,22 @@
+(** ASCII scatter plots — the harness's rendering of the paper's
+    Figure 3 (performance vs. precision, one plot per benchmark). *)
+
+type point = {
+  key : char;  (** glyph plotted for this series *)
+  label : string;
+  x : float;
+  y : float;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  point list ->
+  string
+(** Lower-left origin; the Y axis starts at zero (as in the paper), the
+    X axis at the data minimum.  Coinciding points show the glyph of the
+    later point in the list; a legend maps glyphs to labels and exact
+    coordinates. *)

@@ -1,0 +1,62 @@
+type row =
+  | Cells of string list
+  | Separator
+
+type t = {
+  headers : string list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~headers = { headers; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.headers :: List.filter_map (function Cells c -> Some c | Separator -> None) rows
+  in
+  let n_cols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all_cell_rows
+  in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (fun r ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        r)
+    all_cell_rows;
+  let buf = Buffer.create 4096 in
+  let pad i cell =
+    let w = widths.(i) in
+    if i = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell
+  in
+  let emit_cells cells =
+    let padded = List.mapi pad cells in
+    Buffer.add_string buf (String.concat "  " padded);
+    (* right-pad missing trailing columns with nothing *)
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * max 0 (n_cols - 1))
+  in
+  emit_cells t.headers;
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Cells c -> emit_cells c
+      | Separator ->
+        Buffer.add_string buf (String.make total_width '-');
+        Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv ~headers rows =
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  String.concat "\n" (line headers :: List.map line rows) ^ "\n"

@@ -1,0 +1,12 @@
+(** Fixed-width text tables and CSV emission for the benchmark harness. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+val add_separator : t -> unit
+val render : t -> string
+(** Column-aligned rendering; the first column is left-aligned, the rest
+    right-aligned. *)
+
+val csv : headers:string list -> string list list -> string

@@ -1,0 +1,1 @@
+lib/solver/intset.ml: List

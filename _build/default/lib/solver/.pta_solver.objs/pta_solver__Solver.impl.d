@@ -1,0 +1,1 @@
+lib/solver/solver.ml: Array Field_id Hashtbl Heap_id Intset Invo_id List Meth_id Option Program Pta_context Pta_ir Queue Sig_id Type_id Unix Var_id

@@ -1,0 +1,1 @@
+lib/solver/solver.mli: Intset Pta_context Pta_ir

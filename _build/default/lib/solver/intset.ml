@@ -1,0 +1,219 @@
+(* Big-endian Patricia trees for non-negative integers, after Okasaki &
+   Gill, "Fast Mergeable Integer Maps".  The representation is canonical:
+   equal sets have equal structure, so [equal] could even be [(=)]; we
+   still implement it recursively to benefit from physical-equality
+   cut-offs, which matter because [union] preserves sharing. *)
+
+type t =
+  | Empty
+  | Leaf of int
+  | Branch of int * int * t * t
+      (* Branch (prefix, branching_bit, left, right): [left] holds
+         elements whose branching bit is 0, [right] those where it is 1.
+         All elements agree with [prefix] above the branching bit. *)
+
+let empty = Empty
+let is_empty t = t = Empty
+
+let check_elt i = if i < 0 then invalid_arg "Intset: negative element"
+
+let singleton i =
+  check_elt i;
+  Leaf i
+
+(* Keep only the bits of [k] strictly above bit [m]. *)
+let mask k m = k land lnot ((m lsl 1) - 1)
+let match_prefix k p m = mask k m = p
+let zero_bit k m = k land m = 0
+
+(* Isolate the highest set bit of [x] by smearing it rightwards. *)
+let highest_bit x =
+  let x = x lor (x lsr 1) in
+  let x = x lor (x lsr 2) in
+  let x = x lor (x lsr 4) in
+  let x = x lor (x lsr 8) in
+  let x = x lor (x lsr 16) in
+  let x = x lor (x lsr 32) in
+  x - (x lsr 1)
+
+(* Highest bit where [a] and [b] differ. *)
+let branching_bit a b = highest_bit (a lxor b)
+
+let join p0 t0 p1 t1 =
+  let m = branching_bit p0 p1 in
+  if zero_bit p0 m then Branch (mask p0 m, m, t0, t1)
+  else Branch (mask p0 m, m, t1, t0)
+
+let rec mem i = function
+  | Empty -> false
+  | Leaf j -> i = j
+  | Branch (p, m, l, r) ->
+    if not (match_prefix i p m) then false
+    else if zero_bit i m then mem i l
+    else mem i r
+
+let rec add i t =
+  match t with
+  | Empty ->
+    check_elt i;
+    Leaf i
+  | Leaf j ->
+    if i = j then t
+    else begin
+      check_elt i;
+      join i (Leaf i) j t
+    end
+  | Branch (p, m, l, r) ->
+    if match_prefix i p m then
+      if zero_bit i m then
+        let l' = add i l in
+        if l' == l then t else Branch (p, m, l', r)
+      else
+        let r' = add i r in
+        if r' == r then t else Branch (p, m, l, r')
+    else begin
+      check_elt i;
+      join i (Leaf i) p t
+    end
+
+let branch p m l r =
+  match (l, r) with
+  | Empty, t | t, Empty -> t
+  | _ -> Branch (p, m, l, r)
+
+let rec remove i t =
+  match t with
+  | Empty -> Empty
+  | Leaf j -> if i = j then Empty else t
+  | Branch (p, m, l, r) ->
+    if not (match_prefix i p m) then t
+    else if zero_bit i m then
+      let l' = remove i l in
+      if l' == l then t else branch p m l' r
+    else
+      let r' = remove i r in
+      if r' == r then t else branch p m l r'
+
+let rec union s t =
+  if s == t then s
+  else
+    match (s, t) with
+    | Empty, u | u, Empty -> u
+    | Leaf i, u -> add i u
+    | u, Leaf i -> add i u
+    | Branch (p, m, sl, sr), Branch (q, n, tl, tr) ->
+      if m = n && p = q then begin
+        let l = union sl tl and r = union sr tr in
+        if l == sl && r == sr then s else Branch (p, m, l, r)
+      end
+      else if m > n && match_prefix q p m then
+        if zero_bit q m then
+          let l = union sl t in
+          if l == sl then s else Branch (p, m, l, sr)
+        else
+          let r = union sr t in
+          if r == sr then s else Branch (p, m, sl, r)
+      else if m < n && match_prefix p q n then
+        if zero_bit p n then Branch (q, n, union s tl, tr)
+        else Branch (q, n, tl, union s tr)
+      else join p s q t
+
+let rec inter s t =
+  if s == t then s
+  else
+    match (s, t) with
+    | Empty, _ | _, Empty -> Empty
+    | Leaf i, u -> if mem i u then s else Empty
+    | u, Leaf i -> if mem i u then t else Empty
+    | Branch (p, m, sl, sr), Branch (q, n, tl, tr) ->
+      if m = n && p = q then branch p m (inter sl tl) (inter sr tr)
+      else if m > n && match_prefix q p m then
+        inter (if zero_bit q m then sl else sr) t
+      else if m < n && match_prefix p q n then
+        inter s (if zero_bit p n then tl else tr)
+      else Empty
+
+let rec diff s t =
+  if s == t then Empty
+  else
+    match (s, t) with
+    | Empty, _ -> Empty
+    | u, Empty -> u
+    | Leaf i, u -> if mem i u then Empty else s
+    | u, Leaf i -> remove i u
+    | Branch (p, m, sl, sr), Branch (q, n, tl, tr) ->
+      if m = n && p = q then begin
+        let l = diff sl tl and r = diff sr tr in
+        if l == sl && r == sr then s else branch p m l r
+      end
+      else if m > n && match_prefix q p m then
+        if zero_bit q m then
+          let l = diff sl t in
+          if l == sl then s else branch p m l sr
+        else
+          let r = diff sr t in
+          if r == sr then s else branch p m sl r
+      else if m < n && match_prefix p q n then
+        diff s (if zero_bit p n then tl else tr)
+      else s
+
+let rec cardinal = function
+  | Empty -> 0
+  | Leaf _ -> 1
+  | Branch (_, _, l, r) -> cardinal l + cardinal r
+
+let rec subset s t =
+  s == t
+  ||
+  match (s, t) with
+  | Empty, _ -> true
+  | _, Empty -> false
+  | Leaf i, u -> mem i u
+  | Branch _, Leaf _ -> false
+  | Branch (p, m, sl, sr), Branch (q, n, tl, tr) ->
+    if m = n && p = q then subset sl tl && subset sr tr
+    else if m < n && match_prefix p q n then
+      subset s (if zero_bit p n then tl else tr)
+    else false
+
+let rec equal s t =
+  s == t
+  ||
+  match (s, t) with
+  | Empty, Empty -> true
+  | Leaf i, Leaf j -> i = j
+  | Branch (p, m, sl, sr), Branch (q, n, tl, tr) ->
+    p = q && m = n && equal sl tl && equal sr tr
+  | (Empty | Leaf _ | Branch _), _ -> false
+
+let rec iter f = function
+  | Empty -> ()
+  | Leaf i -> f i
+  | Branch (_, _, l, r) ->
+    iter f l;
+    iter f r
+
+let rec fold f t acc =
+  match t with
+  | Empty -> acc
+  | Leaf i -> f i acc
+  | Branch (_, _, l, r) -> fold f r (fold f l acc)
+
+let rec exists p = function
+  | Empty -> false
+  | Leaf i -> p i
+  | Branch (_, _, l, r) -> exists p l || exists p r
+
+let rec for_all p = function
+  | Empty -> true
+  | Leaf i -> p i
+  | Branch (_, _, l, r) -> for_all p l && for_all p r
+
+let filter p t = fold (fun i acc -> if p i then add i acc else acc) t Empty
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+let of_list l = List.fold_left (fun acc i -> add i acc) Empty l
+
+let rec choose_opt = function
+  | Empty -> None
+  | Leaf i -> Some i
+  | Branch (_, _, l, _) -> choose_opt l

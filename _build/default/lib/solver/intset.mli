@@ -1,0 +1,32 @@
+(** Immutable sets of non-negative integers as big-endian Patricia trees
+    (Okasaki & Gill).  The solver's points-to sets: persistent, with
+    cheap unions of mostly-shared sets and canonical structure (two equal
+    sets are structurally equal).
+
+    All elements must be non-negative; operations raise
+    [Invalid_argument] otherwise. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val cardinal : t -> int
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (int -> bool) -> t -> bool
+val for_all : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+val elements : t -> int list
+(** In increasing order. *)
+
+val of_list : int list -> t
+val choose_opt : t -> int option

@@ -1,0 +1,646 @@
+module Ir = Pta_ir.Ir
+module Vec = Pta_ir.Vec
+module Hierarchy = Pta_ir.Hierarchy
+module Ctx = Pta_context.Ctx
+module Strategy = Pta_context.Strategy
+open Ir
+
+type hobj = int
+
+(* What an edge lets through.  [Compat] is the cast filter; [Catches] and
+   [Escapes] implement exception dispatch on the scope nodes: a handler
+   edge passes objects compatible with its catch type but not already
+   caught by an earlier handler, and the escape edge passes objects no
+   handler catches. *)
+type edge_filter =
+  | Compat of Type_id.t
+  | Catches of { ty : Type_id.t; skip : Type_id.t list }
+  | Escapes of Type_id.t list
+
+type edge = {
+  dst : int;
+  filter : edge_filter option;
+}
+
+(* A virtual-call site attached to its base variable's node; fires for
+   every abstract object reaching the base. *)
+type vcall_site = {
+  vc_invo : Invo_id.t;
+  vc_sig : Sig_id.t;
+  vc_args : Var_id.t list;
+  vc_ret : Var_id.t option;
+  vc_ctx : Ctx.id;  (* caller context *)
+  vc_exc : int;  (* scope node receiving the callee's escaping exceptions *)
+}
+
+type load_trigger = { ld_field : Field_id.t; ld_target : int }
+type store_trigger = { st_field : Field_id.t; st_source : int }
+
+type node_id = int
+
+type node_kind =
+  | Var_node of Var_id.t * Ctx.id
+  | Fld_node of hobj * Field_id.t
+  | Static_fld_node of Field_id.t
+  | Throw_node of Meth_id.t * Ctx.id
+  | Scope_node
+
+type node = {
+  mutable all : Intset.t;
+  mutable pending : Intset.t;  (* invariant: disjoint from [all] *)
+  mutable queued : bool;
+  mutable succs : edge list;
+  mutable vcalls : vcall_site list;
+  mutable loads : load_trigger list;
+  mutable stores : store_trigger list;
+}
+
+type t = {
+  program : Program.t;
+  strategy : Strategy.t;
+  hierarchy : Hierarchy.t;
+  field_based : bool;
+  ctx_store : Ctx.store;
+  hctx_store : Ctx.store;
+  (* hobj interning *)
+  hobj_table : (int * int, hobj) Hashtbl.t;  (* (heap, hctx) -> hobj *)
+  hobj_heaps : int Vec.t;
+  hobj_hctxs : int Vec.t;
+  hobj_types : Type_id.t Vec.t;
+  (* supergraph nodes *)
+  nodes : node Vec.t;
+  var_nodes : (int * int, int) Hashtbl.t;  (* (var, ctx) -> node *)
+  fld_nodes : (int * int, int) Hashtbl.t;  (* (hobj, field) -> node *)
+  static_fld_nodes : (int, int) Hashtbl.t;  (* static field -> node *)
+  throw_nodes : (int * int, int) Hashtbl.t;
+      (* (meth, ctx) -> node holding the exceptions escaping the method:
+         ThrowPointsTo(meth, ctx) *)
+  edge_seen : (int * int * int, unit) Hashtbl.t;  (* (src, dst, filter) *)
+  (* worklists *)
+  node_queue : int Queue.t;
+  meth_queue : (Meth_id.t * Ctx.id) Queue.t;
+  (* facts *)
+  reachable : (int * int, unit) Hashtbl.t;  (* (meth, ctx) *)
+  call_edges : (int * int * int * int, unit) Hashtbl.t;
+      (* (invo, caller ctx, meth, callee ctx) *)
+  (* memoized context-insensitive projections *)
+  mutable ci_vpt : Intset.t array option;
+  mutable ci_targets : Meth_id.Set.t Invo_id.Tbl.t option;
+  mutable node_kinds : node_kind array option;  (* introspection memo *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let intern_hobj st heap hctx =
+  let key = (Heap_id.to_int heap, hctx) in
+  match Hashtbl.find_opt st.hobj_table key with
+  | Some h -> h
+  | None ->
+    let h = Vec.push st.hobj_heaps (Heap_id.to_int heap) in
+    let (_ : int) = Vec.push st.hobj_hctxs hctx in
+    let (_ : int) =
+      Vec.push st.hobj_types (Program.heap_info st.program heap).heap_type
+    in
+    Hashtbl.add st.hobj_table key h;
+    h
+
+let fresh_node st =
+  Vec.push st.nodes
+    {
+      all = Intset.empty;
+      pending = Intset.empty;
+      queued = false;
+      succs = [];
+      vcalls = [];
+      loads = [];
+      stores = [];
+    }
+
+let var_node st var ctx =
+  let key = (Var_id.to_int var, ctx) in
+  match Hashtbl.find_opt st.var_nodes key with
+  | Some n -> n
+  | None ->
+    let n = fresh_node st in
+    Hashtbl.add st.var_nodes key n;
+    n
+
+(* Static fields are global cells: one node each, no context and no base
+   object — exactly the treatment the paper calls "a mere engineering
+   complexity" orthogonal to context choice. *)
+let static_fld_node st field =
+  let key = Field_id.to_int field in
+  match Hashtbl.find_opt st.static_fld_nodes key with
+  | Some n -> n
+  | None ->
+    let n = fresh_node st in
+    Hashtbl.add st.static_fld_nodes key n;
+    n
+
+let fld_node st hobj field =
+  (* Field-based mode conflates all base objects into one cell per
+     field. *)
+  let hobj = if st.field_based then -1 else hobj in
+  let key = (hobj, Field_id.to_int field) in
+  match Hashtbl.find_opt st.fld_nodes key with
+  | Some n -> n
+  | None ->
+    let n = fresh_node st in
+    Hashtbl.add st.fld_nodes key n;
+    n
+
+let throw_node st meth ctx =
+  let key = (Meth_id.to_int meth, ctx) in
+  match Hashtbl.find_opt st.throw_nodes key with
+  | Some n -> n
+  | None ->
+    let n = fresh_node st in
+    Hashtbl.add st.throw_nodes key n;
+    n
+
+(* ------------------------------------------------------------------ *)
+(* Difference propagation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let push st nid set =
+  let n = Vec.get st.nodes nid in
+  let fresh = Intset.diff (Intset.diff set n.all) n.pending in
+  if not (Intset.is_empty fresh) then begin
+    n.pending <- Intset.union n.pending fresh;
+    if not n.queued then begin
+      n.queued <- true;
+      Queue.add nid st.node_queue
+    end
+  end
+
+let filter_set st set = function
+  | None -> set
+  | Some f ->
+    let compat hobj sup =
+      Hierarchy.subtype st.hierarchy ~sub:(Vec.get st.hobj_types hobj) ~sup
+    in
+    (match f with
+    | Compat cast_type -> Intset.filter (fun hobj -> compat hobj cast_type) set
+    | Catches { ty; skip } ->
+      Intset.filter
+        (fun hobj ->
+          compat hobj ty && not (List.exists (compat hobj) skip))
+        set
+    | Escapes tys ->
+      Intset.filter (fun hobj -> not (List.exists (compat hobj) tys)) set)
+
+let attach_edge st ~src ~dst ~filter =
+  let n = Vec.get st.nodes src in
+  n.succs <- { dst; filter } :: n.succs;
+  let existing = Intset.union n.all n.pending in
+  if not (Intset.is_empty existing) then
+    push st dst (filter_set st existing filter)
+
+let add_edge st ~src ~dst ~filter =
+  if src <> dst || filter <> None then begin
+    let fkey =
+      match filter with
+      | None -> -1
+      | Some (Compat t) -> Type_id.to_int t
+      | Some (Catches _ | Escapes _) ->
+        (* Scope edges are wired exactly once per (method, context)
+           traversal, onto a node created by that same traversal, so
+           they never need deduplication — and must not collide in the
+           table. *)
+        invalid_arg "add_edge: exception-scope edges use attach_edge"
+    in
+    let key = (src, dst, fkey) in
+    if not (Hashtbl.mem st.edge_seen key) then begin
+      Hashtbl.add st.edge_seen key ();
+      attach_edge st ~src ~dst ~filter
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reachability and call wiring                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mark_reachable st meth ctx =
+  let key = (Meth_id.to_int meth, ctx) in
+  if not (Hashtbl.mem st.reachable key) then begin
+    Hashtbl.add st.reachable key ();
+    Queue.add (meth, ctx) st.meth_queue
+  end
+
+(* Record a call-graph edge; on first discovery wire the parameter and
+   return-value assignments (the two InterProcAssign rules) and make the
+   callee reachable under the callee context. *)
+let wire_call st ~invo ~caller_ctx ~callee ~callee_ctx ~args ~ret_target
+    ~exc_target =
+  let key = (Invo_id.to_int invo, caller_ctx, Meth_id.to_int callee, callee_ctx) in
+  if not (Hashtbl.mem st.call_edges key) then begin
+    Hashtbl.add st.call_edges key ();
+    mark_reachable st callee callee_ctx;
+    let mi = Program.meth_info st.program callee in
+    let n_formals = Array.length mi.formals in
+    List.iteri
+      (fun i actual ->
+        if i < n_formals then
+          add_edge st
+            ~src:(var_node st actual caller_ctx)
+            ~dst:(var_node st mi.formals.(i) callee_ctx)
+            ~filter:None)
+      args;
+    (* Exceptions escaping the callee unwind into the call site's
+       enclosing scope. *)
+    add_edge st ~src:(throw_node st callee callee_ctx) ~dst:exc_target
+      ~filter:None;
+    match (mi.ret_var, ret_target) with
+    | Some from_var, Some to_var ->
+      add_edge st
+        ~src:(var_node st from_var callee_ctx)
+        ~dst:(var_node st to_var caller_ctx)
+        ~filter:None
+    | _ -> ()
+  end
+
+(* The virtual-call rule: one abstract object [hobj] reached the call's
+   base variable.  Resolve the target, build the callee context with
+   [Merge], bind [this], and wire the edge. *)
+let dispatch st (vc : vcall_site) hobj =
+  let heap = Heap_id.of_int (Vec.get st.hobj_heaps hobj) in
+  let receiver_type = Vec.get st.hobj_types hobj in
+  match Hierarchy.lookup st.hierarchy receiver_type vc.vc_sig with
+  | None -> ()  (* no matching method: dispatch failure, as in Doop *)
+  | Some callee ->
+    let mi = Program.meth_info st.program callee in
+    if not mi.meth_static then begin
+      let hctx = Ctx.value st.hctx_store (Vec.get st.hobj_hctxs hobj) in
+      let ctx = Ctx.value st.ctx_store vc.vc_ctx in
+      let callee_ctx =
+        Ctx.intern st.ctx_store
+          (st.strategy.Strategy.merge ~heap ~hctx ~invo:vc.vc_invo ~ctx)
+      in
+      (match mi.this_var with
+      | Some this -> push st (var_node st this callee_ctx) (Intset.singleton hobj)
+      | None -> ());
+      wire_call st ~invo:vc.vc_invo ~caller_ctx:vc.vc_ctx ~callee ~callee_ctx
+        ~args:vc.vc_args ~ret_target:vc.vc_ret ~exc_target:vc.vc_exc
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Instruction processing: runs once per reachable (method, context)    *)
+(* ------------------------------------------------------------------ *)
+
+let attach_load st base_node trigger =
+  let n = Vec.get st.nodes base_node in
+  n.loads <- trigger :: n.loads;
+  Intset.iter
+    (fun hobj ->
+      add_edge st
+        ~src:(fld_node st hobj trigger.ld_field)
+        ~dst:trigger.ld_target ~filter:None)
+    n.all
+
+let attach_store st base_node trigger =
+  let n = Vec.get st.nodes base_node in
+  n.stores <- trigger :: n.stores;
+  Intset.iter
+    (fun hobj ->
+      add_edge st ~src:trigger.st_source
+        ~dst:(fld_node st hobj trigger.st_field)
+        ~filter:None)
+    n.all
+
+let attach_vcall st base_node vc =
+  let n = Vec.get st.nodes base_node in
+  n.vcalls <- vc :: n.vcalls;
+  Intset.iter (fun hobj -> dispatch st vc hobj) n.all
+
+let rec process_code st ~ctx ~ctx_value ~exc_target code =
+  match code with
+  | Instr instr -> process_instr st ~ctx ~ctx_value ~exc_target instr
+  | Seq cs -> List.iter (process_code st ~ctx ~ctx_value ~exc_target) cs
+  | Branch (a, b) ->
+    process_code st ~ctx ~ctx_value ~exc_target a;
+    process_code st ~ctx ~ctx_value ~exc_target b
+  | Loop c -> process_code st ~ctx ~ctx_value ~exc_target c
+  | Try (body, handlers) ->
+    (* One scope node per (method, context) traversal of this block.
+       Objects thrown inside flow to the first compatible handler's
+       variable; objects no handler catches escape outward. *)
+    let scope = fresh_node st in
+    let rec wire skip = function
+      | [] ->
+        attach_edge st ~src:scope ~dst:exc_target
+          ~filter:(Some (Escapes (List.rev skip)))
+      | h :: rest ->
+        attach_edge st ~src:scope
+          ~dst:(var_node st h.catch_var ctx)
+          ~filter:(Some (Catches { ty = h.catch_type; skip = List.rev skip }));
+        wire (h.catch_type :: skip) rest
+    in
+    wire [] handlers;
+    process_code st ~ctx ~ctx_value ~exc_target:scope body;
+    (* Handler bodies run outside the protected region. *)
+    List.iter
+      (fun h -> process_code st ~ctx ~ctx_value ~exc_target h.handler_body)
+      handlers
+
+and process_instr st ~ctx ~ctx_value ~exc_target instr =
+  match instr with
+  | Alloc { target; heap } ->
+    (* The Record rule: allocation in a reachable method. *)
+    let hctx =
+      Ctx.intern st.hctx_store (st.strategy.Strategy.record ~heap ~ctx:ctx_value)
+    in
+    push st (var_node st target ctx) (Intset.singleton (intern_hobj st heap hctx))
+  | Move { target; source } ->
+    add_edge st ~src:(var_node st source ctx) ~dst:(var_node st target ctx)
+      ~filter:None
+  | Cast { target; source; cast_type } ->
+    add_edge st ~src:(var_node st source ctx) ~dst:(var_node st target ctx)
+      ~filter:(Some (Compat cast_type))
+  | Load { target; base; field } ->
+    attach_load st (var_node st base ctx)
+      { ld_field = field; ld_target = var_node st target ctx }
+  | Store { base; field; source } ->
+    attach_store st (var_node st base ctx)
+      { st_field = field; st_source = var_node st source ctx }
+  | Virtual_call { base; signature; invo; args; ret_target } ->
+    attach_vcall st (var_node st base ctx)
+      {
+        vc_invo = invo;
+        vc_sig = signature;
+        vc_args = args;
+        vc_ret = ret_target;
+        vc_ctx = ctx;
+        vc_exc = exc_target;
+      }
+  | Static_call { callee; invo; args; ret_target } ->
+    (* The MergeStatic rule. *)
+    let callee_ctx =
+      Ctx.intern st.ctx_store
+        (st.strategy.Strategy.merge_static ~invo ~ctx:ctx_value)
+    in
+    wire_call st ~invo ~caller_ctx:ctx ~callee ~callee_ctx ~args ~ret_target
+      ~exc_target
+  | Static_load { target; field } ->
+    add_edge st ~src:(static_fld_node st field) ~dst:(var_node st target ctx)
+      ~filter:None
+  | Static_store { field; source } ->
+    add_edge st ~src:(var_node st source ctx) ~dst:(static_fld_node st field)
+      ~filter:None
+  | Throw { source } ->
+    add_edge st ~src:(var_node st source ctx) ~dst:exc_target ~filter:None
+
+let process_method st meth ctx =
+  let ctx_value = Ctx.value st.ctx_store ctx in
+  let mi = Program.meth_info st.program meth in
+  process_code st ~ctx ~ctx_value ~exc_target:(throw_node st meth ctx) mi.body
+
+let process_node st nid =
+  let n = Vec.get st.nodes nid in
+  n.queued <- false;
+  let delta = n.pending in
+  n.pending <- Intset.empty;
+  if not (Intset.is_empty delta) then begin
+    n.all <- Intset.union n.all delta;
+    List.iter
+      (fun e -> push st e.dst (filter_set st delta e.filter))
+      n.succs;
+    List.iter
+      (fun vc -> Intset.iter (fun hobj -> dispatch st vc hobj) delta)
+      n.vcalls;
+    List.iter
+      (fun ld ->
+        Intset.iter
+          (fun hobj ->
+            add_edge st ~src:(fld_node st hobj ld.ld_field) ~dst:ld.ld_target
+              ~filter:None)
+          delta)
+      n.loads;
+    List.iter
+      (fun stg ->
+        Intset.iter
+          (fun hobj ->
+            add_edge st ~src:stg.st_source
+              ~dst:(fld_node st hobj stg.st_field)
+              ~filter:None)
+          delta)
+      n.stores
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Timeout
+
+let run ?timeout_s ?(field_based = false) program strategy =
+  let st =
+    {
+      program;
+      strategy;
+      hierarchy = Hierarchy.create program;
+      field_based;
+      ctx_store = Ctx.create_store ();
+      hctx_store = Ctx.create_store ();
+      hobj_table = Hashtbl.create 4096;
+      hobj_heaps = Vec.create ();
+      hobj_hctxs = Vec.create ();
+      hobj_types = Vec.create ();
+      nodes = Vec.create ();
+      var_nodes = Hashtbl.create 4096;
+      fld_nodes = Hashtbl.create 4096;
+      static_fld_nodes = Hashtbl.create 64;
+      throw_nodes = Hashtbl.create 1024;
+      edge_seen = Hashtbl.create 4096;
+      node_queue = Queue.create ();
+      meth_queue = Queue.create ();
+      reachable = Hashtbl.create 1024;
+      call_edges = Hashtbl.create 4096;
+      ci_vpt = None;
+      ci_targets = None;
+      node_kinds = None;
+    }
+  in
+  let initial_ctx = Ctx.intern st.ctx_store strategy.Strategy.initial_ctx in
+  List.iter (fun m -> mark_reachable st m initial_ctx) (Program.entries program);
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
+  in
+  let steps = ref 0 in
+  let check_deadline () =
+    incr steps;
+    if !steps land 0xFFF = 0 then
+      match deadline with
+      | Some d when Unix.gettimeofday () > d -> raise Timeout
+      | Some _ | None -> ()
+  in
+  let rec loop () =
+    if not (Queue.is_empty st.meth_queue) then begin
+      check_deadline ();
+      let meth, ctx = Queue.pop st.meth_queue in
+      process_method st meth ctx;
+      loop ()
+    end
+    else if not (Queue.is_empty st.node_queue) then begin
+      check_deadline ();
+      process_node st (Queue.pop st.node_queue);
+      loop ()
+    end
+  in
+  loop ();
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let program st = st.program
+let strategy st = st.strategy
+let hierarchy st = st.hierarchy
+let hobj_heap st h = Heap_id.of_int (Vec.get st.hobj_heaps h)
+let hobj_hctx st h = Vec.get st.hobj_hctxs h
+let hobj_type st h = Vec.get st.hobj_types h
+let n_hobjs st = Vec.length st.hobj_heaps
+let ctx_value st id = Ctx.value st.ctx_store id
+let hctx_value st id = Ctx.value st.hctx_store id
+let n_ctxs st = Ctx.size st.ctx_store
+let n_hctxs st = Ctx.size st.hctx_store
+
+let iter_var_points_to st f =
+  Hashtbl.iter
+    (fun (var, ctx) nid -> f (Var_id.of_int var) ctx (Vec.get st.nodes nid).all)
+    st.var_nodes
+
+let iter_fld_points_to st f =
+  Hashtbl.iter
+    (fun (hobj, field) nid ->
+      f hobj (Field_id.of_int field) (Vec.get st.nodes nid).all)
+    st.fld_nodes
+
+let static_fld_points_to st field =
+  match Hashtbl.find_opt st.static_fld_nodes (Field_id.to_int field) with
+  | Some n -> (Vec.get st.nodes n).all
+  | None -> Intset.empty
+
+let iter_throw_points_to st f =
+  Hashtbl.iter
+    (fun (meth, ctx) nid -> f (Meth_id.of_int meth) ctx (Vec.get st.nodes nid).all)
+    st.throw_nodes
+
+let iter_call_edges st f =
+  Hashtbl.iter
+    (fun (invo, caller_ctx, meth, callee_ctx) () ->
+      f (Invo_id.of_int invo) caller_ctx (Meth_id.of_int meth) callee_ctx)
+    st.call_edges
+
+let iter_reachable st f =
+  Hashtbl.iter (fun (meth, ctx) () -> f (Meth_id.of_int meth) ctx) st.reachable
+
+let sensitive_vpt_size st =
+  Hashtbl.fold
+    (fun _ nid acc -> acc + Intset.cardinal (Vec.get st.nodes nid).all)
+    st.var_nodes 0
+
+let n_var_nodes st = Hashtbl.length st.var_nodes
+let n_reachable_cs st = Hashtbl.length st.reachable
+let n_call_edges_cs st = Hashtbl.length st.call_edges
+
+(* ------------------------------------------------------------------ *)
+(* Supergraph introspection                                             *)
+(* ------------------------------------------------------------------ *)
+
+let n_nodes st = Vec.length st.nodes
+
+let node_kind_table st =
+  let kinds = Array.make (Vec.length st.nodes) Scope_node in
+  Hashtbl.iter
+    (fun (var, ctx) nid -> kinds.(nid) <- Var_node (Var_id.of_int var, ctx))
+    st.var_nodes;
+  Hashtbl.iter
+    (fun (hobj, field) nid -> kinds.(nid) <- Fld_node (hobj, Field_id.of_int field))
+    st.fld_nodes;
+  Hashtbl.iter
+    (fun field nid -> kinds.(nid) <- Static_fld_node (Field_id.of_int field))
+    st.static_fld_nodes;
+  Hashtbl.iter
+    (fun (meth, ctx) nid -> kinds.(nid) <- Throw_node (Meth_id.of_int meth, ctx))
+    st.throw_nodes;
+  kinds
+
+let node_kind st nid =
+  let kinds =
+    match st.node_kinds with
+    | Some k when Array.length k = Vec.length st.nodes -> k
+    | Some _ | None ->
+      let k = node_kind_table st in
+      st.node_kinds <- Some k;
+      k
+  in
+  kinds.(nid)
+
+let node_points_to st nid = (Vec.get st.nodes nid).all
+
+let node_succs_passing st nid hobj =
+  List.filter_map
+    (fun e ->
+      if Intset.mem hobj (filter_set st (Intset.singleton hobj) e.filter) then
+        Some e.dst
+      else None)
+    (Vec.get st.nodes nid).succs
+
+let var_node_ids st var =
+  Hashtbl.fold
+    (fun (v, _) nid acc -> if v = Var_id.to_int var then nid :: acc else acc)
+    st.var_nodes []
+
+let ci_var_points_to st var =
+  let table =
+    match st.ci_vpt with
+    | Some t -> t
+    | None ->
+      let t = Array.make (Program.n_vars st.program) Intset.empty in
+      Hashtbl.iter
+        (fun (v, _) nid ->
+          let heaps =
+            Intset.fold
+              (fun hobj acc -> Intset.add (Vec.get st.hobj_heaps hobj) acc)
+              (Vec.get st.nodes nid).all Intset.empty
+          in
+          t.(v) <- Intset.union t.(v) heaps)
+        st.var_nodes;
+      st.ci_vpt <- Some t;
+      t
+  in
+  table.(Var_id.to_int var)
+
+let reachable_meths st =
+  Hashtbl.fold
+    (fun (meth, _) () acc -> Meth_id.Set.add (Meth_id.of_int meth) acc)
+    st.reachable Meth_id.Set.empty
+
+let invo_targets_table st =
+  match st.ci_targets with
+  | Some t -> t
+  | None ->
+    let t = Invo_id.Tbl.create 1024 in
+    Hashtbl.iter
+      (fun (invo, _, meth, _) () ->
+        let invo = Invo_id.of_int invo in
+        let existing =
+          Option.value ~default:Meth_id.Set.empty (Invo_id.Tbl.find_opt t invo)
+        in
+        Invo_id.Tbl.replace t invo
+          (Meth_id.Set.add (Meth_id.of_int meth) existing))
+      st.call_edges;
+    st.ci_targets <- Some t;
+    t
+
+let invo_targets st invo =
+  Option.value ~default:Meth_id.Set.empty
+    (Invo_id.Tbl.find_opt (invo_targets_table st) invo)
+
+let n_call_edges_ci st =
+  Invo_id.Tbl.fold
+    (fun _ targets acc -> acc + Meth_id.Set.cardinal targets)
+    (invo_targets_table st) 0

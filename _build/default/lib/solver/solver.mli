@@ -1,0 +1,144 @@
+(** The native points-to solver.
+
+    A difference-propagation (semi-naive) worklist fixpoint of the
+    paper's nine Datalog rules (Figure 2) over an exploded supergraph:
+
+    - a {e var node} per (variable, context) pair holds the objects the
+      variable may point to under that context
+      ([VarPointsTo(var, ctx, heap, hctx)]);
+    - a {e field node} per (abstract object, field) pair holds
+      [FldPointsTo(baseH, baseHCtx, fld, heap, hctx)];
+    - [Move]/[Cast]/parameter/return flows are edges between nodes
+      ([InterProcAssign] and the move rule), casts filtering by type;
+    - [Load]/[Store]/[Virtual_call] instructions attach triggers to their
+      base variable's node and fire as its points-to set grows, adding
+      edges and (for calls) call-graph edges, reachable-method contexts
+      and receiver bindings ([Reachable], [CallGraph], this-binding);
+    - context construction is delegated entirely to the
+      {!Pta_context.Strategy.t} constructor functions [Record], [Merge]
+      and [MergeStatic], as in the paper.
+
+    Objects are interned (allocation site, heap context) pairs called
+    {!hobj}s; points-to sets are {!Intset.t}s of hobjs. *)
+
+type t
+
+exception Timeout
+(** Raised by {!run} when [timeout_s] elapses before the fixpoint — the
+    analogue of the paper's 90-minute cutoff (the "-" entries of
+    Table 1). *)
+
+val run :
+  ?timeout_s:float ->
+  ?field_based:bool ->
+  Pta_ir.Ir.Program.t ->
+  Pta_context.Strategy.t ->
+  t
+(** Run the analysis to fixpoint.  Deterministic: same program and
+    strategy yield identical interning and results.
+
+    [field_based] (default [false]) switches from field-sensitive
+    points-to (one cell per abstract object and field, the Doop/paper
+    treatment) to the classic field-based approximation (one global cell
+    per field name) — kept as an ablation baseline.
+
+    @raise Timeout if a wall-clock budget is given and exceeded. *)
+
+val program : t -> Pta_ir.Ir.Program.t
+val strategy : t -> Pta_context.Strategy.t
+val hierarchy : t -> Pta_ir.Hierarchy.t
+
+(** {1 Abstract objects} *)
+
+type hobj = int
+(** Interned (allocation site, heap context) pair; dense ids. *)
+
+val hobj_heap : t -> hobj -> Pta_ir.Ir.Heap_id.t
+val hobj_hctx : t -> hobj -> Pta_context.Ctx.id
+val hobj_type : t -> hobj -> Pta_ir.Ir.Type_id.t
+val n_hobjs : t -> int
+
+(** {1 Contexts} *)
+
+val ctx_value : t -> Pta_context.Ctx.id -> Pta_context.Ctx.value
+(** Decode a method-context id. *)
+
+val hctx_value : t -> Pta_context.Ctx.id -> Pta_context.Ctx.value
+(** Decode a heap-context id (separate interning space). *)
+
+val n_ctxs : t -> int
+val n_hctxs : t -> int
+
+(** {1 Context-sensitive results} *)
+
+val iter_var_points_to :
+  t -> (Pta_ir.Ir.Var_id.t -> Pta_context.Ctx.id -> Intset.t -> unit) -> unit
+(** Every (variable, context) node with its set of hobjs. *)
+
+val iter_fld_points_to :
+  t -> (hobj -> Pta_ir.Ir.Field_id.t -> Intset.t -> unit) -> unit
+
+val static_fld_points_to : t -> Pta_ir.Ir.Field_id.t -> Intset.t
+(** Objects a static field may hold (context-insensitive by nature). *)
+
+val iter_throw_points_to :
+  t -> (Pta_ir.Ir.Meth_id.t -> Pta_context.Ctx.id -> Intset.t -> unit) -> unit
+(** [ThrowPointsTo(meth, ctx)]: the exception objects that may escape
+    each analyzed method context (uncaught by any handler inside it). *)
+
+val iter_call_edges :
+  t ->
+  (Pta_ir.Ir.Invo_id.t ->
+  Pta_context.Ctx.id ->
+  Pta_ir.Ir.Meth_id.t ->
+  Pta_context.Ctx.id ->
+  unit) ->
+  unit
+(** Context-sensitive call-graph edges, static and virtual. *)
+
+val iter_reachable :
+  t -> (Pta_ir.Ir.Meth_id.t -> Pta_context.Ctx.id -> unit) -> unit
+
+val sensitive_vpt_size : t -> int
+(** Total size of context-sensitive var-points-to — the paper's
+    platform-independent complexity metric (Table 1, last column). *)
+
+val n_var_nodes : t -> int
+val n_reachable_cs : t -> int
+val n_call_edges_cs : t -> int
+
+(** {1 Context-insensitive projections} *)
+
+val ci_var_points_to : t -> Pta_ir.Ir.Var_id.t -> Intset.t
+(** Allocation sites (as raw [Heap_id] ints) the variable may point to in
+    any context.  Memoized on first use. *)
+
+val reachable_meths : t -> Pta_ir.Ir.Meth_id.Set.t
+val invo_targets : t -> Pta_ir.Ir.Invo_id.t -> Pta_ir.Ir.Meth_id.Set.t
+(** Resolved callee set of an invocation site (empty if unreachable). *)
+
+val n_call_edges_ci : t -> int
+
+(** {1 Supergraph introspection}
+
+    Low-level access to the solver's node graph, for provenance/debug
+    tooling ({!Pta_clients.Provenance}). *)
+
+type node_id = int
+
+type node_kind =
+  | Var_node of Pta_ir.Ir.Var_id.t * Pta_context.Ctx.id
+  | Fld_node of hobj * Pta_ir.Ir.Field_id.t
+  | Static_fld_node of Pta_ir.Ir.Field_id.t
+  | Throw_node of Pta_ir.Ir.Meth_id.t * Pta_context.Ctx.id
+      (** exceptions escaping a (method, context) *)
+  | Scope_node  (** anonymous try-block scope *)
+
+val n_nodes : t -> int
+val node_kind : t -> node_id -> node_kind
+val node_points_to : t -> node_id -> Intset.t
+val node_succs_passing : t -> node_id -> hobj -> node_id list
+(** Successor nodes whose connecting edge lets [hobj] through. *)
+
+val var_node_ids : t -> Pta_ir.Ir.Var_id.t -> node_id list
+(** All (var, context) nodes of a variable. *)

@@ -1,0 +1,1 @@
+lib/workloads/emit.ml: Buffer Printf

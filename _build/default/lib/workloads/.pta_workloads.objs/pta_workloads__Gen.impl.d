@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Emit Fun List Printf Profile Rng String

@@ -1,0 +1,1 @@
+lib/workloads/profile.ml: List String

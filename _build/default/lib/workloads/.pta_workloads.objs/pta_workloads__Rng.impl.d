@@ -1,0 +1,1 @@
+lib/workloads/rng.ml: Array Int64 List

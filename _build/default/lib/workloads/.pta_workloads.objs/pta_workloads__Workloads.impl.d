@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Gen Hashtbl List Option Profile Pta_frontend Pta_ir Pta_mjdk

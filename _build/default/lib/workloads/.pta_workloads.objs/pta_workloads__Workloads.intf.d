@@ -1,0 +1,1 @@
+lib/workloads/workloads.mli: Profile Pta_ir

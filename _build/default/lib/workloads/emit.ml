@@ -1,0 +1,28 @@
+type t = {
+  buf : Buffer.t;
+  mutable depth : int;
+}
+
+let create () = { buf = Buffer.create 65536; depth = 0 }
+
+let emit_line t s =
+  for _ = 1 to t.depth do
+    Buffer.add_string t.buf "  "
+  done;
+  Buffer.add_string t.buf s;
+  Buffer.add_char t.buf '\n'
+
+let line t fmt = Printf.ksprintf (emit_line t) fmt
+let blank t = Buffer.add_char t.buf '\n'
+
+let block t fmt =
+  Printf.ksprintf
+    (fun header body ->
+      emit_line t (header ^ " {");
+      t.depth <- t.depth + 1;
+      body ();
+      t.depth <- t.depth - 1;
+      emit_line t "}")
+    fmt
+
+let contents t = Buffer.contents t.buf

@@ -1,0 +1,13 @@
+(** Tiny indentation-aware MJ source emitter used by the generators. *)
+
+type t
+
+val create : unit -> t
+val line : t -> ('a, unit, string, unit) format4 -> 'a
+val blank : t -> unit
+
+val block : t -> ('a, unit, string, (unit -> unit) -> unit) format4 -> 'a
+(** [block t "class %s" name body] emits ["class <name> {"], runs [body]
+    one indent level deeper, then emits ["}"]. *)
+
+val contents : t -> string

@@ -1,0 +1,705 @@
+type state = {
+  p : Profile.t;
+  rng : Rng.t;
+  e : Emit.t;
+  concrete : string list array;  (* concrete class names per hierarchy *)
+  mutable fresh : int;
+}
+
+let fresh st prefix =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "%s%d" prefix st.fresh
+
+let base h = Printf.sprintf "B%d" h
+let wrapper h = Printf.sprintf "W%d" h
+let factory h = Printf.sprintf "F%d" h
+let util u = Printf.sprintf "U%d" u
+let visitor_iface h = Printf.sprintf "V%d" h
+let meth h j = Printf.sprintf "m%d_%d" h j
+let payload_field h = Printf.sprintf "pl%d" h
+let state_field h = Printf.sprintf "st%d" h
+let misc_field h = Printf.sprintf "mx%d" h
+let inner_field h = Printf.sprintf "inner%d" h
+
+let any_util st = util (Rng.int st.rng st.p.Profile.util_classes)
+let any_meth st h = meth h (Rng.int st.rng st.p.Profile.methods_per_class)
+let any_concrete st h = Rng.pick st.rng st.concrete.(h)
+let any_hierarchy st = Rng.int st.rng st.p.Profile.hierarchies
+
+
+(* Entry point into a utility: usually an independent pass-through,
+   sometimes the chained family. *)
+let util_entry st =
+  if Rng.bool st.rng 0.1 then Printf.sprintf "%s::chain0" (any_util st)
+  else Printf.sprintf "%s::p%d" (any_util st) (Rng.int st.rng 4)
+
+(* A small shared exception hierarchy, like a project's checked
+   exception types. *)
+let n_error_kinds = 3
+let error_base = "Failure0"
+let error_kind k = if k = 0 then error_base else Printf.sprintf "Failure%d" k
+
+let emit_errors st =
+  let e = st.e in
+  Emit.block e "class %s" error_base (fun () ->
+      Emit.line e "field failPayload;";
+      Emit.line e "method describe() { return String::valueOf(this); }");
+  for k = 1 to n_error_kinds - 1 do
+    Emit.block e "class %s extends %s" (error_kind k) error_base (fun () ->
+        Emit.line e "method describe() { return String::valueOf(this); }")
+  done;
+  Emit.blank e
+
+let any_error st = error_kind (Rng.int st.rng n_error_kinds)
+
+(* Cast target for an expression expected to hold hierarchy [h] objects:
+   usually the base class (safe when tracking is right), sometimes a
+   specific subclass — the risky downcast every AST/DOM-style codebase is
+   full of. *)
+let cast_target st h =
+  if Rng.bool st.rng st.p.Profile.risky_cast then any_concrete st h else base h
+
+(* ------------------------------------------------------------------ *)
+(* Virtual method bodies                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One statement of a virtual method of hierarchy [h]; [x] is the formal. *)
+let method_stmt st h =
+  let e = st.e in
+  let pool =
+    [
+      (2, `Store_payload);
+      (4, `Touch_state);
+      (4, `Self_call);
+      (1, `Util_pass);
+      (2, `Factory_state);
+      (2, `Stringify);
+    ]
+  in
+  let pool =
+    if Rng.bool st.rng st.p.Profile.alloc_in_virtual then
+      (4, `Alloc_state) :: pool
+    else pool
+  in
+  match Rng.pick_weighted st.rng pool with
+  | `Store_payload -> Emit.line e "this.%s = x;" (misc_field h)
+  | `Touch_state ->
+    let t = fresh st "t" in
+    Emit.line e "var %s = this.%s;" t (state_field h);
+    Emit.line e "%s.%s(x);" t (any_meth st h)
+  | `Alloc_state -> Emit.line e "this.%s = new %s;" (state_field h) (any_concrete st h)
+  | `Self_call ->
+    Emit.line e "var %s = this.%s(x);" (fresh st "t") (any_meth st h)
+  | `Util_pass -> Emit.line e "var %s = %s(x);" (fresh st "t") (util_entry st)
+  | `Factory_state ->
+    let t = fresh st "t" in
+    Emit.line e "var %s = %s::make0();" t (factory h);
+    Emit.line e "this.%s = %s;" (state_field h) t
+  | `Stringify -> Emit.line e "var %s = String::valueOf(x);" (fresh st "s")
+
+let method_return st h =
+  let e = st.e in
+  let pool =
+    [
+      (3, `Arg);
+      (2, `This);
+      (2, `Payload);
+      (2, `State);
+      ((if Rng.bool st.rng st.p.Profile.alloc_in_virtual then 4 else 0), `Alloc);
+    ]
+    |> List.filter (fun (w, _) -> w > 0)
+  in
+  match Rng.pick_weighted st.rng pool with
+  | `Arg -> Emit.line e "return x;"
+  | `This -> Emit.line e "return this;"
+  | `Payload -> Emit.line e "return this.%s;" (misc_field h)
+  | `State -> Emit.line e "return this.%s;" (state_field h)
+  | `Alloc -> Emit.line e "return new %s;" (any_concrete st h)
+
+let emit_virtual_method st h j =
+  Emit.block st.e "method %s(x)" (meth h j) (fun () ->
+      if Rng.bool st.rng st.p.Profile.throw_density then begin
+        let e = st.e in
+        Emit.block e "if (*)" (fun () ->
+            let err = any_error st in
+            if Rng.bool st.rng 0.4 then begin
+              Emit.line e "var err = new %s;" err;
+              Emit.line e "err.failPayload = x;";
+              Emit.line e "throw err;"
+            end
+            else Emit.line e "throw new %s;" err)
+      end;
+      let n = 1 + Rng.int st.rng st.p.Profile.stmts_per_method in
+      for _ = 1 to n do
+        method_stmt st h
+      done;
+      method_return st h)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchies                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let emit_class_body st h ~n_meths =
+  List.iter (fun j -> emit_virtual_method st h j) (List.init n_meths Fun.id)
+
+let emit_hierarchy st h =
+  let p = st.p in
+  let e = st.e in
+  (* The base class declares the hierarchy's fields and all its virtual
+     methods; subclasses override random subsets. *)
+  Emit.block e "class %s" (base h) (fun () ->
+      Emit.line e "field %s;" (payload_field h);
+      Emit.line e "field %s;" (state_field h);
+      Emit.line e "field %s;" (misc_field h);
+      Emit.line e "method init(x) { this.%s = x; }" (misc_field h);
+      (* Accessor protocol with a self-call chain: the pattern where
+         object-sensitivity decisively beats call-site-sensitivity — a
+         1-call analysis merges every receiver of [accUpd] inside the
+         single [this.accSet]/[this.accGet] call sites. *)
+      Emit.line e "method accSet(x) { this.%s = x; return this; }"
+        (payload_field h);
+      Emit.line e "method accGet() { return this.%s; }" (payload_field h);
+      Emit.block e "method accUpd(x)" (fun () ->
+          Emit.line e "var t = this.accSet(x);";
+          Emit.line e "return this.accGet();");
+      (* toString fabric: every abstract object that reaches a
+         [String::valueOf]/[append] site spawns its own (object, heap
+         context) analysis context here -- the redundant-splitting load
+         that makes deep-context analyses expensive on real programs. *)
+      Emit.block e "method toString()" (fun () ->
+          Emit.line e "var sb = new StringBuilder();";
+          Emit.line e "sb.append(this.%s);" (misc_field h);
+          Emit.line e "sb.append(this.%s);" (state_field h);
+          Emit.line e "var s = sb.toString();";
+          Emit.line e "return s;");
+      if p.Profile.visitors then
+        Emit.block e "method accept(v)" (fun () ->
+            Emit.line e "var vv = (%s) v;" (visitor_iface h);
+            Emit.line e "var r = vv.visit(this);";
+            Emit.line e "return r;");
+      emit_class_body st h ~n_meths:p.Profile.methods_per_class);
+  Emit.blank e;
+  for k = 0 to p.Profile.subclasses - 1 do
+    let name = Printf.sprintf "S%d_%d" h k in
+    Emit.block e "class %s extends %s" name (base h) (fun () ->
+        let n_override = 1 + Rng.int st.rng p.Profile.methods_per_class in
+        let js =
+          Rng.shuffle st.rng (List.init p.Profile.methods_per_class Fun.id)
+        in
+        List.iteri (fun i j -> if i < n_override then emit_virtual_method st h j) js);
+    if Rng.bool st.rng p.Profile.depth2_fraction then begin
+      let deep = Printf.sprintf "T%d_%d" h k in
+      Emit.block e "class %s extends %s" deep name (fun () ->
+          emit_virtual_method st h (Rng.int st.rng p.Profile.methods_per_class))
+    end;
+    Emit.blank e
+  done;
+  if p.Profile.wrappers then begin
+    (* Delegating wrapper: every call forwards to the wrapped object —
+       the DOM-adapter / stream-decorator idiom. *)
+    Emit.block e "class %s extends %s" (wrapper h) (base h) (fun () ->
+        Emit.line e "field %s;" (inner_field h);
+        Emit.line e "method setInner%d(v) { this.%s = v; return this; }" h
+          (inner_field h);
+        for j = 0 to p.Profile.methods_per_class - 1 do
+          Emit.block e "method %s(x)" (meth h j) (fun () ->
+              Emit.line e "var inner = (%s) this.%s;" (base h) (inner_field h);
+              Emit.line e "var r = inner.%s(x);" (meth h j);
+              Emit.line e "return r;")
+        done);
+    Emit.blank e
+  end
+
+let concrete_names p h =
+  let subs = List.init p.Profile.subclasses (fun k -> Printf.sprintf "S%d_%d" h k) in
+  base h :: subs
+
+(* Names of the depth-2 classes actually emitted depend on RNG draws made
+   during emission; we record them from a dedicated pre-pass RNG so the
+   driver can also instantiate them.  Simpler: drivers instantiate only
+   the always-present classes. *)
+
+(* ------------------------------------------------------------------ *)
+(* Factories and utilities                                             *)
+(* ------------------------------------------------------------------ *)
+
+let emit_factory st h =
+  let e = st.e in
+  Emit.block e "class %s" (factory h) (fun () ->
+      for i = 0 to st.p.Profile.factories_per_hierarchy - 1 do
+        Emit.block e "static method make%d()" i (fun () ->
+            Emit.line e "var o = new %s;" (any_concrete st h);
+            if Rng.bool st.rng 0.3 then
+              Emit.line e "var oo = %s(o);" (util_entry st);
+            Emit.line e "return o;")
+      done;
+      Emit.block e "static method build(x)" (fun () ->
+          Emit.block e "if (*)" (fun () ->
+              Emit.line e "return new %s;" (any_concrete st h));
+          Emit.line e "var o = new %s;" (any_concrete st h);
+          Emit.line e "o.%s(x);" (any_meth st h);
+          Emit.line e "return o;"));
+  Emit.blank e
+
+let emit_util st u =
+  let e = st.e in
+  let d = st.p.Profile.util_chain_depth in
+  Emit.block e "class %s" (util u) (fun () ->
+      (* Independent single-level pass-throughs: requireNonNull-style
+         helpers.  These are where call-site elements in the context pay
+         off — and, being depth 1, they don't collapse single-element
+         call-site contexts the way deep chains would. *)
+      for j = 0 to 3 do
+        Emit.block e "static method p%d(x)" j (fun () ->
+            (match Rng.int st.rng 3 with
+            | 0 -> ()
+            | 1 -> Emit.block e "if (*)" (fun () -> Emit.line e "return x;")
+            | _ -> Emit.line e "var s = String::valueOf(x);");
+            Emit.line e "return x;")
+      done;
+      (* An explicitly chained family, depth [util_chain_depth]: the
+         interpreter/parser-style static helper stacks of jython/antlr. *)
+      for j = 0 to d - 1 do
+        Emit.block e "static method chain%d(x)" j (fun () ->
+            if j = d - 1 then Emit.line e "return x;"
+            else begin
+              if Rng.bool st.rng 0.25 then
+                Emit.block e "if (*)" (fun () -> Emit.line e "return x;");
+              Emit.line e "return %s::chain%d(x);" (util u) (j + 1)
+            end)
+      done;
+      Emit.line e "static method choose(a, b) { if (*) { return a; } return b; }";
+      Emit.block e "static method lift(x)" (fun () ->
+          Emit.line e "var l = new ArrayList();";
+          Emit.line e "l.add(x);";
+          Emit.line e "return l;");
+      Emit.block e "static method firstOf(l)" (fun () ->
+          Emit.line e "var ll = (List) l;";
+          Emit.line e "return ll.get(null);");
+      Emit.line e "static method logit(x) { var s = String::valueOf(x); return x; }");
+  Emit.blank e
+
+
+let catalog h = Printf.sprintf "Cat%d" h
+let globals h = Printf.sprintf "G%d" h
+
+(* Singleton holder: the lazily-initialized static instance idiom.  A
+   static field is a global cell, so every analysis conflates its
+   contents program-wide — included to keep that (realistic) pressure on
+   all analyses equally. *)
+let emit_globals st h =
+  let e = st.e in
+  Emit.block e "class %s" (globals h) (fun () ->
+      Emit.line e "static field inst%d;" h;
+      Emit.block e "static method instance()" (fun () ->
+          Emit.block e "if (*)" (fun () ->
+              Emit.line e "%s::inst%d = new %s;" (globals h) h (any_concrete st h));
+          Emit.line e "return (%s) %s::inst%d;" (base h) (globals h) h));
+  Emit.blank e
+
+let emit_catalog st h =
+  let e = st.e in
+  Emit.block e "class %s" (catalog h) (fun () ->
+      Emit.line e "field items%d;" h;
+      Emit.line e "method init() { this.items%d = new ArrayList(); }" h;
+      Emit.block e "method put(x)" (fun () ->
+          Emit.line e "var l = (ArrayList) this.items%d;" h;
+          Emit.line e "l.add(x);";
+          Emit.line e "return x;");
+      (* Heavy read path: several locals all holding the (irreducibly
+         heterogeneous) catalog contents, plus dispatch on them. *)
+      Emit.block e "method scan(x)" (fun () ->
+          Emit.line e "var l = (ArrayList) this.items%d;" h;
+          for i = 0 to 8 do
+            Emit.line e "var g%d = l.get(null);" i
+          done;
+          Emit.line e "var go = (%s) g0;" (base h);
+          Emit.line e "var r = go.%s(x);" (any_meth st h);
+          Emit.line e "var s = g1;";
+          Emit.line e "s = g2;";
+          Emit.line e "s = g3;";
+          Emit.line e "return r;"));
+  Emit.blank e
+
+(* ------------------------------------------------------------------ *)
+(* Visitors and listeners                                              *)
+(* ------------------------------------------------------------------ *)
+
+let emit_visitors st h =
+  let e = st.e in
+  Emit.line e "interface %s { method visit(n); }" (visitor_iface h);
+  for i = 0 to 2 do
+    Emit.block e "class CV%d_%d implements %s" h i (visitor_iface h) (fun () ->
+        Emit.line e "field vst%d_%d;" h i;
+        Emit.block e "method visit(n)" (fun () ->
+            Emit.line e "var c = (%s) n;" (cast_target st h);
+            Emit.line e "var r = c.%s(n);" (any_meth st h);
+            Emit.line e "this.vst%d_%d = r;" h i;
+            Emit.line e "return r;"))
+  done;
+  Emit.blank e
+
+let emit_listeners st =
+  let e = st.e in
+  Emit.line e "interface Handler { method handle(ev); }";
+  for i = 0 to 3 do
+    Emit.block e "class H%d implements Handler" i (fun () ->
+        Emit.line e "field hst%d;" i;
+        Emit.block e "method handle(ev)" (fun () ->
+            Emit.line e "this.hst%d = ev;" i;
+            if Rng.bool st.rng 0.5 then begin
+              let h = any_hierarchy st in
+              Emit.line e "var r = new %s;" (any_concrete st h);
+              Emit.line e "return r;"
+            end
+            else Emit.line e "return ev;"))
+  done;
+  Emit.block e "class Registry" (fun () ->
+      Emit.line e "field handlers;";
+      Emit.line e "method init() { this.handlers = new ArrayList(); }";
+      Emit.block e "method register(h)" (fun () ->
+          Emit.line e "var l = (ArrayList) this.handlers;";
+          Emit.line e "l.add(h);";
+          Emit.line e "return h;");
+      Emit.block e "method fire(ev)" (fun () ->
+          Emit.line e "var l = (ArrayList) this.handlers;";
+          Emit.line e "var it = l.iterator();";
+          Emit.line e "var last = ev;";
+          Emit.block e "while (*)" (fun () ->
+              Emit.line e "var h = (Handler) it.next();";
+              Emit.line e "last = h.handle(ev);");
+          Emit.line e "return last;"));
+  Emit.blank e
+
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type unit_env = {
+  mutable objs : (string * int) list;  (* local var -> hierarchy *)
+  mutable conts : (string * int) list;  (* container var -> element hierarchy *)
+}
+
+let any_obj st env = Rng.pick st.rng env.objs
+
+let obj_of_hierarchy st env h =
+  match List.filter (fun (_, h') -> h' = h) env.objs with
+  | [] -> any_obj st env
+  | same -> Rng.pick st.rng same
+
+let driver_name du = Printf.sprintf "D%d" du
+
+let seed_object st env =
+  let e = st.e in
+  let h = any_hierarchy st in
+  let v = fresh st "o" in
+  (match Rng.int st.rng 3 with
+  | 0 ->
+    Emit.line e "var %s = %s::make%d();" v (factory h)
+      (Rng.int st.rng st.p.Profile.factories_per_hierarchy)
+  | 1 -> Emit.line e "var %s = new %s;" v (any_concrete st h)
+  | _ ->
+    let arg =
+      match env.objs with [] -> "null" | _ -> fst (any_obj st env)
+    in
+    Emit.line e "var %s = %s::build(%s);" v (factory h) arg);
+  env.objs <- (v, h) :: env.objs
+
+let unit_op st env _du =
+  let e = st.e in
+  let p = st.p in
+  let pool =
+    [
+      (3, `Seed);
+      (1, `Util_pass);
+      (1, `Choose);
+      (1, `Helper);
+      (5, `Vcall);
+      (3, `New_container);
+      ((if env.conts = [] then 0 else 3), `Add);
+      ((if env.conts = [] then 0 else 3), `Get_cast);
+      ((if env.conts = [] then 0 else 2), `Iterate);
+      (2, `Map_churn);
+      (1, `Stringbuild);
+      ((if p.Profile.visitors then 2 else 0), `Visit);
+      ((if p.Profile.wrappers then 2 else 0), `Wrap);
+      ((if p.Profile.listeners then 2 else 0), `Fire);
+      (1, `Require);
+      (4, `Protocol);
+      (2, `Catalog);
+      (1, `Singleton);
+      (2, `Guarded);
+    ]
+    |> List.filter (fun (w, _) -> w > 0)
+  in
+  match Rng.pick_weighted st.rng pool with
+  | `Seed -> seed_object st env
+  | `Util_pass ->
+    let src, h = any_obj st env in
+    let v = fresh st "o" in
+    Emit.line e "var %s = %s(%s);" v (util_entry st) src;
+    env.objs <- (v, h) :: env.objs
+  | `Choose ->
+    let a, h = any_obj st env in
+    let b, _ = obj_of_hierarchy st env h in
+    let v = fresh st "o" in
+    Emit.line e "var %s = %s::choose(%s, %s);" v (any_util st) a b;
+    env.objs <- (v, h) :: env.objs
+  | `Helper ->
+    let src, h = any_obj st env in
+    let v = fresh st "o" in
+    let target = Rng.int st.rng st.p.Profile.driver_units in
+    Emit.line e "var %s = %s::helper%d(%s);" v (driver_name target)
+      (Rng.int st.rng st.p.Profile.helper_meths)
+      src;
+    env.objs <- (v, h) :: env.objs
+  | `Vcall ->
+    let recv, h = any_obj st env in
+    let arg, _ = any_obj st env in
+    if Rng.bool st.rng 0.5 then begin
+      let v = fresh st "o" in
+      Emit.line e "var %s = %s.%s(%s);" v recv (any_meth st h) arg;
+      env.objs <- (v, h) :: env.objs
+    end
+    else Emit.line e "%s.%s(%s);" recv (any_meth st h) arg
+  | `New_container ->
+    let c = fresh st "c" in
+    let src, h = any_obj st env in
+    (match Rng.int st.rng 8 with
+    | 0 | 1 | 2 | 3 -> Emit.line e "var %s = new ArrayList();" c
+    | 4 | 5 -> Emit.line e "var %s = new LinkedList();" c
+    | 6 -> Emit.line e "var %s = %s::lift(%s);" c (any_util st) src
+    | _ -> Emit.line e "var %s = Collections::singletonList(%s);" c src);
+    env.conts <- (c, h) :: env.conts
+  | `Add ->
+    let c, h = Rng.pick st.rng env.conts in
+    let src, _ = obj_of_hierarchy st env h in
+    Emit.line e "%s.add(%s);" c src
+  | `Get_cast ->
+    let c, h = Rng.pick st.rng env.conts in
+    let v = fresh st "o" in
+    Emit.line e "var %s = (%s) %s.get(null);" v (cast_target st h) c;
+    env.objs <- (v, h) :: env.objs
+  | `Iterate ->
+    let c, h = Rng.pick st.rng env.conts in
+    let it = fresh st "it" in
+    let elem = fresh st "e" in
+    let arg, _ = any_obj st env in
+    Emit.line e "var %s = %s.iterator();" it c;
+    let dispatch = Rng.bool st.rng 0.5 in
+    Emit.block e "while (*)" (fun () ->
+        Emit.line e "var %s = (%s) %s.next();" elem (cast_target st h) it;
+        if dispatch then Emit.line e "%s.%s(%s);" elem (any_meth st h) arg)
+  | `Map_churn ->
+    let m = fresh st "mp" in
+    let k, _ = any_obj st env in
+    let v, h = any_obj st env in
+    let out = fresh st "o" in
+    Emit.line e "var %s = new HashMap();" m;
+    Emit.line e "%s.put(%s, %s);" m k v;
+    Emit.line e "var %s = (%s) %s.get(%s);" out (cast_target st h) m k;
+    env.objs <- (out, h) :: env.objs
+  | `Stringbuild ->
+    let sb = fresh st "sb" in
+    let src, _ = any_obj st env in
+    Emit.line e "var %s = new StringBuilder();" sb;
+    Emit.line e "%s.append(%s);" sb src;
+    Emit.line e "var %s = %s.toString();" (fresh st "s") sb
+  | `Visit ->
+    let recv, h = any_obj st env in
+    let v = fresh st "v" in
+    Emit.line e "var %s = new CV%d_%d;" v h (Rng.int st.rng 3);
+    Emit.line e "%s.accept(%s);" recv v
+  | `Wrap ->
+    let src, h = any_obj st env in
+    let w = fresh st "w" in
+    let arg, _ = any_obj st env in
+    let v = fresh st "o" in
+    Emit.line e "var %s = new %s;" w (wrapper h);
+    Emit.line e "%s.setInner%d(%s);" w h src;
+    Emit.line e "var %s = %s.%s(%s);" v w (any_meth st h) arg;
+    env.objs <- (v, h) :: env.objs
+  | `Fire ->
+    let r = fresh st "reg" in
+    let ev, _ = any_obj st env in
+    Emit.line e "var %s = new Registry();" r;
+    Emit.line e "%s.register(new H%d);" r (Rng.int st.rng 4);
+    Emit.line e "%s.register(new H%d);" r (Rng.int st.rng 4);
+    Emit.line e "%s.fire(%s);" r ev
+  | `Require ->
+    let src, h = any_obj st env in
+    let v = fresh st "o" in
+    Emit.line e "var %s = Objects::requireNonNull(%s);" v src;
+    env.objs <- (v, h) :: env.objs
+  | `Catalog ->
+    let h = any_hierarchy st in
+    let c = fresh st "cat" in
+    Emit.line e "var %s = new %s();" c (catalog h);
+    let n_put = 2 + Rng.int st.rng 2 in
+    for _ = 1 to n_put do
+      if Rng.bool st.rng 0.35 then
+        Emit.line e "%s.put(%s::make%d());" c (factory h)
+          (Rng.int st.rng st.p.Profile.factories_per_hierarchy)
+      else begin
+        let src, _ = any_obj st env in
+        Emit.line e "%s.put(%s);" c src
+      end
+    done;
+    let n_scan = 4 + Rng.int st.rng 3 in
+    for _ = 1 to n_scan do
+      let arg, _ = any_obj st env in
+      Emit.line e "var %s = %s.scan(%s);" (fresh st "o") c arg
+    done
+  | `Singleton ->
+    let h = any_hierarchy st in
+    let v = fresh st "o" in
+    Emit.line e "var %s = %s::instance();" v (globals h);
+    env.objs <- (v, h) :: env.objs
+  | `Guarded ->
+    (* try/catch around dispatch-heavy work: the error-handling idiom. *)
+    let recv, h = any_obj st env in
+    let arg, _ = any_obj st env in
+    let ex = fresh st "ex" in
+    let caught = Rng.int st.rng n_error_kinds in
+    Emit.block e "try" (fun () ->
+        Emit.line e "var %s = %s.%s(%s);" (fresh st "o") recv (any_meth st h) arg;
+        if Rng.bool st.rng 0.4 then
+          Emit.line e "var %s = %s.%s(%s);" (fresh st "o") recv (any_meth st h)
+            arg);
+    Emit.block e "catch (%s %s)" (error_kind caught) ex (fun () ->
+        match Rng.int st.rng 3 with
+        | 0 -> Emit.line e "var %s = %s.describe();" (fresh st "s") ex
+        | 1 -> Emit.line e "var %s = %s.failPayload;" (fresh st "o") ex
+        | _ -> Emit.line e "throw %s;" ex);
+    if caught <> 0 && Rng.bool st.rng 0.5 then
+      Emit.block e "catch (%s %s)" error_base (fresh st "ex") (fun () ->
+          Emit.line e "var %s = new %s;" (fresh st "o") (any_concrete st h))
+  | `Protocol ->
+    (* Store a payload through the receiver's accessor chain and read it
+       back with a downcast to the payload's type. *)
+    let recv, _ = any_obj st env in
+    let payload, ph = any_obj st env in
+    let v = fresh st "o" in
+    Emit.line e "var %s = (%s) %s.accUpd(%s);" v (cast_target st ph) recv payload;
+    env.objs <- (v, ph) :: env.objs
+
+let emit_helper st du j =
+  let e = st.e in
+  Emit.block e "static method helper%d(x)" j (fun () ->
+      match Rng.int st.rng 4 with
+      | 0 ->
+        Emit.block e "if (*)" (fun () -> Emit.line e "return null;");
+        Emit.line e "return x;"
+      | 1 ->
+        let h = any_hierarchy st in
+        Emit.line e "var o = %s::make%d();" (factory h)
+          (Rng.int st.rng st.p.Profile.factories_per_hierarchy);
+        Emit.line e "o.%s(x);" (any_meth st h);
+        Emit.line e "return o;"
+      | 2 ->
+        let next = (du + 1) mod st.p.Profile.driver_units in
+        if next = du then Emit.line e "return x;"
+        else begin
+          Emit.block e "if (*)" (fun () ->
+              Emit.line e "return %s::helper%d(x);" (driver_name next)
+                (Rng.int st.rng st.p.Profile.helper_meths));
+          Emit.line e "return x;"
+        end
+      | _ ->
+        Emit.line e "var l = %s::lift(x);" (any_util st);
+        Emit.line e "return %s::firstOf(l);" (any_util st))
+
+(* Drivers are instance classes whose work happens in instance "phase"
+   methods chained through [run] — as in real harnesses, where the bulk
+   of the program executes under an object context.  A fully static
+   driver layer would starve object-sensitive analyses of context at the
+   top of the call graph and distort every comparison. *)
+let emit_driver st du =
+  let e = st.e in
+  let p = st.p in
+  let ops_per_phase = 20 in
+  let n_phases = max 1 ((p.Profile.unit_ops + ops_per_phase - 1) / ops_per_phase) in
+  (* Generate phase bodies first so each phase knows the hierarchy of the
+     object the previous phase returns. *)
+  let incoming = ref None in
+  let phase_bodies =
+    List.init n_phases (fun _ ->
+        let sub = Emit.create () in
+        let saved = st.e in
+        let st = { st with e = sub } in
+        let env = { objs = []; conts = [] } in
+        (match !incoming with
+        | Some h -> env.objs <- [ ("x", h) ]
+        | None -> ());
+        for _ = 1 to 2 do
+          seed_object st env
+        done;
+        for _ = 1 to ops_per_phase do
+          unit_op st env du
+        done;
+        let ret, ret_h = any_obj st env in
+        Emit.line sub "return %s;" ret;
+        incoming := Some ret_h;
+        ignore saved;
+        Emit.contents sub)
+  in
+  Emit.block e "class %s" (driver_name du) (fun () ->
+      for j = 0 to p.Profile.helper_meths - 1 do
+        emit_helper st du j
+      done;
+      List.iteri
+        (fun k body ->
+          Emit.block e "method phase%d(x)" k (fun () ->
+              String.split_on_char '\n' body
+              |> List.iter (fun l -> if l <> "" then Emit.line e "%s" (String.trim l))))
+        phase_bodies;
+      Emit.block e "method run()" (fun () ->
+          Emit.line e "var r0 = this.phase0(null);";
+          for k = 1 to n_phases - 1 do
+            Emit.line e "var r%d = this.phase%d(r%d);" k k (k - 1)
+          done);
+      (* Per-module entry point: the driver object is allocated inside its
+         own class, so type-sensitive analyses (whose contexts are the
+         classes containing allocation sites) keep drivers apart. *)
+      Emit.block e "static method boot()" (fun () ->
+          Emit.line e "var d = new %s;" (driver_name du);
+          Emit.line e "d.run();"));
+  Emit.blank e
+
+(* ------------------------------------------------------------------ *)
+
+let generate (p : Profile.t) =
+  let st =
+    {
+      p;
+      rng = Rng.create p.Profile.seed;
+      e = Emit.create ();
+      concrete = Array.init p.Profile.hierarchies (concrete_names p);
+      fresh = 0;
+    }
+  in
+  let e = st.e in
+  Emit.line e "// Synthetic benchmark %S (seed %Ld)" p.Profile.name p.Profile.seed;
+  Emit.line e "// Generated by pta_workloads; deterministic.";
+  Emit.blank e;
+  emit_errors st;
+  for h = 0 to p.Profile.hierarchies - 1 do
+    if p.Profile.visitors then emit_visitors st h;
+    emit_hierarchy st h;
+    emit_factory st h;
+    emit_catalog st h;
+    emit_globals st h
+  done;
+  for u = 0 to p.Profile.util_classes - 1 do
+    emit_util st u
+  done;
+  if p.Profile.listeners then emit_listeners st;
+  for du = 0 to p.Profile.driver_units - 1 do
+    emit_driver st du
+  done;
+  Emit.block e "class Main" (fun () ->
+      Emit.block e "static method main()" (fun () ->
+          for du = 0 to p.Profile.driver_units - 1 do
+            Emit.line e "%s::boot();" (driver_name du)
+          done));
+  Emit.contents e

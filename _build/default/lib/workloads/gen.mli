@@ -1,0 +1,9 @@
+(** The synthetic-benchmark generator: deterministically expands a
+    {!Profile.t} into MJ source built from the idioms that drive
+    points-to analysis precision and cost in real Java programs —
+    class hierarchies with overriding, static factories, pass-through
+    utility chains, container churn with downcasts, iterator loops,
+    delegating wrappers, visitors and listener registries. *)
+
+val generate : Profile.t -> string
+(** The benchmark's own code (link {!Pta_mjdk.Mjdk.source} alongside). *)

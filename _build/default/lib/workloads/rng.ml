@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* splitmix64 (Steele, Lea, Flood): one 64-bit multiply-shift-xor chain
+   per output; passes BigCrush, trivially portable. *)
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits: OCaml's native int is 63-bit, so a 63-bit value would
+     wrap negative. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  v mod n
+
+let bool t p = float_of_int (int t 1_000_000) < p *. 1_000_000.
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let pick_weighted t weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Rng.pick_weighted: weights must be positive";
+  let target = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.pick_weighted: empty list"
+    | (w, x) :: rest -> if acc + w > target then x else go (acc + w) rest
+  in
+  go 0 weighted
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr

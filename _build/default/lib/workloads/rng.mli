@@ -1,0 +1,24 @@
+(** Deterministic splitmix64 PRNG.
+
+    The workload generators must produce byte-identical programs across
+    runs and platforms, so they use this self-contained generator rather
+    than [Random]. *)
+
+type t
+
+val create : int64 -> t
+val copy : t -> t
+val next64 : t -> int64
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  [n] must be positive. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice; the list must be non-empty. *)
+
+val pick_weighted : t -> (int * 'a) list -> 'a
+(** Choice by positive integer weights; the list must be non-empty. *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest List Printf Pta_context Pta_frontend Pta_ir Pta_solver String

@@ -1,0 +1,1 @@
+test/test_clients.ml: Alcotest Lazy List Pta_clients Pta_context Pta_frontend Pta_ir Pta_solver

@@ -1,0 +1,1 @@
+test/test_containers.ml: Alcotest Fun List Pta_context Pta_ir Pta_workloads QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array Hashtbl List Pta_datalog

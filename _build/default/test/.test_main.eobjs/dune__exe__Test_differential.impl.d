@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array List Option Printf Pta_context Pta_frontend Pta_ir Pta_refimpl Pta_solver Pta_workloads Set String

@@ -1,0 +1,1 @@
+test/test_engine_edge.ml: Alcotest List Printf Pta_datalog

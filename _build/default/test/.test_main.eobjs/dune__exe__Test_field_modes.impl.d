@@ -1,0 +1,1 @@
+test/test_field_modes.ml: Alcotest List Option Pta_context Pta_frontend Pta_ir Pta_solver

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Format Frontend Lexer List Option Parser Pta_frontend Pta_ir Srcloc String Token

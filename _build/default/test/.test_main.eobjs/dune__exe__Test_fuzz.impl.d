@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Builder Int64 List Meth_id Option Printf Program Pta_context Pta_interp Pta_ir Pta_refimpl Pta_solver Pta_workloads Test_differential

@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest List Option Pta_frontend Pta_ir

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest List Option Pta_frontend Pta_interp Pta_ir Pta_workloads String

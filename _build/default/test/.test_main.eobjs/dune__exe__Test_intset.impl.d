@@ -1,0 +1,1 @@
+test/test_intset.ml: Alcotest Gen Int List Pta_solver QCheck QCheck_alcotest Set

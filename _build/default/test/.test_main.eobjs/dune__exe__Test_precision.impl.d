@@ -1,0 +1,1 @@
+test/test_precision.ml: Alcotest List Option Printf Pta_clients Pta_context Pta_ir Pta_solver Pta_workloads

@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest List Option Pta_clients Pta_context Pta_frontend Pta_ir Pta_solver String

@@ -1,0 +1,1 @@
+test/test_regression_pin.ml: Alcotest List Option Printf Pta_clients Pta_context Pta_solver Pta_workloads

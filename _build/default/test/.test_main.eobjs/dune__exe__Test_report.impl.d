@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest List Pta_report String

@@ -1,0 +1,1 @@
+test/test_roundtrip.ml: Alcotest Int64 List Option Printf Pta_clients Pta_context Pta_frontend Pta_ir Pta_solver Pta_workloads Test_differential Test_fuzz

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Helpers List Pta_context Pta_solver

@@ -1,0 +1,1 @@
+test/test_solver_more.ml: Alcotest Array List Option Pta_clients Pta_context Pta_frontend Pta_ir Pta_solver Pta_workloads String

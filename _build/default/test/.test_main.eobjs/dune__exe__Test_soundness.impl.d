@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest List Option Pta_context Pta_frontend Pta_interp Pta_ir Pta_solver Pta_workloads Test_differential

@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest List Option Pta_context Pta_frontend Pta_ir String

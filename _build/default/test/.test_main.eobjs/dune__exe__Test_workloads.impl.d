@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Option Pta_frontend Pta_ir Pta_mjdk Pta_workloads String

@@ -1,0 +1,52 @@
+(** Shared helpers for the test suites. *)
+
+module Ir = Pta_ir.Ir
+
+let program src = Pta_frontend.Frontend.program_of_string ~file:"<test>" src
+
+let run ?(strategy = "1obj") src =
+  let p = program src in
+  let factory =
+    match Pta_context.Strategies.by_name strategy with
+    | Some f -> f
+    | None -> Alcotest.failf "unknown strategy %s" strategy
+  in
+  Pta_solver.Solver.run p (factory p)
+
+(* Names of allocation sites ("<Class>/<label>") a variable may point to,
+   context-insensitively, sorted. *)
+let points_to_names solver cls meth arity var_name =
+  let p = Pta_solver.Solver.program solver in
+  let m =
+    match Ir.Program.find_meth p cls meth arity with
+    | Some m -> m
+    | None -> Alcotest.failf "no method %s.%s/%d" cls meth arity
+  in
+  let var =
+    let found = ref None in
+    Ir.Program.iter_vars p (fun v info ->
+        if Ir.Meth_id.equal info.Ir.var_owner m && String.equal info.Ir.var_name var_name
+        then found := Some v);
+    match !found with
+    | Some v -> v
+    | None -> Alcotest.failf "no variable %s in %s.%s" var_name cls meth
+  in
+  Pta_solver.Intset.fold
+    (fun heap acc ->
+      let hi = Ir.Program.heap_info p (Ir.Heap_id.of_int heap) in
+      let owner = Ir.Program.meth_info p hi.Ir.heap_owner in
+      Printf.sprintf "%s.%s:%s"
+        (Ir.Program.type_name p owner.Ir.meth_owner)
+        owner.Ir.meth_name
+        (Ir.Program.type_name p hi.Ir.heap_type)
+      :: acc)
+    (Pta_solver.Solver.ci_var_points_to solver var)
+    []
+  |> List.sort_uniq compare
+
+let check_points_to ?strategy src cls meth arity var expected =
+  let solver = run ?strategy src in
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s.%s:%s" cls meth var)
+    (List.sort_uniq compare expected)
+    (points_to_names solver cls meth arity var)

@@ -1,0 +1,119 @@
+(** Client analyses on a hand-computed program: devirtualization
+    classifications, cast verdicts with witnesses, and the metric
+    bundle. *)
+
+module Ir = Pta_ir.Ir
+module Solver = Pta_solver.Solver
+module Devirt = Pta_clients.Devirt
+module Casts = Pta_clients.Casts
+module Metrics = Pta_clients.Metrics
+
+let source =
+  {|
+  class Shape { method area() { return this; } }
+  class Circle extends Shape { method area() { return this; } }
+  class Square extends Shape { method area() { return this; } }
+
+  class Main {
+    static method main() {
+      var s = new Circle;
+      if (*) { s = new Square; }
+      var poly = s.area();        // two targets
+      var c = new Circle;
+      var mono = c.area();        // one target
+      var bad = (Square) s;       // may fail: s can be a Circle
+      var ok = (Circle) c;        // safe
+      var dead = new Shape;
+      var unreached = Main::helper(dead);
+    }
+    static method helper(x) { return x; }
+  }
+  |}
+
+let solver =
+  lazy
+    (let program = Pta_frontend.Frontend.program_of_string ~file:"<t>" source in
+     Solver.run program (Pta_context.Strategies.obj1 program))
+
+let devirt_test () =
+  let solver = Lazy.force solver in
+  let sites = Devirt.analyze solver in
+  let program = Solver.program solver in
+  Alcotest.(check int) "two virtual call sites" 2 (List.length sites);
+  Alcotest.(check int) "one polymorphic" 1 (Devirt.poly_count sites);
+  Alcotest.(check int) "one monomorphic" 1 (Devirt.mono_count sites);
+  List.iter
+    (fun (s : Devirt.site) ->
+      match s.classification with
+      | Devirt.Monomorphic m ->
+        Alcotest.(check string) "mono target" "Circle.area/0"
+          (Ir.Program.meth_qualified_name program m)
+      | Devirt.Polymorphic targets ->
+        Alcotest.(check (list string))
+          "poly targets"
+          [ "Circle.area/0"; "Square.area/0" ]
+          (Ir.Meth_id.Set.elements targets
+          |> List.map (Ir.Program.meth_qualified_name program)
+          |> List.sort compare)
+      | Devirt.Unresolved -> Alcotest.fail "unexpected unresolved site")
+    sites
+
+let casts_test () =
+  let solver = Lazy.force solver in
+  let program = Solver.program solver in
+  let sites = Casts.analyze solver in
+  Alcotest.(check int) "two casts" 2 (List.length sites);
+  Alcotest.(check int) "one may fail" 1 (Casts.may_fail_count sites);
+  List.iter
+    (fun (s : Casts.site) ->
+      let target = Ir.Program.type_name program s.cast_type in
+      match (target, s.verdict) with
+      | "Square", Casts.May_fail [ witness ] ->
+        let wt = (Ir.Program.heap_info program witness).Ir.heap_type in
+        Alcotest.(check string) "witness is the Circle" "Circle"
+          (Ir.Program.type_name program wt)
+      | "Circle", Casts.Safe -> ()
+      | t, Casts.Safe -> Alcotest.failf "unexpected safe cast to %s" t
+      | t, Casts.May_fail ws ->
+        Alcotest.failf "unexpected may-fail cast to %s (%d witnesses)" t
+          (List.length ws))
+    sites
+
+let metrics_test () =
+  let solver = Lazy.force solver in
+  let m = Metrics.compute solver in
+  Alcotest.(check int) "poly v-calls" 1 m.Metrics.poly_vcalls;
+  Alcotest.(check int) "total v-calls" 2 m.Metrics.total_vcalls;
+  Alcotest.(check int) "may-fail casts" 1 m.Metrics.may_fail_casts;
+  Alcotest.(check int) "total casts" 2 m.Metrics.total_casts;
+  (* main + helper + Circle.area + Square.area are reachable; Shape.area
+     is not (no Shape receiver ever flows to a call). *)
+  Alcotest.(check int) "reachable methods" 4 m.Metrics.reachable_methods;
+  (* call edges: poly(2) + mono(1) + static helper(1) *)
+  Alcotest.(check int) "call graph edges" 4 m.Metrics.call_graph_edges;
+  Alcotest.(check bool) "avg at least 1" true (m.Metrics.avg_objs_per_var >= 1.)
+
+let unreachable_code_test () =
+  (* Methods never called must contribute no metrics. *)
+  let program =
+    Pta_frontend.Frontend.program_of_string ~file:"<t>"
+      {|
+      class A {
+        method never() { var x = (A) this; return x.never(); }
+      }
+      class Main { static method main() { var a = new A; } }
+      |}
+  in
+  let solver = Solver.run program (Pta_context.Strategies.obj1 program) in
+  let m = Metrics.compute solver in
+  Alcotest.(check int) "no casts counted" 0 m.Metrics.total_casts;
+  Alcotest.(check int) "no vcalls counted" 0 m.Metrics.total_vcalls;
+  Alcotest.(check int) "only main reachable" 1 m.Metrics.reachable_methods
+
+let tests =
+  [
+    Alcotest.test_case "devirtualization classification" `Quick devirt_test;
+    Alcotest.test_case "cast verdicts and witnesses" `Quick casts_test;
+    Alcotest.test_case "metric bundle" `Quick metrics_test;
+    Alcotest.test_case "unreachable code excluded" `Quick unreachable_code_test;
+  ]

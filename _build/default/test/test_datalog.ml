@@ -1,0 +1,179 @@
+(** Tests for the generic Datalog engine: relations/indexes, recursive
+    rules (transitive closure, same-generation), multi-head rules and
+    constructor hooks. *)
+
+module Relation = Pta_datalog.Relation
+module Engine = Pta_datalog.Engine
+open Engine
+
+let relation_tests =
+  [
+    Alcotest.test_case "add deduplicates" `Quick (fun () ->
+        let r = Relation.create ~name:"r" ~arity:2 in
+        Alcotest.(check bool) "new" true (Relation.add r [| 1; 2 |]);
+        Alcotest.(check bool) "dup" false (Relation.add r [| 1; 2 |]);
+        Alcotest.(check int) "cardinal" 1 (Relation.cardinal r));
+    Alcotest.test_case "arity checked" `Quick (fun () ->
+        let r = Relation.create ~name:"r" ~arity:2 in
+        Alcotest.check_raises "bad arity"
+          (Invalid_argument "Relation.add: r expects arity 2, got 3") (fun () ->
+            ignore (Relation.add r [| 1; 2; 3 |])));
+    Alcotest.test_case "select with index" `Quick (fun () ->
+        let r = Relation.create ~name:"r" ~arity:2 in
+        List.iter
+          (fun f -> ignore (Relation.add r f))
+          [ [| 1; 10 |]; [| 1; 11 |]; [| 2; 20 |] ];
+        let hits = ref [] in
+        Relation.select r ~pattern:[| 1; -1 |] (fun f -> hits := f.(1) :: !hits);
+        Alcotest.(check (list int)) "matches" [ 10; 11 ] (List.sort compare !hits);
+        (* Index maintained across later additions. *)
+        ignore (Relation.add r [| 1; 12 |]);
+        let hits = ref [] in
+        Relation.select r ~pattern:[| 1; -1 |] (fun f -> hits := f.(1) :: !hits);
+        Alcotest.(check int) "after add" 3 (List.length !hits));
+    Alcotest.test_case "select full scan on all-wildcard" `Quick (fun () ->
+        let r = Relation.create ~name:"r" ~arity:1 in
+        ignore (Relation.add r [| 7 |]);
+        let n = ref 0 in
+        Relation.select r ~pattern:[| -1 |] (fun _ -> incr n);
+        Alcotest.(check int) "scan" 1 !n);
+  ]
+
+(* Transitive closure of a chain plus a cycle. *)
+let tc_test () =
+  let edge = Relation.create ~name:"edge" ~arity:2 in
+  let path = Relation.create ~name:"path" ~arity:2 in
+  List.iter
+    (fun (a, b) -> ignore (Relation.add edge [| a; b |]))
+    [ (1, 2); (2, 3); (3, 4); (5, 6); (6, 5) ];
+  let rules =
+    [
+      rule "base" ~n_vars:2
+        [ { hrel = path; hargs = [| Hv 0; Hv 1 |] } ]
+        [ { rel = edge; args = [| V 0; V 1 |] } ];
+      rule "step" ~n_vars:3
+        [ { hrel = path; hargs = [| Hv 0; Hv 2 |] } ]
+        [
+          { rel = path; args = [| V 0; V 1 |] };
+          { rel = edge; args = [| V 1; V 2 |] };
+        ];
+    ]
+  in
+  Engine.run rules;
+  let expected =
+    [ (1, 2); (1, 3); (1, 4); (2, 3); (2, 4); (3, 4);
+      (5, 6); (6, 5); (5, 5); (6, 6) ]
+    |> List.sort compare
+  in
+  let actual =
+    Relation.fold (fun f acc -> (f.(0), f.(1)) :: acc) path [] |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int))) "closure" expected actual
+
+(* Same-generation: the classic non-linear recursive program. *)
+let same_gen_test () =
+  let parent = Relation.create ~name:"parent" ~arity:2 in
+  let sg = Relation.create ~name:"sg" ~arity:2 in
+  (*      1
+         / \
+        2   3
+       / \   \
+      4   5   6  *)
+  List.iter
+    (fun (c, p) -> ignore (Relation.add parent [| c; p |]))
+    [ (2, 1); (3, 1); (4, 2); (5, 2); (6, 3) ];
+  let rules =
+    [
+      rule "siblings" ~n_vars:3
+        [ { hrel = sg; hargs = [| Hv 0; Hv 2 |] } ]
+        [
+          { rel = parent; args = [| V 0; V 1 |] };
+          { rel = parent; args = [| V 2; V 1 |] };
+        ];
+      rule "up-down" ~n_vars:4
+        [ { hrel = sg; hargs = [| Hv 0; Hv 3 |] } ]
+        [
+          { rel = parent; args = [| V 0; V 1 |] };
+          { rel = sg; args = [| V 1; V 2 |] };
+          { rel = parent; args = [| V 3; V 2 |] };
+        ];
+    ]
+  in
+  Engine.run rules;
+  Alcotest.(check bool) "4 sg 6" true (Relation.mem sg [| 4; 6 |]);
+  Alcotest.(check bool) "4 sg 5" true (Relation.mem sg [| 4; 5 |]);
+  Alcotest.(check bool) "2 sg 3" true (Relation.mem sg [| 2; 3 |]);
+  Alcotest.(check bool) "not 2 sg 6" false (Relation.mem sg [| 2; 6 |]);
+  Alcotest.(check bool) "not 1 sg 4" false (Relation.mem sg [| 1; 4 |])
+
+(* Constructor hooks: interning pairs through an OCaml function, as the
+   analysis does for contexts. *)
+let hook_test () =
+  let item = Relation.create ~name:"item" ~arity:1 in
+  let paired = Relation.create ~name:"paired" ~arity:2 in
+  let table = Hashtbl.create 16 in
+  let intern_pair env =
+    let key = (env.(0), env.(0) * 2) in
+    match Hashtbl.find_opt table key with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length table in
+      Hashtbl.add table key id;
+      id
+  in
+  for i = 0 to 4 do
+    ignore (Relation.add item [| i |])
+  done;
+  Engine.run
+    [
+      rule "pair" ~n_vars:1
+        [ { hrel = paired; hargs = [| Hv 0; Hf intern_pair |] } ]
+        [ { rel = item; args = [| V 0 |] } ];
+    ];
+  Alcotest.(check int) "five pairs" 5 (Relation.cardinal paired);
+  Alcotest.(check int) "five interned" 5 (Hashtbl.length table)
+
+(* Multi-head rules fire all heads per binding. *)
+let multi_head_test () =
+  let src = Relation.create ~name:"src" ~arity:1 in
+  let out1 = Relation.create ~name:"out1" ~arity:1 in
+  let out2 = Relation.create ~name:"out2" ~arity:2 in
+  ignore (Relation.add src [| 3 |]);
+  Engine.run
+    [
+      rule "both" ~n_vars:1
+        [
+          { hrel = out1; hargs = [| Hv 0 |] };
+          { hrel = out2; hargs = [| Hv 0; Hc 99 |] };
+        ]
+        [ { rel = src; args = [| V 0 |] } ];
+    ];
+  Alcotest.(check bool) "out1" true (Relation.mem out1 [| 3 |]);
+  Alcotest.(check bool) "out2" true (Relation.mem out2 [| 3; 99 |])
+
+(* Repeated variables in an atom must unify. *)
+let repeated_var_test () =
+  let e = Relation.create ~name:"e" ~arity:2 in
+  let diag = Relation.create ~name:"diag" ~arity:1 in
+  List.iter
+    (fun f -> ignore (Relation.add e f))
+    [ [| 1; 1 |]; [| 1; 2 |]; [| 3; 3 |] ];
+  Engine.run
+    [
+      rule "diag" ~n_vars:1
+        [ { hrel = diag; hargs = [| Hv 0 |] } ]
+        [ { rel = e; args = [| V 0; V 0 |] } ];
+    ];
+  Alcotest.(check int) "two diagonal" 2 (Relation.cardinal diag);
+  Alcotest.(check bool) "1" true (Relation.mem diag [| 1 |]);
+  Alcotest.(check bool) "3" true (Relation.mem diag [| 3 |])
+
+let tests =
+  relation_tests
+  @ [
+      Alcotest.test_case "transitive closure" `Quick tc_test;
+      Alcotest.test_case "same generation" `Quick same_gen_test;
+      Alcotest.test_case "constructor hooks" `Quick hook_test;
+      Alcotest.test_case "multi-head rules" `Quick multi_head_test;
+      Alcotest.test_case "repeated variables unify" `Quick repeated_var_test;
+    ]

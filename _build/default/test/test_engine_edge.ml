@@ -1,0 +1,123 @@
+(** Edge-case tests for the Datalog engine's semi-naive evaluation:
+    facts derived mid-round, constants in bodies, self-joins, heads with
+    constants, and mutual recursion across rules. *)
+
+module Relation = Pta_datalog.Relation
+module Engine = Pta_datalog.Engine
+open Engine
+
+(* Mutual recursion: even/odd successor chains. *)
+let mutual_recursion_test () =
+  let succ = Relation.create ~name:"succ" ~arity:2 in
+  let even = Relation.create ~name:"even" ~arity:1 in
+  let odd = Relation.create ~name:"odd" ~arity:1 in
+  for i = 0 to 9 do
+    ignore (Relation.add succ [| i; i + 1 |])
+  done;
+  ignore (Relation.add even [| 0 |]);
+  Engine.run
+    [
+      rule "odd" ~n_vars:2
+        [ { hrel = odd; hargs = [| Hv 1 |] } ]
+        [
+          { rel = even; args = [| V 0 |] };
+          { rel = succ; args = [| V 0; V 1 |] };
+        ];
+      rule "even" ~n_vars:2
+        [ { hrel = even; hargs = [| Hv 1 |] } ]
+        [
+          { rel = odd; args = [| V 0 |] };
+          { rel = succ; args = [| V 0; V 1 |] };
+        ];
+    ];
+  for i = 0 to 10 do
+    Alcotest.(check bool)
+      (Printf.sprintf "even %d" i)
+      (i mod 2 = 0)
+      (Relation.mem even [| i |]);
+    Alcotest.(check bool)
+      (Printf.sprintf "odd %d" i)
+      (i mod 2 = 1)
+      (Relation.mem odd [| i |])
+  done
+
+(* Constants in body atoms restrict matching. *)
+let body_constant_test () =
+  let e = Relation.create ~name:"e" ~arity:2 in
+  let out = Relation.create ~name:"out" ~arity:1 in
+  List.iter (fun f -> ignore (Relation.add e f)) [ [| 1; 5 |]; [| 2; 5 |]; [| 1; 6 |] ];
+  Engine.run
+    [
+      rule "pick" ~n_vars:1
+        [ { hrel = out; hargs = [| Hv 0 |] } ]
+        [ { rel = e; args = [| V 0; C 5 |] } ];
+    ];
+  Alcotest.(check int) "two matches" 2 (Relation.cardinal out);
+  Alcotest.(check bool) "1" true (Relation.mem out [| 1 |]);
+  Alcotest.(check bool) "2" true (Relation.mem out [| 2 |])
+
+(* Head constants. *)
+let head_constant_test () =
+  let src = Relation.create ~name:"src2" ~arity:1 in
+  let out = Relation.create ~name:"out2" ~arity:2 in
+  ignore (Relation.add src [| 4 |]);
+  Engine.run
+    [
+      rule "tag" ~n_vars:1
+        [ { hrel = out; hargs = [| Hc 7; Hv 0 |] } ]
+        [ { rel = src; args = [| V 0 |] } ];
+    ];
+  Alcotest.(check bool) "tagged" true (Relation.mem out [| 7; 4 |])
+
+(* Self-join: grandparent through one relation used twice. *)
+let self_join_test () =
+  let parent = Relation.create ~name:"parent2" ~arity:2 in
+  let gp = Relation.create ~name:"grandparent" ~arity:2 in
+  List.iter
+    (fun f -> ignore (Relation.add parent f))
+    [ [| 1; 2 |]; [| 2; 3 |]; [| 3; 4 |] ];
+  Engine.run
+    [
+      rule "gp" ~n_vars:3
+        [ { hrel = gp; hargs = [| Hv 0; Hv 2 |] } ]
+        [
+          { rel = parent; args = [| V 0; V 1 |] };
+          { rel = parent; args = [| V 1; V 2 |] };
+        ];
+    ];
+  Alcotest.(check int) "two grandparents" 2 (Relation.cardinal gp);
+  Alcotest.(check bool) "1-3" true (Relation.mem gp [| 1; 3 |]);
+  Alcotest.(check bool) "2-4" true (Relation.mem gp [| 2; 4 |])
+
+(* Long chains exercise many delta rounds. *)
+let long_chain_test () =
+  let edge = Relation.create ~name:"edge3" ~arity:2 in
+  let path = Relation.create ~name:"path3" ~arity:2 in
+  let n = 200 in
+  for i = 0 to n - 1 do
+    ignore (Relation.add edge [| i; i + 1 |])
+  done;
+  Engine.run
+    [
+      rule "base" ~n_vars:2
+        [ { hrel = path; hargs = [| Hv 0; Hv 1 |] } ]
+        [ { rel = edge; args = [| V 0; V 1 |] } ];
+      (* Linear recursion with delta on the recursive atom. *)
+      rule "step" ~n_vars:3
+        [ { hrel = path; hargs = [| Hv 0; Hv 2 |] } ]
+        [
+          { rel = path; args = [| V 0; V 1 |] };
+          { rel = edge; args = [| V 1; V 2 |] };
+        ];
+    ];
+  Alcotest.(check int) "full closure" (n * (n + 1) / 2) (Relation.cardinal path);
+  Alcotest.(check bool) "ends" true (Relation.mem path [| 0; n |])
+
+let tests =
+  [
+    Alcotest.test_case "mutual recursion" `Quick mutual_recursion_test;
+    Alcotest.test_case "body constants" `Quick body_constant_test;
+    Alcotest.test_case "head constants" `Quick head_constant_test;
+    Alcotest.test_case "self-join" `Quick self_join_test;
+    Alcotest.test_case "long chain (many rounds)" `Quick long_chain_test;
+  ]

@@ -1,0 +1,78 @@
+(** Field-sensitive vs field-based: the field-based mode must be a sound
+    over-approximation of the field-sensitive result, and strictly less
+    precise where distinct objects' fields matter. *)
+
+module Ir = Pta_ir.Ir
+module Solver = Pta_solver.Solver
+module Intset = Pta_solver.Intset
+
+let src =
+  {|
+  class Box { field slot; }
+  class A {} class B {}
+  class Main {
+    static method main() {
+      var b1 = new Box;
+      var b2 = new Box;
+      var p1 = new Pair;
+      b1.slot = new A;
+      b2.slot = new B;
+      var x1 = b1.slot;
+      var x2 = b2.slot;
+      p1.other = new A;
+      var y = p1.other;
+    }
+  }
+  class Pair { field other; }
+  |}
+
+let run ~field_based =
+  let program = Pta_frontend.Frontend.program_of_string ~file:"<t>" src in
+  Solver.run ~field_based program (Pta_context.Strategies.insens program)
+
+let types_of solver var_name =
+  let program = Solver.program solver in
+  let found = ref None in
+  Ir.Program.iter_vars program (fun v info ->
+      if info.Ir.var_name = var_name then found := Some v);
+  Intset.fold
+    (fun h acc ->
+      Ir.Program.type_name program
+        (Ir.Program.heap_info program (Ir.Heap_id.of_int h)).Ir.heap_type
+      :: acc)
+    (Solver.ci_var_points_to solver (Option.get !found))
+    []
+  |> List.sort compare
+
+let sensitivity_test () =
+  let sensitive = run ~field_based:false in
+  (* Field-sensitive: distinct boxes keep their slots apart. *)
+  Alcotest.(check (list string)) "x1 precise" [ "A" ] (types_of sensitive "x1");
+  Alcotest.(check (list string)) "x2 precise" [ "B" ] (types_of sensitive "x2");
+  (* Field-based: one global cell per field name conflates the boxes —
+     but not across *different* fields. *)
+  let based = run ~field_based:true in
+  Alcotest.(check (list string)) "x1 conflated" [ "A"; "B" ] (types_of based "x1");
+  (* Distinct field names keep distinct cells even in field-based mode. *)
+  Alcotest.(check (list string)) "other field isolated" [ "A" ] (types_of based "y")
+
+let subsumption_test () =
+  let sensitive = run ~field_based:false in
+  let based = run ~field_based:true in
+  let program = Solver.program sensitive in
+  Ir.Program.iter_vars program (fun v _ ->
+      if
+        not
+          (Intset.subset
+             (Solver.ci_var_points_to sensitive v)
+             (Solver.ci_var_points_to based v))
+      then
+        Alcotest.failf "field-based must over-approximate for %s"
+          (Ir.Program.var_qualified_name program v))
+
+let tests =
+  [
+    Alcotest.test_case "field-based conflates per field name" `Quick
+      sensitivity_test;
+    Alcotest.test_case "field-based over-approximates" `Quick subsumption_test;
+  ]

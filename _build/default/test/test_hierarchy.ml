@@ -1,0 +1,115 @@
+(** Class-hierarchy queries: subtyping (classes + interfaces) and
+    virtual-method lookup with overriding. *)
+
+module Ir = Pta_ir.Ir
+module Hierarchy = Pta_ir.Hierarchy
+
+let source =
+  {|
+  interface Walks { method walk(); }
+  interface Swims { method swim(); }
+  interface Amphibious extends Walks, Swims { }
+
+  class Animal { method speak() { return this; } method walk() { return this; } }
+  class Frog extends Animal implements Amphibious {
+    method swim() { return this; }
+    method speak() { return new Frog; }
+  }
+  class TreeFrog extends Frog { }
+  class Fish extends Animal implements Swims { method swim() { return this; } }
+  |}
+
+let with_hierarchy f =
+  let p = Pta_frontend.Frontend.program_of_string ~file:"<t>" source in
+  f p (Hierarchy.create p)
+
+let ty p name = Option.get (Ir.Program.find_type p name)
+
+let subtype_tests =
+  [
+    Alcotest.test_case "reflexive" `Quick (fun () ->
+        with_hierarchy (fun p h ->
+            Alcotest.(check bool) "Frog <= Frog" true
+              (Hierarchy.subtype h ~sub:(ty p "Frog") ~sup:(ty p "Frog"))));
+    Alcotest.test_case "superclass chain" `Quick (fun () ->
+        with_hierarchy (fun p h ->
+            Alcotest.(check bool) "TreeFrog <= Animal" true
+              (Hierarchy.subtype h ~sub:(ty p "TreeFrog") ~sup:(ty p "Animal"));
+            Alcotest.(check bool) "TreeFrog <= Object" true
+              (Hierarchy.subtype h ~sub:(ty p "TreeFrog") ~sup:(ty p "Object"));
+            Alcotest.(check bool) "Animal not <= Frog" false
+              (Hierarchy.subtype h ~sub:(ty p "Animal") ~sup:(ty p "Frog"))));
+    Alcotest.test_case "interfaces, transitively" `Quick (fun () ->
+        with_hierarchy (fun p h ->
+            Alcotest.(check bool) "Frog <= Amphibious" true
+              (Hierarchy.subtype h ~sub:(ty p "Frog") ~sup:(ty p "Amphibious"));
+            Alcotest.(check bool) "Frog <= Walks (via Amphibious)" true
+              (Hierarchy.subtype h ~sub:(ty p "Frog") ~sup:(ty p "Walks"));
+            Alcotest.(check bool) "TreeFrog <= Swims (inherited)" true
+              (Hierarchy.subtype h ~sub:(ty p "TreeFrog") ~sup:(ty p "Swims"));
+            Alcotest.(check bool) "Fish not <= Walks iface" false
+              (Hierarchy.subtype h ~sub:(ty p "Fish") ~sup:(ty p "Amphibious"))));
+    Alcotest.test_case "siblings unrelated" `Quick (fun () ->
+        with_hierarchy (fun p h ->
+            Alcotest.(check bool) "Fish not <= Frog" false
+              (Hierarchy.subtype h ~sub:(ty p "Fish") ~sup:(ty p "Frog"))));
+  ]
+
+let lookup_tests =
+  [
+    Alcotest.test_case "override found on subclass" `Quick (fun () ->
+        with_hierarchy (fun p h ->
+            let speak =
+              (Ir.Program.meth_info p
+                 (Option.get (Ir.Program.find_meth p "Frog" "speak" 0)))
+                .Ir.meth_sig
+            in
+            let target = Hierarchy.lookup h (ty p "Frog") speak in
+            Alcotest.(check (option string))
+              "Frog.speak" (Some "Frog.speak/0")
+              (Option.map (Ir.Program.meth_qualified_name p) target)));
+    Alcotest.test_case "inherited through two levels" `Quick (fun () ->
+        with_hierarchy (fun p h ->
+            let speak =
+              (Ir.Program.meth_info p
+                 (Option.get (Ir.Program.find_meth p "Frog" "speak" 0)))
+                .Ir.meth_sig
+            in
+            Alcotest.(check (option string))
+              "TreeFrog inherits Frog.speak" (Some "Frog.speak/0")
+              (Option.map
+                 (Ir.Program.meth_qualified_name p)
+                 (Hierarchy.lookup h (ty p "TreeFrog") speak));
+            let walk =
+              (Ir.Program.meth_info p
+                 (Option.get (Ir.Program.find_meth p "Animal" "walk" 0)))
+                .Ir.meth_sig
+            in
+            Alcotest.(check (option string))
+              "TreeFrog inherits Animal.walk" (Some "Animal.walk/0")
+              (Option.map
+                 (Ir.Program.meth_qualified_name p)
+                 (Hierarchy.lookup h (ty p "TreeFrog") walk))));
+    Alcotest.test_case "missing method yields None" `Quick (fun () ->
+        with_hierarchy (fun p h ->
+            let swim =
+              (Ir.Program.meth_info p
+                 (Option.get (Ir.Program.find_meth p "Fish" "swim" 0)))
+                .Ir.meth_sig
+            in
+            Alcotest.(check (option string))
+              "Animal has no swim" None
+              (Option.map
+                 (Ir.Program.meth_qualified_name p)
+                 (Hierarchy.lookup h (ty p "Animal") swim))));
+    Alcotest.test_case "direct subclasses" `Quick (fun () ->
+        with_hierarchy (fun p h ->
+            let subs =
+              Hierarchy.direct_subclasses h (ty p "Animal")
+              |> List.map (Ir.Program.type_name p)
+              |> List.sort compare
+            in
+            Alcotest.(check (list string)) "subs" [ "Fish"; "Frog" ] subs));
+  ]
+
+let tests = subtype_tests @ lookup_tests

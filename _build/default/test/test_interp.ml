@@ -1,0 +1,242 @@
+(** Concrete interpreter tests: determinism, semantics of each
+    instruction kind, fault skipping, and budget enforcement. *)
+
+module Ir = Pta_ir.Ir
+module Interp = Pta_interp.Interp
+
+let program src = Pta_frontend.Frontend.program_of_string ~file:"<t>" src
+
+let observed_pairs trace p =
+  Interp.observed_var_points trace
+  |> List.map (fun (v, h) ->
+         (Ir.Program.var_qualified_name p v, Ir.Program.heap_name p h))
+  |> List.sort compare
+
+let determinism_test () =
+  let p =
+    Pta_workloads.Workloads.program
+      (Option.get (Pta_workloads.Profile.by_name "tiny"))
+  in
+  let t1 = Interp.run ~seed:5L p and t2 = Interp.run ~seed:5L p in
+  Alcotest.(check (list (pair string string)))
+    "same trace" (observed_pairs t1 p) (observed_pairs t2 p);
+  let t3 = Interp.run ~seed:6L p in
+  Alcotest.(check bool) "both executed something" true
+    (t1.Interp.steps > 0 && t3.Interp.steps > 0)
+
+let dispatch_test () =
+  let p =
+    program
+      {|
+      class A { method who() { return new A; } }
+      class B extends A { method who() { return new B; } }
+      class Main {
+        static method main() {
+          var b = new B;
+          var w = b.who();
+        }
+      }
+      |}
+  in
+  let trace = Interp.run ~seed:1L p in
+  let edges =
+    Interp.observed_call_edges trace
+    |> List.map (fun (_, m) -> Ir.Program.meth_qualified_name p m)
+  in
+  Alcotest.(check (list string)) "dispatches to override" [ "B.who/0" ] edges;
+  (* w holds a B allocated inside B.who *)
+  let pairs = observed_pairs trace p in
+  Alcotest.(check bool) "w bound to B.who's allocation" true
+    (List.exists
+       (fun (v, h) ->
+         v = "Main.main/0:w"
+         && String.length h >= 8
+         && String.sub h 0 8 = "B.who/0["
+         && (let n = String.length h in
+             let sub = "new B" in
+             let rec at i = i + 5 <= n && (String.sub h i 5 = sub || at (i + 1)) in
+             at 0))
+       pairs)
+
+let failed_cast_skips_test () =
+  let p =
+    program
+      {|
+      class A {} class B {}
+      class Main {
+        static method main() {
+          var a = new A;
+          var bad = (B) a;
+          var after = new B;
+        }
+      }
+      |}
+  in
+  let trace = Interp.run ~seed:1L p in
+  let pairs = observed_pairs trace p in
+  Alcotest.(check bool) "bad never bound" true
+    (not (List.exists (fun (v, _) -> v = "Main.main/0:bad") pairs));
+  Alcotest.(check bool) "execution continued" true
+    (List.exists (fun (v, _) -> v = "Main.main/0:after") pairs)
+
+let null_faults_skip_test () =
+  let p =
+    program
+      {|
+      class P { field f; }
+      class Main {
+        static method main() {
+          var x = null;
+          var load = x.f;
+          x.f = x;
+          x.m();
+          var after = new P;
+        }
+      }
+      |}
+  in
+  let trace = Interp.run ~seed:1L p in
+  Alcotest.(check bool) "after reached" true
+    (List.exists
+       (fun (v, _) -> v = "Main.main/0:after")
+       (observed_pairs trace p));
+  Alcotest.(check int) "no calls happened" 0
+    (List.length (Interp.observed_call_edges trace))
+
+let budget_test () =
+  let p =
+    program
+      {|
+      class Main {
+        static method spin() { while (*) { var x = new Main; } return null; }
+        static method main() {
+          while (*) { Main::spin(); var y = new Main; }
+        }
+      }
+      |}
+  in
+  let trace = Interp.run ~max_steps:50 ~seed:3L p in
+  Alcotest.(check bool) "stopped promptly" true (trace.Interp.steps <= 51)
+
+let depth_bound_test () =
+  let p =
+    program
+      {|
+      class Main {
+        static method rec(x) { return Main::rec(x); }
+        static method main() { var r = Main::rec(null); }
+      }
+      |}
+  in
+  (* Infinite recursion: the depth bound cuts it; must terminate. *)
+  let trace = Interp.run ~max_depth:20 ~seed:1L p in
+  Alcotest.(check bool) "terminated" true (trace.Interp.steps > 0)
+
+let field_store_load_test () =
+  let p =
+    program
+      {|
+      class Box { field content; }
+      class A {}
+      class Main {
+        static method main() {
+          var box = new Box;
+          var a = new A;
+          box.content = a;
+          var out = box.content;
+        }
+      }
+      |}
+  in
+  let trace = Interp.run ~seed:1L p in
+  Alcotest.(check bool) "out holds the A allocation" true
+    (List.exists
+       (fun (v, h) ->
+         v = "Main.main/0:out"
+         &&
+         let sub = "new A" in
+         let n = String.length h in
+         let rec at i = i + 5 <= n && (String.sub h i 5 = sub || at (i + 1)) in
+         at 0)
+       (observed_pairs trace p))
+
+let exception_unwind_test () =
+  let p =
+    program
+      {|
+      class Err {}
+      class Main {
+        static method boom() {
+          throw new Err;
+        }
+        static method main() {
+          var before = new Main;
+          try {
+            Main::boom();
+            var unreachable = new Err;
+          } catch (Err e) {
+            var caught = e;
+          }
+          var after = new Main;
+        }
+      }
+      |}
+  in
+  let trace = Interp.run ~seed:1L p in
+  let names =
+    Interp.observed_var_points trace
+    |> List.map (fun (v, _) -> Ir.Program.var_qualified_name p v)
+  in
+  Alcotest.(check bool) "caught bound" true
+    (List.mem "Main.main/0:caught" names);
+  Alcotest.(check bool) "code after throw in try skipped" true
+    (not (List.mem "Main.main/0:unreachable" names));
+  Alcotest.(check bool) "execution resumed after handler" true
+    (List.mem "Main.main/0:after" names)
+
+let exception_in_loop_test () =
+  (* A throw inside a loop unwinds out of the loop, not just the
+     iteration. *)
+  let p =
+    program
+      {|
+      class Err {}
+      class Main {
+        static method main() {
+          try {
+            while (*) {
+              throw new Err;
+            }
+            var afterLoop = new Main;
+          } catch (Err e) {
+            var handled = e;
+          }
+        }
+      }
+      |}
+  in
+  (* With seed exploration, some run takes the loop body and throws. *)
+  let saw_handled = ref false in
+  List.iter
+    (fun seed ->
+      let trace = Interp.run ~seed p in
+      let names =
+        Interp.observed_var_points trace
+        |> List.map (fun (v, _) -> Ir.Program.var_qualified_name p v)
+      in
+      if List.mem "Main.main/0:handled" names then saw_handled := true)
+    [ 1L; 2L; 3L; 4L; 5L ];
+  Alcotest.(check bool) "some run throws out of the loop" true !saw_handled
+
+let tests =
+  [
+    Alcotest.test_case "determinism by seed" `Quick determinism_test;
+    Alcotest.test_case "dynamic dispatch" `Quick dispatch_test;
+    Alcotest.test_case "failed casts are skipped" `Quick failed_cast_skips_test;
+    Alcotest.test_case "null faults are skipped" `Quick null_faults_skip_test;
+    Alcotest.test_case "step budget enforced" `Quick budget_test;
+    Alcotest.test_case "depth bound enforced" `Quick depth_bound_test;
+    Alcotest.test_case "field store/load" `Quick field_store_load_test;
+    Alcotest.test_case "exception unwinding" `Quick exception_unwind_test;
+    Alcotest.test_case "exception exits loops" `Quick exception_in_loop_test;
+  ]

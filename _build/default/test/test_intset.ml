@@ -1,0 +1,94 @@
+(** Patricia-tree integer sets: unit tests plus qcheck properties
+    against the model implementation [Stdlib.Set.Make(Int)]. *)
+
+module Intset = Pta_solver.Intset
+module M = Set.Make (Int)
+
+let of_model m = M.fold Intset.add m Intset.empty
+let to_model s = Intset.fold (fun i acc -> M.add i acc) s M.empty
+
+let ints_arb = QCheck.(list_of_size Gen.(int_bound 200) (int_bound 10_000))
+
+let model_of_list l = M.of_list l
+let set_of_list l = Intset.of_list l
+
+let prop name gen f = QCheck.Test.make ~count:500 ~name gen f
+
+let qcheck_tests =
+  [
+    prop "mem agrees with model" QCheck.(pair ints_arb (int_bound 10_000))
+      (fun (l, x) -> Intset.mem x (set_of_list l) = M.mem x (model_of_list l));
+    prop "union agrees with model" QCheck.(pair ints_arb ints_arb)
+      (fun (a, b) ->
+        M.equal
+          (to_model (Intset.union (set_of_list a) (set_of_list b)))
+          (M.union (model_of_list a) (model_of_list b)));
+    prop "inter agrees with model" QCheck.(pair ints_arb ints_arb)
+      (fun (a, b) ->
+        M.equal
+          (to_model (Intset.inter (set_of_list a) (set_of_list b)))
+          (M.inter (model_of_list a) (model_of_list b)));
+    prop "diff agrees with model" QCheck.(pair ints_arb ints_arb)
+      (fun (a, b) ->
+        M.equal
+          (to_model (Intset.diff (set_of_list a) (set_of_list b)))
+          (M.diff (model_of_list a) (model_of_list b)));
+    prop "remove agrees with model" QCheck.(pair ints_arb (int_bound 10_000))
+      (fun (l, x) ->
+        M.equal
+          (to_model (Intset.remove x (set_of_list l)))
+          (M.remove x (model_of_list l)));
+    prop "cardinal agrees with model" ints_arb (fun l ->
+        Intset.cardinal (set_of_list l) = M.cardinal (model_of_list l));
+    prop "subset agrees with model" QCheck.(pair ints_arb ints_arb)
+      (fun (a, b) ->
+        Intset.subset (set_of_list a) (set_of_list b)
+        = M.subset (model_of_list a) (model_of_list b));
+    prop "elements sorted and deduplicated" ints_arb (fun l ->
+        Intset.elements (set_of_list l) = M.elements (model_of_list l));
+    prop "equal is extensional" QCheck.(pair ints_arb ints_arb)
+      (fun (a, b) ->
+        Intset.equal (set_of_list a) (set_of_list b)
+        = M.equal (model_of_list a) (model_of_list b));
+    prop "canonical structure: permutation-insensitive build" ints_arb
+      (fun l ->
+        Intset.equal (set_of_list l) (set_of_list (List.rev l)));
+    prop "union idempotent" ints_arb (fun l ->
+        let s = set_of_list l in
+        Intset.equal (Intset.union s s) s);
+    prop "filter even" ints_arb (fun l ->
+        M.equal
+          (to_model (Intset.filter (fun x -> x mod 2 = 0) (set_of_list l)))
+          (M.filter (fun x -> x mod 2 = 0) (model_of_list l)));
+    prop "for_all/exists" ints_arb (fun l ->
+        let s = set_of_list l and m = model_of_list l in
+        Intset.for_all (fun x -> x >= 0) s = M.for_all (fun x -> x >= 0) m
+        && Intset.exists (fun x -> x > 5_000) s = M.exists (fun x -> x > 5_000) m);
+  ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "empty basics" `Quick (fun () ->
+        Alcotest.(check bool) "is_empty" true (Intset.is_empty Intset.empty);
+        Alcotest.(check int) "cardinal" 0 (Intset.cardinal Intset.empty);
+        Alcotest.(check (option int)) "choose" None (Intset.choose_opt Intset.empty));
+    Alcotest.test_case "negative elements rejected" `Quick (fun () ->
+        Alcotest.check_raises "add" (Invalid_argument "Intset: negative element")
+          (fun () -> ignore (Intset.add (-1) Intset.empty));
+        Alcotest.check_raises "singleton"
+          (Invalid_argument "Intset: negative element") (fun () ->
+            ignore (Intset.singleton (-5))));
+    Alcotest.test_case "sharing-friendly union returns same set" `Quick (fun () ->
+        let s = Intset.of_list [ 1; 2; 3; 1000; 65536 ] in
+        Alcotest.(check bool) "s union s == s" true (Intset.union s s == s);
+        Alcotest.(check bool)
+          "s union empty == s" true
+          (Intset.union s Intset.empty == s));
+    Alcotest.test_case "large and boundary values" `Quick (fun () ->
+        let big = max_int / 2 in
+        let s = Intset.of_list [ 0; 1; big; big - 1 ] in
+        Alcotest.(check bool) "mem big" true (Intset.mem big s);
+        Alcotest.(check int) "cardinal" 4 (Intset.cardinal s));
+  ]
+
+let tests = unit_tests @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,97 @@
+(** Precision-relation properties.
+
+    The paper proves some analyses at-least-as-precise as others by
+    construction: every uniform hybrid refines its base, and SB-1obj
+    refines 1obj ("the context is always a superset").  We check the
+    observable consequence on whole workloads: the context-insensitive
+    projection of the refined analysis's var-points-to is a subset of the
+    base's, and the may-fail-cast/poly-v-call counts never increase.
+    Everything is also bounded above by the context-insensitive
+    analysis. *)
+
+module Ir = Pta_ir.Ir
+module Solver = Pta_solver.Solver
+module Intset = Pta_solver.Intset
+module Metrics = Pta_clients.Metrics
+
+let run program name =
+  let factory = Option.get (Pta_context.Strategies.by_name name) in
+  Solver.run program (factory program)
+
+let check_refines program ~fine ~coarse =
+  let sf = run program fine and sc = run program coarse in
+  (* Projection subset, per variable. *)
+  Ir.Program.iter_vars program (fun var _ ->
+      let pf = Solver.ci_var_points_to sf var in
+      let pc = Solver.ci_var_points_to sc var in
+      if not (Intset.subset pf pc) then
+        Alcotest.failf "%s should refine %s but %s has extra objects for %s" fine
+          coarse fine
+          (Ir.Program.var_qualified_name program var));
+  (* Client metrics never get worse. *)
+  let mf = Metrics.compute sf and mc = Metrics.compute sc in
+  if mf.Metrics.may_fail_casts > mc.Metrics.may_fail_casts then
+    Alcotest.failf "%s has more may-fail casts than %s" fine coarse;
+  if mf.Metrics.call_graph_edges > mc.Metrics.call_graph_edges then
+    Alcotest.failf "%s has more call-graph edges than %s" fine coarse
+
+(* Pairs with a by-construction refinement guarantee (Section 3.1/3.2),
+   plus the everything-refines-insens sanity bound. *)
+let guaranteed_pairs =
+  [
+    ("U-1obj", "1obj");
+    ("SB-1obj", "1obj");
+    ("U-2obj+H", "2obj+H");
+    ("U-2type+H", "2type+H");
+    ("1call", "insens");
+    ("1obj", "insens");
+    ("2obj+H", "insens");
+    ("2type+H", "insens");
+    ("S-2obj+H", "insens");
+    ("SA-1obj", "insens");
+  ]
+
+let workloads = [ "tiny"; "luindex" ]
+
+let tests =
+  List.concat_map
+    (fun wname ->
+      List.map
+        (fun (fine, coarse) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s: %s refines %s" wname fine coarse)
+            `Quick
+            (fun () ->
+              let program =
+                Pta_workloads.Workloads.program
+                  (Option.get (Pta_workloads.Profile.by_name wname))
+              in
+              check_refines program ~fine ~coarse))
+        guaranteed_pairs)
+    workloads
+  @ [
+      Alcotest.test_case "2obj+H strictly beats 1obj somewhere" `Quick (fun () ->
+          (* Not a theorem for all programs, but must hold on a workload
+             with containers — a regression guard for the benchmark's
+             qualitative shape. *)
+          let program =
+            Pta_workloads.Workloads.program
+              (Option.get (Pta_workloads.Profile.by_name "luindex"))
+          in
+          let m2 = Metrics.compute (run program "2obj+H") in
+          let m1 = Metrics.compute (run program "1obj") in
+          Alcotest.(check bool) "fewer may-fail casts" true
+            (m2.Metrics.may_fail_casts < m1.Metrics.may_fail_casts));
+      Alcotest.test_case "selective hybrids repair static-call precision" `Quick
+        (fun () ->
+          let program =
+            Pta_workloads.Workloads.program
+              (Option.get (Pta_workloads.Profile.by_name "luindex"))
+          in
+          let base = Metrics.compute (run program "2obj+H") in
+          let sel = Metrics.compute (run program "S-2obj+H") in
+          Alcotest.(check bool) "S-2obj+H at least as precise on casts" true
+            (sel.Metrics.may_fail_casts <= base.Metrics.may_fail_casts);
+          Alcotest.(check bool) "and no larger sensitive vpt" true
+            (sel.Metrics.sensitive_vpt <= base.Metrics.sensitive_vpt));
+    ]

@@ -1,0 +1,51 @@
+(** Regression pins: exact metric values for the deterministic [tiny]
+    workload under key analyses.  These catch *unintended* changes to the
+    frontend, solver, or workload generator — if you change any of them
+    deliberately, re-generate the pins and re-validate the benchmark
+    shape assertions (see HACKING.md). *)
+
+module Metrics = Pta_clients.Metrics
+
+let pinned =
+  (* (analysis, (cg edges, reachable meths, poly v-calls, may-fail casts,
+     total casts, sensitive vpt)) *)
+  [
+    ("insens", (159, 59, 4, 7, 25, 674));
+    ("1call", (159, 59, 4, 7, 25, 2650));
+    ("1obj", (157, 59, 3, 6, 25, 861));
+    ("SB-1obj", (157, 59, 3, 6, 25, 869));
+    ("2obj+H", (157, 59, 3, 6, 25, 1073));
+    ("S-2obj+H", (157, 59, 3, 6, 25, 1081));
+    ("2type+H", (157, 59, 3, 6, 25, 897));
+    ("U-2obj+H", (157, 59, 3, 6, 25, 2123));
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "tiny workload metrics are pinned" `Quick (fun () ->
+        let program =
+          Pta_workloads.Workloads.program
+            (Option.get (Pta_workloads.Profile.by_name "tiny"))
+        in
+        List.iter
+          (fun (name, expected) ->
+            let factory = Option.get (Pta_context.Strategies.by_name name) in
+            let m =
+              Metrics.compute (Pta_solver.Solver.run program (factory program))
+            in
+            let actual =
+              ( m.Metrics.call_graph_edges,
+                m.Metrics.reachable_methods,
+                m.Metrics.poly_vcalls,
+                m.Metrics.may_fail_casts,
+                m.Metrics.total_casts,
+                m.Metrics.sensitive_vpt )
+            in
+            if actual <> expected then
+              let p (a, b, c, d, e, f) =
+                Printf.sprintf "(%d, %d, %d, %d, %d, %d)" a b c d e f
+              in
+              Alcotest.failf "%s drifted: pinned %s, got %s" name (p expected)
+                (p actual))
+          pinned);
+  ]

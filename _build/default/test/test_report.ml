@@ -1,0 +1,75 @@
+(** Rendering tests for the report library (tables, CSV, scatter). *)
+
+module Table = Pta_report.Table
+module Scatter = Pta_report.Scatter
+
+let lines s = String.split_on_char '\n' (String.trim s)
+
+let table_tests =
+  [
+    Alcotest.test_case "columns align" `Quick (fun () ->
+        let t = Table.create ~headers:[ "name"; "value" ] in
+        Table.add_row t [ "a"; "1" ];
+        Table.add_row t [ "long-name"; "12345" ];
+        match lines (Table.render t) with
+        | header :: _sep :: rows ->
+          List.iter
+            (fun row ->
+              Alcotest.(check int) "equal width" (String.length header)
+                (String.length row))
+            rows
+        | _ -> Alcotest.fail "missing rows");
+    Alcotest.test_case "first column left, rest right aligned" `Quick (fun () ->
+        let t = Table.create ~headers:[ "n"; "v" ] in
+        Table.add_row t [ "abc"; "1" ];
+        Table.add_row t [ "x"; "100" ];
+        let all = lines (Table.render t) in
+        let row = List.nth all 3 in
+        Alcotest.(check char) "left col starts at 0" 'x' row.[0];
+        Alcotest.(check char) "right col padded" '1' row.[String.length row - 3]);
+    Alcotest.test_case "separators render" `Quick (fun () ->
+        let t = Table.create ~headers:[ "a" ] in
+        Table.add_row t [ "1" ];
+        Table.add_separator t;
+        Table.add_row t [ "2" ];
+        Alcotest.(check int) "five lines" 5 (List.length (lines (Table.render t))));
+    Alcotest.test_case "csv escaping" `Quick (fun () ->
+        let out =
+          Table.csv ~headers:[ "x"; "y" ] [ [ "a,b"; "he said \"hi\"" ]; [ "plain"; "2" ] ]
+        in
+        Alcotest.(check string) "escaped"
+          "x,y\n\"a,b\",\"he said \"\"hi\"\"\"\nplain,2\n" out);
+  ]
+
+let scatter_tests =
+  [
+    Alcotest.test_case "all points plotted with legend" `Quick (fun () ->
+        let out =
+          Scatter.render ~title:"t" ~x_label:"x" ~y_label:"y"
+            [
+              { Scatter.key = 'a'; label = "first"; x = 0.; y = 0. };
+              { Scatter.key = 'b'; label = "second"; x = 10.; y = 5. };
+            ]
+        in
+        Alcotest.(check bool) "contains a" true (String.contains out 'a');
+        Alcotest.(check bool) "contains b" true (String.contains out 'b');
+        let has_sub sub =
+          let n = String.length sub and h = String.length out in
+          let rec at i = i + n <= h && (String.sub out i n = sub || at (i + 1)) in
+          at 0
+        in
+        Alcotest.(check bool) "legend first" true (has_sub "first");
+        Alcotest.(check bool) "legend second" true (has_sub "second"));
+    Alcotest.test_case "empty data" `Quick (fun () ->
+        let out = Scatter.render ~title:"t" ~x_label:"x" ~y_label:"y" [] in
+        Alcotest.(check bool) "mentions no data" true
+          (String.length out > 0));
+    Alcotest.test_case "degenerate single point" `Quick (fun () ->
+        let out =
+          Scatter.render ~title:"t" ~x_label:"x" ~y_label:"y"
+            [ { Scatter.key = 'z'; label = "only"; x = 3.; y = 7. } ]
+        in
+        Alcotest.(check bool) "plots" true (String.contains out 'z'));
+  ]
+
+let tests = table_tests @ scatter_tests

@@ -1,0 +1,76 @@
+(** Round-trip property: decompiling a program to MJ and re-lowering it
+    preserves the analysis results (decompiled code gains one extra
+    return-copy per non-void method, so set-size metrics may differ by
+    copies; the client metrics must be identical). *)
+
+module Ir = Pta_ir.Ir
+module Metrics = Pta_clients.Metrics
+module Solver = Pta_solver.Solver
+
+let key_metrics program strategy_name =
+  let factory = Option.get (Pta_context.Strategies.by_name strategy_name) in
+  let m = Metrics.compute (Solver.run program (factory program)) in
+  ( m.Metrics.call_graph_edges,
+    m.Metrics.reachable_methods,
+    m.Metrics.poly_vcalls,
+    m.Metrics.may_fail_casts,
+    m.Metrics.total_casts,
+    m.Metrics.uncaught_exceptions )
+
+let check_roundtrip ~name src =
+  let original = Pta_frontend.Frontend.program_of_string ~file:name src in
+  let printed = Pta_frontend.To_mj.program_to_source original in
+  let reparsed =
+    try Pta_frontend.Frontend.program_of_string ~file:(name ^ "-roundtrip") printed
+    with Pta_frontend.Srcloc.Error (pos, msg) ->
+      Alcotest.failf "%s: reparse failed: %s at %s:%d:%d\n--- printed ---\n%s" name
+        msg pos.Pta_frontend.Srcloc.file pos.Pta_frontend.Srcloc.line
+        pos.Pta_frontend.Srcloc.col printed
+  in
+  List.iter
+    (fun strategy ->
+      let a = key_metrics original strategy in
+      let b = key_metrics reparsed strategy in
+      if a <> b then
+        let p (e, r, v, c, t, u) =
+          Printf.sprintf "edges=%d reach=%d poly=%d casts=%d/%d uncaught=%d" e r v
+            c t u
+        in
+        Alcotest.failf "%s/%s: original %s vs reparsed %s" name strategy (p a) (p b))
+    [ "insens"; "1obj"; "SB-1obj"; "2obj+H"; "S-2obj+H" ]
+
+let battery =
+  [
+    ("inheritance", Test_differential.program_inheritance);
+    ("containers", Test_differential.program_containers);
+    ("statics", Test_differential.program_statics);
+    ("recursion", Test_differential.program_recursion);
+    ("static-fields", Test_differential.program_static_fields);
+    ("exceptions", Test_differential.program_exceptions);
+  ]
+
+let tests =
+  List.map
+    (fun (name, src) ->
+      Alcotest.test_case ("roundtrip " ^ name) `Quick (fun () ->
+          check_roundtrip ~name src))
+    battery
+  @ [
+      Alcotest.test_case "roundtrip tiny workload" `Quick (fun () ->
+          check_roundtrip ~name:"tiny"
+            (Pta_workloads.Workloads.source
+               (Option.get (Pta_workloads.Profile.by_name "tiny"))));
+      Alcotest.test_case "roundtrip fuzzed programs" `Quick (fun () ->
+          for seed = 100 to 110 do
+            let rng = Pta_workloads.Rng.create (Int64.of_int seed) in
+            let program = Test_fuzz.random_program rng in
+            let printed = Pta_frontend.To_mj.program_to_source program in
+            let reparsed =
+              Pta_frontend.Frontend.program_of_string
+                ~file:(Printf.sprintf "fuzz-%d" seed) printed
+            in
+            let a = key_metrics program "1obj" in
+            let b = key_metrics reparsed "1obj" in
+            if a <> b then Alcotest.failf "fuzz roundtrip %d diverged" seed
+          done);
+    ]

@@ -1,0 +1,92 @@
+(** Soundness testing: every fact observed by concretely executing a
+    program (real heap, real dispatch, random control flow) must be
+    included in every analysis's result — for all context strategies. *)
+
+module Ir = Pta_ir.Ir
+module Solver = Pta_solver.Solver
+module Intset = Pta_solver.Intset
+module Interp = Pta_interp.Interp
+
+let check_sound ~name program strategies ~seeds =
+  let traces =
+    List.map (fun seed -> Interp.run ~seed program) seeds
+  in
+  List.iter
+    (fun strat_name ->
+      let factory = Option.get (Pta_context.Strategies.by_name strat_name) in
+      let solver = Solver.run program (factory program) in
+      let reachable = Solver.reachable_meths solver in
+      List.iter
+        (fun trace ->
+          List.iter
+            (fun (var, heap) ->
+              if
+                not
+                  (Intset.mem (Ir.Heap_id.to_int heap)
+                     (Solver.ci_var_points_to solver var))
+              then
+                Alcotest.failf "%s/%s: UNSOUND: %s may point to %s at runtime"
+                  name strat_name
+                  (Ir.Program.var_qualified_name program var)
+                  (Ir.Program.heap_name program heap))
+            (Interp.observed_var_points trace);
+          List.iter
+            (fun (invo, meth) ->
+              if not (Ir.Meth_id.Set.mem meth (Solver.invo_targets solver invo))
+              then
+                Alcotest.failf "%s/%s: UNSOUND: missing call edge %s -> %s" name
+                  strat_name
+                  (Ir.Program.invo_name program invo)
+                  (Ir.Program.meth_qualified_name program meth))
+            (Interp.observed_call_edges trace);
+          List.iter
+            (fun meth ->
+              if not (Ir.Meth_id.Set.mem meth reachable) then
+                Alcotest.failf "%s/%s: UNSOUND: method %s reached at runtime"
+                  name strat_name
+                  (Ir.Program.meth_qualified_name program meth))
+            (Interp.observed_reached trace))
+        traces)
+    strategies
+
+let seeds = [ 1L; 2L; 3L; 42L; 0xBEEFL ]
+let all_strategies = List.map fst Pta_context.Strategies.all
+
+let source_tests =
+  [
+    ("inheritance", Test_differential.program_inheritance);
+    ("containers", Test_differential.program_containers);
+    ("statics", Test_differential.program_statics);
+    ("recursion", Test_differential.program_recursion);
+    ("static-fields", Test_differential.program_static_fields);
+    ("exceptions", Test_differential.program_exceptions);
+  ]
+
+let tests =
+  List.map
+    (fun (name, src) ->
+      Alcotest.test_case (name ^ " sound for all strategies") `Quick (fun () ->
+          let program =
+            Pta_frontend.Frontend.program_of_string ~file:name src
+          in
+          check_sound ~name program all_strategies ~seeds))
+    source_tests
+  @ [
+      Alcotest.test_case "tiny workload sound" `Quick (fun () ->
+          let program =
+            Pta_workloads.Workloads.program
+              (Option.get (Pta_workloads.Profile.by_name "tiny"))
+          in
+          check_sound ~name:"tiny" program
+            [ "insens"; "1call"; "1call+H"; "1obj"; "SA-1obj"; "SB-1obj";
+              "2obj+H"; "U-2obj+H"; "S-2obj+H"; "2type+H"; "3obj+2H" ]
+            ~seeds);
+      Alcotest.test_case "luindex workload sound (spot check)" `Slow (fun () ->
+          let program =
+            Pta_workloads.Workloads.program
+              (Option.get (Pta_workloads.Profile.by_name "luindex"))
+          in
+          check_sound ~name:"luindex" program
+            [ "insens"; "1obj"; "S-2obj+H" ]
+            ~seeds:[ 7L; 8L ])
+    ]

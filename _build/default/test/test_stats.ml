@@ -1,0 +1,78 @@
+(** Tests for the introspection module. *)
+
+module Ir = Pta_ir.Ir
+module Solver = Pta_solver.Solver
+module Stats = Pta_clients.Stats
+
+let solver =
+  lazy
+    (let program =
+       Pta_frontend.Frontend.program_of_string ~file:"<t>"
+         {|
+         class Worker {
+           field job;
+           method take(x) { this.job = x; return this.job; }
+         }
+         class JobA {} class JobB {}
+         class Main {
+           static method main() {
+             var w1 = new Worker;
+             var w2 = new Worker;
+             var r1 = w1.take(new JobA);
+             var r2 = w2.take(new JobB);
+           }
+         }
+         |}
+     in
+     Solver.run program (Pta_context.Strategies.obj1 program))
+
+let histogram_test () =
+  let stats = Stats.compute (Lazy.force solver) in
+  (* main: 1 context; Worker.take: 2 contexts (two receiver sites). *)
+  let program = Solver.program (Lazy.force solver) in
+  let take_entry =
+    List.find
+      (fun (m : Stats.meth_contexts) ->
+        String.equal (Ir.Program.meth_qualified_name program m.meth) "Worker.take/1")
+      stats.Stats.by_method
+  in
+  Alcotest.(check int) "take has two contexts" 2 take_entry.Stats.n_contexts;
+  let total_meths =
+    List.fold_left (fun acc (_, count) -> acc + count) 0 stats.Stats.context_histogram
+  in
+  Alcotest.(check int) "histogram covers reachable methods" 2 total_meths
+
+let fattest_test () =
+  let stats = Stats.compute ~top:3 (Lazy.force solver) in
+  Alcotest.(check bool) "top list bounded" true
+    (List.length stats.Stats.fattest <= 3);
+  List.iter
+    (fun (v : Stats.fat_var) ->
+      Alcotest.(check bool) "cs facts >= ci size" true (v.cs_facts >= v.ci_size))
+    stats.Stats.fattest
+
+let facts_consistency_test () =
+  let solver = Lazy.force solver in
+  let stats = Stats.compute ~top:1000 solver in
+  let sum =
+    List.fold_left (fun acc (m : Stats.meth_contexts) -> acc + m.facts) 0
+      stats.Stats.by_method
+  in
+  Alcotest.(check int) "per-method facts sum to sensitive vpt"
+    (Solver.sensitive_vpt_size solver)
+    sum
+
+let pp_smoke_test () =
+  let solver = Lazy.force solver in
+  let out =
+    Format.asprintf "%a" (Stats.pp (Solver.program solver)) (Stats.compute solver)
+  in
+  Alcotest.(check bool) "prints something" true (String.length out > 100)
+
+let tests =
+  [
+    Alcotest.test_case "context histogram" `Quick histogram_test;
+    Alcotest.test_case "fattest variables" `Quick fattest_test;
+    Alcotest.test_case "facts consistency" `Quick facts_consistency_test;
+    Alcotest.test_case "pretty printer" `Quick pp_smoke_test;
+  ]
