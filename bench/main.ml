@@ -21,6 +21,9 @@ module Strategies = Pta_context.Strategies
 module Solver = Pta_solver.Solver
 module Table = Pta_report.Table
 module Scatter = Pta_report.Scatter
+module Driver = Pta_driver.Driver
+module Json = Pta_obs.Json
+module Run_stats = Pta_obs.Run_stats
 
 let timeout_s =
   match Sys.getenv_opt "PTA_BENCH_TIMEOUT" with
@@ -40,8 +43,9 @@ let analysis_groups =
 let analyses = List.concat analysis_groups
 
 type outcome =
-  | Done of Metrics.t * float  (* metrics, elapsed seconds *)
-  | Timed_out
+  | Done of Metrics.t * float * Run_stats.t
+      (* metrics, median elapsed seconds, counters of the first run *)
+  | Timed_out of Pta_obs.Budget.abort
 
 let runs : (string * string, outcome) Hashtbl.t = Hashtbl.create 256
 
@@ -51,37 +55,66 @@ let run_one profile analysis_name =
   | Some o -> o
   | None ->
     let program = Workloads.program profile in
-    let factory = Option.get (Strategies.by_name analysis_name) in
-    let strategy = factory program in
     (* Median of three timed runs, as in the paper; the analysis is
-       deterministic, so metrics are computed once. *)
+       deterministic, so metrics and counters are collected once (on the
+       first run — the recorder's non-time fields are identical across
+       runs either way). *)
+    let run_once ~collect () =
+      Driver.run
+        ~config:(Solver.Config.make ~timeout_s ())
+        ~collect_stats:collect program ~analysis:analysis_name
+    in
     let outcome =
-      try
-        let timed () =
-          let t0 = Unix.gettimeofday () in
-          let solver = Solver.run ~timeout_s program strategy in
-          (Unix.gettimeofday () -. t0, solver)
+      match run_once ~collect:true () with
+      | Error (Driver.Timed_out { abort; _ }) -> Timed_out abort
+      | Error e -> Driver.report_and_exit e
+      | Ok r1 ->
+        let time = function
+          | Ok (r : Driver.run) -> r.Driver.wall_time_s
+          | Error _ -> infinity
         in
-        let t1, solver = timed () in
-        let t2, _ = timed () in
-        let t3, _ = timed () in
+        let t2 = time (run_once ~collect:false ()) in
+        let t3 = time (run_once ~collect:false ()) in
         let median =
-          match List.sort compare [ t1; t2; t3 ] with
+          match List.sort compare [ r1.Driver.wall_time_s; t2; t3 ] with
           | [ _; m; _ ] -> m
-          | _ -> t1
+          | _ -> r1.Driver.wall_time_s
         in
-        Done (Metrics.compute solver, median)
-      with Solver.Timeout -> Timed_out
+        Done (Metrics.compute r1.Driver.solver, median, Option.get r1.Driver.stats)
     in
     Hashtbl.replace runs key outcome;
     (match outcome with
-    | Done (_, s) ->
+    | Done (_, s, _) ->
       Printf.eprintf "  [bench] %-10s %-10s %6.2fs\n%!" profile.Profile.name
         analysis_name s
-    | Timed_out ->
-      Printf.eprintf "  [bench] %-10s %-10s TIMEOUT (>%.0fs)\n%!"
-        profile.Profile.name analysis_name timeout_s);
+    | Timed_out abort ->
+      Printf.eprintf
+        "  [bench] %-10s %-10s TIMEOUT (>%.0fs; %.1fs elapsed, %d iterations, \
+         %d nodes)\n\
+         %!"
+        profile.Profile.name analysis_name timeout_s
+        abort.Pta_obs.Budget.elapsed_s abort.Pta_obs.Budget.iterations
+        abort.Pta_obs.Budget.nodes);
     outcome
+
+(* A per-cell stats record for table1_stats.json: the Run_stats bundle of
+   finished cells, the abort payload of timed-out ones. *)
+let cell_stats_json profile_name analysis_name = function
+  | Done (_, _, stats) -> (
+    match Run_stats.to_json stats with
+    | Json.Obj fields ->
+      Json.Obj (("benchmark", Json.String profile_name) :: fields)
+    | _ -> assert false)
+  | Timed_out abort ->
+    Json.Obj
+      [
+        ("benchmark", Json.String profile_name);
+        ("analysis", Json.String analysis_name);
+        ("timed_out", Json.Bool true);
+        ("elapsed_s", Json.Float abort.Pta_obs.Budget.elapsed_s);
+        ("iterations", Json.Int abort.Pta_obs.Budget.iterations);
+        ("nodes", Json.Int abort.Pta_obs.Budget.nodes);
+      ]
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -95,7 +128,7 @@ let table1_block profile =
   let outcomes = List.map (fun a -> (a, run_one profile a)) analyses in
   let program = Workloads.program profile in
   let some_metrics =
-    List.find_map (function _, Done (m, _) -> Some m | _ -> None) outcomes
+    List.find_map (function _, Done (m, _, _) -> Some m | _ -> None) outcomes
   in
   let headline =
     match some_metrics with
@@ -112,7 +145,7 @@ let table1_block profile =
     Table.add_row t
       (label
       :: List.map
-           (fun (_, o) -> match o with Done (m, _) -> f m | Timed_out -> "-")
+           (fun (_, o) -> match o with Done (m, _, _) -> f m | Timed_out _ -> "-")
            outcomes)
   in
   metric_row "avg objs per var" (fun m -> fmt_float m.Metrics.avg_objs_per_var);
@@ -129,8 +162,8 @@ let table1_block profile =
           List.filter_map
             (fun a ->
               match run_one profile a with
-              | Done (_, s) -> Some (a, s)
-              | Timed_out -> None)
+              | Done (_, s, _) -> Some (a, s)
+              | Timed_out _ -> None)
             group
         in
         match times with
@@ -149,10 +182,10 @@ let table1_block profile =
     :: List.map
          (fun (a, o) ->
            match o with
-           | Done (_, s) ->
+           | Done (_, s, _) ->
              Printf.sprintf "%.2f%s" s
                (if List.mem a best_in_group then "*" else "")
-           | Timed_out -> "-")
+           | Timed_out _ -> "-")
          outcomes);
   metric_row "sensitive var-points-to" (fun m -> fmt_k m.Metrics.sensitive_vpt);
   (headline, Table.render t)
@@ -177,7 +210,7 @@ let cmd_table1 () =
       List.iter
         (fun a ->
           match run_one profile a with
-          | Done (m, s) ->
+          | Done (m, s, _) ->
             rows :=
               [
                 profile.Profile.name;
@@ -192,7 +225,7 @@ let cmd_table1 () =
                 fmt_int m.Metrics.n_ctxs;
               ]
               :: !rows
-          | Timed_out ->
+          | Timed_out _ ->
             rows :=
               [ profile.Profile.name; a; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-" ]
               :: !rows)
@@ -218,7 +251,22 @@ let cmd_table1 () =
   let oc = open_out "table1.csv" in
   output_string oc csv;
   close_out oc;
-  print_endline "[table1.csv written]\n"
+  print_endline "[table1.csv written]";
+  (* Per-cell counter bundles (or abort payloads) for the same grid. *)
+  let stats =
+    List.concat_map
+      (fun profile ->
+        List.map
+          (fun a ->
+            cell_stats_json profile.Profile.name a (run_one profile a))
+          analyses)
+      Profile.dacapo
+  in
+  let oc = open_out "table1_stats.json" in
+  output_string oc (Json.to_string (Json.List stats));
+  output_char oc '\n';
+  close_out oc;
+  print_endline "[table1_stats.json written]\n"
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3                                                            *)
@@ -250,7 +298,7 @@ let cmd_figure3 () =
         List.filter_map
           (fun (a, key) ->
             match run_one profile a with
-            | Done (m, s) ->
+            | Done (m, s, _) ->
               Some
                 {
                   Scatter.key;
@@ -258,7 +306,7 @@ let cmd_figure3 () =
                   x = float_of_int m.Metrics.may_fail_casts;
                   y = s;
                 }
-            | Timed_out -> None)
+            | Timed_out _ -> None)
           figure3_keys
       in
       print_endline
@@ -284,7 +332,7 @@ let ratio_over_benchmarks f num den =
   List.filter_map
     (fun profile ->
       match (run_one profile num, run_one profile den) with
-      | Done (m1, s1), Done (m2, s2) -> (
+      | Done (m1, s1, _), Done (m2, s2, _) -> (
         match f (m1, s1) (m2, s2) with
         | r when r > 0. && Float.is_finite r -> Some r
         | _ -> None)
@@ -355,8 +403,8 @@ let cmd_summary () =
         List.fold_left
           (fun acc profile ->
             match run_one profile a with
-            | Done (m, _) -> acc + m.Metrics.may_fail_casts
-            | Timed_out -> acc)
+            | Done (m, _, _) -> acc + m.Metrics.may_fail_casts
+            | Timed_out _ -> acc)
           0 Profile.dacapo
       in
       line "  %-10s %6d" a total)
@@ -386,7 +434,7 @@ let cmd_ablation () =
       List.iter
         (fun a ->
           match run_one profile a with
-          | Done (m, secs) ->
+          | Done (m, secs, _) ->
             Table.add_row t
               [
                 a;
@@ -396,7 +444,7 @@ let cmd_ablation () =
                 Printf.sprintf "%.2f" secs;
                 fmt_int m.Metrics.sensitive_vpt;
               ]
-          | Timed_out -> Table.add_row t [ a; "-"; "-"; "-"; "-"; "-" ])
+          | Timed_out _ -> Table.add_row t [ a; "-"; "-"; "-"; "-"; "-" ])
         subjects;
       (* Field-based heap abstraction as a further ablation row. *)
       (let program = Workloads.program profile in
@@ -404,7 +452,9 @@ let cmd_ablation () =
        match
          let t0 = Unix.gettimeofday () in
          let solver =
-           Solver.run ~timeout_s ~field_based:true program (factory program)
+           Solver.solve
+             ~config:(Solver.Config.make ~timeout_s ~field_based:true ())
+             program (factory program)
          in
          (Unix.gettimeofday () -. t0, Metrics.compute solver)
        with
@@ -418,7 +468,7 @@ let cmd_ablation () =
              Printf.sprintf "%.2f" secs;
              fmt_int m.Metrics.sensitive_vpt;
            ]
-       | exception Solver.Timeout ->
+       | exception Solver.Timeout _ ->
          Table.add_row t [ "2obj+H/fb"; "-"; "-"; "-"; "-"; "-" ]);
       Printf.printf "--- %s ---\n%s\n" bench_name (Table.render t))
     [ "antlr"; "luindex"; "pmd" ]
@@ -446,7 +496,7 @@ let cmd_futurework () =
       List.iter
         (fun a ->
           match run_one profile a with
-          | Done (m, secs) ->
+          | Done (m, secs, _) ->
             Table.add_row t
               [
                 a;
@@ -456,7 +506,7 @@ let cmd_futurework () =
                 Printf.sprintf "%.2f" secs;
                 fmt_int m.Metrics.sensitive_vpt;
               ]
-          | Timed_out -> Table.add_row t [ a; "-"; "-"; "-"; "-"; "-" ])
+          | Timed_out _ -> Table.add_row t [ a; "-"; "-"; "-"; "-"; "-" ])
         subjects;
       Printf.printf "--- %s ---\n%s\n" bench_name (Table.render t))
     [ "antlr"; "jython"; "lusearch" ]
@@ -484,12 +534,16 @@ let cmd_scaling () =
         let factory = Option.get (Strategies.by_name name) in
         match
           let t0 = Unix.gettimeofday () in
-          let solver = Solver.run ~timeout_s program (factory program) in
+          let solver =
+            Solver.solve
+              ~config:(Solver.Config.make ~timeout_s ())
+              program (factory program)
+          in
           (Unix.gettimeofday () -. t0, Metrics.compute solver)
         with
         | secs, m ->
           (Printf.sprintf "%.2f" secs, fmt_int m.Metrics.sensitive_vpt)
-        | exception Solver.Timeout -> ("-", "-")
+        | exception Solver.Timeout _ -> ("-", "-")
       in
       let t1, s1 = cell "1obj" in
       let t2, s2 = cell "2obj+H" in
@@ -534,18 +588,32 @@ let cmd_micro () =
         Test.make ~name:"parse-mjdk"
           (Staged.stage (fun () ->
                ignore (Pta_frontend.Frontend.parse ~file:"<mjdk>" mjdk_src)));
+        (* The default config's observer is null — this measures the
+           solver with instrumentation compiled in but switched off. *)
         Test.make ~name:"solver-1obj-tiny"
           (Staged.stage (fun () ->
-               ignore (Solver.run tiny_program (Strategies.obj1 tiny_program))));
+               ignore (Solver.solve tiny_program (Strategies.obj1 tiny_program))));
+        (* Same run with a live recorder, to expose the observer tax. *)
+        Test.make ~name:"solver-1obj-tiny-recorded"
+          (Staged.stage (fun () ->
+               let recorder = Pta_obs.Recorder.create () in
+               let config =
+                 Solver.Config.make
+                   ~observer:(Pta_obs.Recorder.observer recorder)
+                   ()
+               in
+               ignore
+                 (Solver.solve ~config tiny_program
+                    (Strategies.obj1 tiny_program))));
         Test.make ~name:"solver-S-2obj+H-tiny"
           (Staged.stage (fun () ->
                ignore
-                 (Solver.run tiny_program
+                 (Solver.solve tiny_program
                     (Strategies.selective_obj2_heap tiny_program))));
         Test.make ~name:"solver-U-2obj+H-tiny"
           (Staged.stage (fun () ->
                ignore
-                 (Solver.run tiny_program
+                 (Solver.solve tiny_program
                     (Strategies.uniform_obj2_heap tiny_program))));
       ]
   in

@@ -8,13 +8,21 @@
      callgraph  — context-insensitive call graph
      dump-ir    — parse, lower and pretty-print the IR
      gen        — emit a synthetic benchmark's MJ source
-     strategies — list available analyses *)
+     strategies — list available analyses
+
+   All subcommands share the exit-code contract enforced by
+   [Pta_driver.Driver]: 1 = MJ parse/semantic error, 2 = unknown
+   analysis (or benchmark), 3 = analysis timeout. *)
 
 module Ir = Pta_ir.Ir
 module Solver = Pta_solver.Solver
 module Intset = Pta_solver.Intset
 module Metrics = Pta_clients.Metrics
 module Strategies = Pta_context.Strategies
+module Driver = Pta_driver.Driver
+module Observer = Pta_obs.Observer
+module Json = Pta_obs.Json
+module Run_stats = Pta_obs.Run_stats
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -33,45 +41,81 @@ let no_stdlib_arg =
   Arg.(value & flag & info [ "no-stdlib" ] ~doc)
 
 let timeout_arg =
-  let doc = "Abort the analysis after $(docv) seconds." in
+  let doc = "Abort the analysis after $(docv) seconds (exit code 3)." in
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
 
-let load_program ~no_stdlib files =
-  let sources =
-    (if no_stdlib then []
-     else [ (Pta_mjdk.Mjdk.file_name, Pta_mjdk.Mjdk.source) ])
-    @ List.map
-        (fun path ->
-          let ic = open_in_bin path in
-          let contents =
-            Fun.protect
-              ~finally:(fun () -> close_in_noerr ic)
-              (fun () -> really_input_string ic (in_channel_length ic))
-          in
-          (path, contents))
-        files
+let stats_json_arg =
+  let doc =
+    "Write run statistics (wall time, iterations, nodes, edges, contexts, \
+     abstract objects, sensitive var-points-to size, per-phase timings) as \
+     JSON to $(docv)."
   in
-  Pta_frontend.Frontend.program_of_sources sources
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
 
-let strategy_of_name program name =
-  match Strategies.by_name name with
-  | Some factory -> factory program
-  | None ->
-    Printf.eprintf "unknown analysis %S; see `pointsto strategies'\n" name;
-    exit 2
+let progress_arg =
+  let doc = "Report solver progress on stderr while the analysis runs." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
 
-let with_frontend_errors f =
-  try f () with
-  | exn ->
-    if Pta_frontend.Frontend.report Format.err_formatter exn then exit 1
-    else raise exn
+let profile_arg =
+  let doc =
+    "After the run, print the observability profile (counters and per-phase \
+     timings) in human-readable form."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
 
-let run_analysis ?timeout_s program name =
-  let strategy = strategy_of_name program name in
-  try Solver.run ?timeout_s program strategy with
-  | Solver.Timeout ->
-    Printf.eprintf "analysis %s timed out\n" name;
-    exit 3
+(* Exit-code contract, rendered into every subcommand's man page. *)
+let common_exits =
+  [
+    Cmd.Exit.info 1 ~doc:"on MJ lexical, syntax or semantic errors.";
+    Cmd.Exit.info 2 ~doc:"on an unknown analysis or benchmark name.";
+    Cmd.Exit.info 3 ~doc:"when the analysis exceeds its time budget.";
+  ]
+  @ Cmd.Exit.defaults
+
+let handle = function Ok v -> v | Error e -> Driver.report_and_exit e
+
+let progress_observer () =
+  let iterations = ref 0 and nodes = ref 0 and edges = ref 0 in
+  let report () =
+    Printf.eprintf "\r[progress] %9d iterations %9d nodes %9d edges%!"
+      !iterations !nodes !edges
+  in
+  Observer.make
+    ~on_iteration:(fun () ->
+      incr iterations;
+      if !iterations land 0xFFFF = 0 then report ())
+    ~on_node:(fun () -> incr nodes)
+    ~on_edge:(fun () -> incr edges)
+    ~on_phase:(fun name s ->
+      Printf.eprintf "\r[progress] phase %-10s done in %.3fs%s\n%!" name s
+        (String.make 24 ' '))
+    ()
+
+let config_of ?timeout_s ~progress () =
+  let observer = if progress then progress_observer () else Observer.null in
+  Solver.Config.make ?timeout_s ~observer ()
+
+let sources_of files = List.map (fun f -> Driver.File f) files
+
+(* Exits 123 (cmdliner's "indiscriminate error") on I/O failure rather
+   than dying with an uncaught Sys_error. *)
+let write_file path contents =
+  match open_out path with
+  | oc ->
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+        output_string oc contents)
+  | exception Sys_error msg ->
+    Printf.eprintf "pointsto: cannot write %s: %s\n" path msg;
+    exit 123
+
+let emit_stats ~stats_json ~profile (r : Driver.run) =
+  match r.Driver.stats with
+  | None -> ()
+  | Some stats ->
+    if profile then Format.printf "%a@." Run_stats.pp stats;
+    Option.iter
+      (fun path -> write_file path (Json.to_string (Run_stats.to_json stats)))
+      stats_json
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                         *)
@@ -115,25 +159,28 @@ let resolve_meth_var program meth_name var_name =
   in
   (meth, var)
 
-
-
 let analyze_cmd =
-  let run files analysis no_stdlib timeout_s =
-    with_frontend_errors @@ fun () ->
-    let program = load_program ~no_stdlib files in
-    let t0 = Unix.gettimeofday () in
-    let solver = run_analysis ?timeout_s program analysis in
-    let elapsed = Unix.gettimeofday () -. t0 in
-    let metrics = Metrics.compute solver in
+  let run files analysis no_stdlib timeout_s stats_json progress profile =
+    let config = config_of ?timeout_s ~progress () in
+    let _program, r =
+      handle
+        (Driver.load_and_run ~stdlib:(not no_stdlib) ~config
+           ~collect_stats:(stats_json <> None || profile)
+           ~analysis (sources_of files))
+    in
+    let metrics = Metrics.compute r.Driver.solver in
     Format.printf "analysis: %s (%s)@." analysis
-      (strategy_of_name program analysis).Pta_context.Strategy.description;
+      r.Driver.strategy.Pta_context.Strategy.description;
     Format.printf "%a@." Metrics.pp metrics;
-    Format.printf "elapsed: %.3fs@." elapsed
+    Format.printf "elapsed: %.3fs@." r.Driver.wall_time_s;
+    emit_stats ~stats_json ~profile r
   in
   let doc = "Run one points-to analysis and print its metrics." in
   Cmd.v
-    (Cmd.info "analyze" ~doc)
-    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg)
+    (Cmd.info "analyze" ~doc ~exits:common_exits)
+    Term.(
+      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ stats_json_arg $ progress_arg $ profile_arg)
 
 let compare_cmd =
   let analyses_arg =
@@ -143,24 +190,31 @@ let compare_cmd =
       & opt (list string) [ "1call"; "1obj"; "SB-1obj"; "2obj+H"; "S-2obj+H"; "2type+H" ]
       & info [ "analyses" ] ~docv:"NAMES" ~doc)
   in
-  let run files analyses no_stdlib timeout_s =
-    with_frontend_errors @@ fun () ->
-    let program = load_program ~no_stdlib files in
+  let run files analyses no_stdlib timeout_s stats_json progress profile =
+    let program = handle (Driver.load_program ~stdlib:(not no_stdlib) (sources_of files)) in
     let table =
       Pta_report.Table.create
         ~headers:
           [ "analysis"; "avg objs"; "cg edges"; "poly v-calls"; "may-fail casts";
             "time (s)"; "sensitive vpt" ]
     in
+    let collect_stats = stats_json <> None || profile in
+    let all_stats = ref [] in
     List.iter
       (fun name ->
-        let strategy = strategy_of_name program name in
-        match
-          let t0 = Unix.gettimeofday () in
-          let solver = Solver.run ?timeout_s program strategy in
-          (Metrics.compute solver, Unix.gettimeofday () -. t0)
-        with
-        | m, s ->
+        (* Resolution failures abort with exit 2 even mid-table. *)
+        let (_ : Pta_context.Strategy.t) =
+          handle (Driver.strategy_of_name program name)
+        in
+        let config = config_of ?timeout_s ~progress () in
+        match Driver.run ~config ~collect_stats program ~analysis:name with
+        | Ok r ->
+          let m = Metrics.compute r.Driver.solver in
+          (match r.Driver.stats with
+          | Some stats ->
+            if profile then Format.printf "%a@." Run_stats.pp stats;
+            all_stats := Run_stats.to_json stats :: !all_stats
+          | None -> ());
           Pta_report.Table.add_row table
             [
               name;
@@ -168,18 +222,46 @@ let compare_cmd =
               string_of_int m.Metrics.call_graph_edges;
               Printf.sprintf "%d/%d" m.Metrics.poly_vcalls m.Metrics.total_vcalls;
               Printf.sprintf "%d/%d" m.Metrics.may_fail_casts m.Metrics.total_casts;
-              Printf.sprintf "%.3f" s;
+              Printf.sprintf "%.3f" r.Driver.wall_time_s;
               string_of_int m.Metrics.sensitive_vpt;
             ]
-        | exception Solver.Timeout ->
-          Pta_report.Table.add_row table [ name; "-"; "-"; "-"; "-"; "-"; "-" ])
+        | Error (Driver.Timed_out { abort; _ }) ->
+          all_stats :=
+            Json.Obj
+              [
+                ("analysis", Json.String name);
+                ("timed_out", Json.Bool true);
+                ("elapsed_s", Json.Float abort.Pta_obs.Budget.elapsed_s);
+                ("iterations", Json.Int abort.Pta_obs.Budget.iterations);
+                ("nodes", Json.Int abort.Pta_obs.Budget.nodes);
+              ]
+            :: !all_stats;
+          Pta_report.Table.add_row table [ name; "-"; "-"; "-"; "-"; "-"; "-" ]
+        | Error e -> Driver.report_and_exit e)
       analyses;
-    print_string (Pta_report.Table.render table)
+    print_string (Pta_report.Table.render table);
+    Option.iter
+      (fun path ->
+        write_file path (Json.to_string (Json.List (List.rev !all_stats))))
+      stats_json
   in
   let doc = "Compare several analyses on the same program." in
   Cmd.v
-    (Cmd.info "compare" ~doc)
-    Term.(const run $ files_arg $ analyses_arg $ no_stdlib_arg $ timeout_arg)
+    (Cmd.info "compare" ~doc ~exits:common_exits)
+    Term.(
+      const run $ files_arg $ analyses_arg $ no_stdlib_arg $ timeout_arg
+      $ stats_json_arg $ progress_arg $ profile_arg)
+
+(* Load + run for the query-style subcommands: no stats machinery, but
+   the same exit-code contract and optional timeout. *)
+let load_and_solve ?timeout_s ~no_stdlib ~analysis files =
+  let config = Solver.Config.make ?timeout_s () in
+  let program, r =
+    handle
+      (Driver.load_and_run ~stdlib:(not no_stdlib) ~config ~analysis
+         (sources_of files))
+  in
+  (program, r.Driver.solver)
 
 let query_cmd =
   let meth_arg =
@@ -194,11 +276,9 @@ let query_cmd =
       & opt (some string) None
       & info [ "var" ] ~docv:"NAME" ~doc:"Local variable name.")
   in
-  let run files analysis no_stdlib meth_name var_name =
-    with_frontend_errors @@ fun () ->
-    let program = load_program ~no_stdlib files in
+  let run files analysis no_stdlib timeout_s meth_name var_name =
+    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
     let _, var = resolve_meth_var program meth_name var_name in
-    let solver = run_analysis program analysis in
     let heaps = Solver.ci_var_points_to solver var in
     Format.printf "%s may point to %d allocation site(s):@."
       (Ir.Program.var_qualified_name program var)
@@ -210,14 +290,14 @@ let query_cmd =
   in
   let doc = "Print the points-to set of one variable." in
   Cmd.v
-    (Cmd.info "query" ~doc)
-    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ meth_arg $ var_arg)
+    (Cmd.info "query" ~doc ~exits:common_exits)
+    Term.(
+      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ meth_arg $ var_arg)
 
 let casts_cmd =
-  let run files analysis no_stdlib =
-    with_frontend_errors @@ fun () ->
-    let program = load_program ~no_stdlib files in
-    let solver = run_analysis program analysis in
+  let run files analysis no_stdlib timeout_s =
+    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
     let sites = Pta_clients.Casts.analyze solver in
     List.iter
       (fun (site : Pta_clients.Casts.site) ->
@@ -240,17 +320,15 @@ let casts_cmd =
   in
   let doc = "List casts the analysis cannot prove safe." in
   Cmd.v
-    (Cmd.info "casts" ~doc)
-    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg)
+    (Cmd.info "casts" ~doc ~exits:common_exits)
+    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg)
 
 let callgraph_cmd =
   let dot_arg =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot on stdout.")
   in
-  let run files analysis no_stdlib dot =
-    with_frontend_errors @@ fun () ->
-    let program = load_program ~no_stdlib files in
-    let solver = run_analysis program analysis in
+  let run files analysis no_stdlib timeout_s dot =
+    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
     (* Method-level edges: caller method -> callee method. *)
     let edges = Hashtbl.create 256 in
     Ir.Program.iter_invos program (fun invo info ->
@@ -278,8 +356,10 @@ let callgraph_cmd =
   in
   let doc = "Print the computed (context-insensitive) call graph." in
   Cmd.v
-    (Cmd.info "callgraph" ~doc)
-    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ dot_arg)
+    (Cmd.info "callgraph" ~doc ~exits:common_exits)
+    Term.(
+      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ dot_arg)
 
 let why_cmd =
   let meth_arg =
@@ -294,12 +374,10 @@ let why_cmd =
       & opt (some string) None
       & info [ "var" ] ~docv:"NAME" ~doc:"Local variable name.")
   in
-  let run files analysis no_stdlib meth_name var_name =
-    with_frontend_errors @@ fun () ->
-    let program = load_program ~no_stdlib files in
+  let run files analysis no_stdlib timeout_s meth_name var_name =
+    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
     let meth, var = resolve_meth_var program meth_name var_name in
     ignore meth;
-    let solver = run_analysis program analysis in
     let heaps = Solver.ci_var_points_to solver var in
     if Intset.is_empty heaps then
       Format.printf "%s points to nothing under %s@."
@@ -320,14 +398,14 @@ let why_cmd =
   in
   let doc = "Explain why a variable may point to each of its allocation sites." in
   Cmd.v
-    (Cmd.info "why" ~doc)
-    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ meth_arg $ var_arg)
+    (Cmd.info "why" ~doc ~exits:common_exits)
+    Term.(
+      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ meth_arg $ var_arg)
 
 let stats_cmd =
-  let run files analysis no_stdlib =
-    with_frontend_errors @@ fun () ->
-    let program = load_program ~no_stdlib files in
-    let solver = run_analysis program analysis in
+  let run files analysis no_stdlib timeout_s =
+    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
     Format.printf "%a@."
       (Pta_clients.Stats.pp program)
       (Pta_clients.Stats.compute solver)
@@ -336,23 +414,24 @@ let stats_cmd =
     "Show where the context-sensitive facts come from (heaviest methods,      fattest variables, context histogram)."
   in
   Cmd.v
-    (Cmd.info "stats" ~doc)
-    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg)
+    (Cmd.info "stats" ~doc ~exits:common_exits)
+    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg)
 
 let decompile_cmd =
   let run files no_stdlib =
-    with_frontend_errors @@ fun () ->
-    let program = load_program ~no_stdlib files in
+    let program =
+      handle (Driver.load_program ~stdlib:(not no_stdlib) (sources_of files))
+    in
     print_string (Pta_frontend.To_mj.program_to_source program)
   in
   let doc = "Parse, lower, and print back equivalent MJ source." in
-  Cmd.v (Cmd.info "decompile" ~doc) Term.(const run $ files_arg $ no_stdlib_arg)
+  Cmd.v
+    (Cmd.info "decompile" ~doc ~exits:common_exits)
+    Term.(const run $ files_arg $ no_stdlib_arg)
 
 let exceptions_cmd =
-  let run files analysis no_stdlib =
-    with_frontend_errors @@ fun () ->
-    let program = load_program ~no_stdlib files in
-    let solver = run_analysis program analysis in
+  let run files analysis no_stdlib timeout_s =
+    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
     let escapes = Pta_clients.Exceptions.escapes solver in
     List.iter
       (fun (e : Pta_clients.Exceptions.escape) ->
@@ -368,17 +447,20 @@ let exceptions_cmd =
   in
   let doc = "Report which exceptions may escape which methods." in
   Cmd.v
-    (Cmd.info "exceptions" ~doc)
-    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg)
+    (Cmd.info "exceptions" ~doc ~exits:common_exits)
+    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg)
 
 let dump_ir_cmd =
   let run files no_stdlib =
-    with_frontend_errors @@ fun () ->
-    let program = load_program ~no_stdlib files in
+    let program =
+      handle (Driver.load_program ~stdlib:(not no_stdlib) (sources_of files))
+    in
     Format.printf "@[<v>%a@]@." Pta_ir.Ir_pp.pp_program program
   in
   let doc = "Parse, lower and pretty-print the IR." in
-  Cmd.v (Cmd.info "dump-ir" ~doc) Term.(const run $ files_arg $ no_stdlib_arg)
+  Cmd.v
+    (Cmd.info "dump-ir" ~doc ~exits:common_exits)
+    Term.(const run $ files_arg $ no_stdlib_arg)
 
 let gen_cmd =
   let bench_arg =
@@ -396,7 +478,7 @@ let gen_cmd =
     | Some profile -> print_string (Pta_workloads.Gen.generate profile)
   in
   let doc = "Emit a synthetic benchmark's MJ source on stdout." in
-  Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ bench_arg)
+  Cmd.v (Cmd.info "gen" ~doc ~exits:common_exits) Term.(const run $ bench_arg)
 
 let strategies_cmd =
   let run () =
@@ -412,11 +494,13 @@ let strategies_cmd =
       Strategies.all
   in
   let doc = "List available context-sensitivity strategies." in
-  Cmd.v (Cmd.info "strategies" ~doc) Term.(const run $ const ())
+  Cmd.v
+    (Cmd.info "strategies" ~doc ~exits:common_exits)
+    Term.(const run $ const ())
 
 let main_cmd =
   let doc = "Hybrid context-sensitive points-to analysis for MJ programs" in
-  let info = Cmd.info "pointsto" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "pointsto" ~version:"1.0.0" ~doc ~exits:common_exits in
   Cmd.group info
     [
       analyze_cmd; compare_cmd; query_cmd; why_cmd; casts_cmd; exceptions_cmd;

@@ -8,8 +8,8 @@
      dune exec examples/cast_safety.exe *)
 
 module Ir = Pta_ir.Ir
-module Solver = Pta_solver.Solver
 module Casts = Pta_clients.Casts
+module Driver = Pta_driver.Driver
 
 let source =
   {|
@@ -44,13 +44,18 @@ let source =
   |}
 
 let () =
-  let program = Pta_frontend.Frontend.program_of_sources
-      [ (Pta_mjdk.Mjdk.file_name, Pta_mjdk.Mjdk.source); ("cast_safety", source) ]
+  let program =
+    match Driver.load_string ~name:"cast_safety" source with
+    | Ok program -> program
+    | Error e -> Driver.report_and_exit e
   in
   List.iter
     (fun name ->
-      let factory = Option.get (Pta_context.Strategies.by_name name) in
-      let solver = Solver.run program (factory program) in
+      let solver =
+        match Driver.run program ~analysis:name with
+        | Ok r -> r.Driver.solver
+        | Error e -> Driver.report_and_exit e
+      in
       let sites = Casts.analyze solver in
       (* Only report the casts written in Main (the mini-JDK has its own). *)
       let in_main (s : Casts.site) =

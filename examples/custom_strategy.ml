@@ -40,8 +40,10 @@ let () =
     Pta_report.Table.create
       ~headers:[ "analysis"; "avg objs"; "cg edges"; "may-fail casts"; "sensitive vpt" ]
   in
+  (* Custom strategies bypass the name registry, so this drives the
+     solver directly rather than through [Pta_driver.Driver.run]. *)
   let run name strategy =
-    let solver = Solver.run program strategy in
+    let solver = Solver.solve program strategy in
     let m = Pta_clients.Metrics.compute solver in
     Pta_report.Table.add_row table
       [

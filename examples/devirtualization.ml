@@ -6,8 +6,13 @@
 
      dune exec examples/devirtualization.exe *)
 
-module Solver = Pta_solver.Solver
 module Devirt = Pta_clients.Devirt
+module Driver = Pta_driver.Driver
+
+let solve_named program name =
+  match Driver.run program ~analysis:name with
+  | Ok r -> r.Driver.solver
+  | Error e -> Driver.report_and_exit e
 
 let () =
   let profile = Option.get (Pta_workloads.Profile.by_name "pmd") in
@@ -21,8 +26,7 @@ let () =
   in
   List.iter
     (fun name ->
-      let factory = Option.get (Pta_context.Strategies.by_name name) in
-      let solver = Solver.run program (factory program) in
+      let solver = solve_named program name in
       let sites = Devirt.analyze solver in
       let mono = Devirt.mono_count sites in
       let poly = Devirt.poly_count sites in
@@ -40,10 +44,7 @@ let () =
   print_string (Pta_report.Table.render table);
   print_newline ();
   (* Show a few calls that only the hybrid can devirtualize. *)
-  let run name =
-    let factory = Option.get (Pta_context.Strategies.by_name name) in
-    Devirt.analyze (Solver.run program (factory program))
-  in
+  let run name = Devirt.analyze (solve_named program name) in
   let base = run "2obj+H" and hybrid = run "S-2obj+H" in
   let program_invo_mono sites =
     List.filter_map

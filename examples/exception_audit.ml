@@ -11,6 +11,7 @@
 module Ir = Pta_ir.Ir
 module Solver = Pta_solver.Solver
 module Exceptions = Pta_clients.Exceptions
+module Driver = Pta_driver.Driver
 
 let () =
   let profile = Option.get (Pta_workloads.Profile.by_name "hsqldb") in
@@ -24,8 +25,11 @@ let () =
   let last = ref None in
   List.iter
     (fun name ->
-      let factory = Option.get (Pta_context.Strategies.by_name name) in
-      let solver = Solver.run program (factory program) in
+      let solver =
+        match Driver.run program ~analysis:name with
+        | Ok r -> r.Driver.solver
+        | Error e -> Driver.report_and_exit e
+      in
       let escapes = Exceptions.escapes solver in
       let uncaught = Exceptions.uncaught_at_entries solver in
       Pta_report.Table.add_row table

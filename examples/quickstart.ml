@@ -6,6 +6,7 @@
 module Ir = Pta_ir.Ir
 module Solver = Pta_solver.Solver
 module Intset = Pta_solver.Intset
+module Driver = Pta_driver.Driver
 
 let source =
   {|
@@ -33,8 +34,13 @@ let source =
   |}
 
 let () =
-  (* 1. Front end: parse and lower to the IR. *)
-  let program = Pta_frontend.Frontend.program_of_string ~file:"quickstart" source in
+  (* 1. Front end: parse and lower to the IR (the driver reports MJ
+     errors and exits with code 1, like the CLI). *)
+  let program =
+    match Driver.load_string ~stdlib:false ~name:"quickstart" source with
+    | Ok program -> program
+    | Error e -> Driver.report_and_exit e
+  in
   Printf.printf "program: %d classes, %d methods, %d allocation sites\n\n"
     (Ir.Program.n_types program)
     (Ir.Program.n_meths program)
@@ -43,7 +49,7 @@ let () =
   (* 2. Pick a context-sensitivity strategy — here the paper's selective
      hybrid S-2obj+H — and run the solver. *)
   let strategy = Pta_context.Strategies.selective_obj2_heap program in
-  let solver = Solver.run program strategy in
+  let solver = Solver.solve program strategy in
 
   (* 3. Query points-to sets: the two dispatchers are distinguished by
      their receiver contexts, so [c] gets only the click event. *)

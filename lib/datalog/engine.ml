@@ -104,8 +104,16 @@ let relations_of rules =
     rules;
   !out
 
-let run rules =
+let run ?(observer = Pta_obs.Observer.null) ?(budget = Pta_obs.Budget.unlimited ())
+    rules =
+  let module Observer = Pta_obs.Observer in
+  let module Budget = Pta_obs.Budget in
   let rels = relations_of rules in
+  let total_facts () =
+    List.fold_left (fun acc r -> acc + Relation.cardinal r) 0 rels
+  in
+  Budget.start budget ~probe:total_facts;
+  Observer.phase observer "fixpoint" @@ fun () ->
   (* delta = facts with index in [low, high) *)
   let low = Hashtbl.create 16 and high = Hashtbl.create 16 in
   List.iter
@@ -116,6 +124,11 @@ let run rules =
   let changed = ref true in
   while !changed do
     changed := false;
+    (* One semi-naive round is one budget/observer iteration.  Rounds
+       are few and heavy, so poll the clock on every one. *)
+    Budget.check budget;
+    Observer.iteration observer;
+    let facts_before = if Observer.is_null observer then 0 else total_facts () in
     (* Evaluate every rule once per body position, with that position
        restricted to the previous round's delta. *)
     List.iter
@@ -149,6 +162,15 @@ let run rules =
         Hashtbl.replace low name (Hashtbl.find high name);
         Hashtbl.replace high name (Relation.cardinal r))
       rels;
+    if not (Observer.is_null observer) then begin
+      (* New facts this round double as both the node count and the
+         round's delta size. *)
+      let fresh = total_facts () - facts_before in
+      Observer.delta observer fresh;
+      for _ = 1 to fresh do
+        Observer.node observer
+      done
+    end;
     (* A final catch-up round: facts derived this round become the next
        delta; loop continues while any rule fired. *)
     ()

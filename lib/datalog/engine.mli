@@ -36,6 +36,17 @@ type rule = {
 
 val rule : string -> n_vars:int -> head list -> atom list -> rule
 
-val run : rule list -> unit
+val run :
+  ?observer:Pta_obs.Observer.t -> ?budget:Pta_obs.Budget.t -> rule list -> unit
 (** Evaluate to fixpoint, mutating the relations appearing in the rules.
-    Facts already present count as the initial delta. *)
+    Facts already present count as the initial delta.
+
+    The same instruments the native solver takes: [budget] is ticked
+    once per semi-naive round (its work probe reads the total fact
+    count, so an abort payload's [nodes] field is facts derived);
+    [observer] receives an iteration tick and the round's new-fact count
+    (as [on_delta] plus one [on_node] per fact) each round, and a
+    ["fixpoint"] phase timing.  Both default to the free null/unlimited
+    instruments.
+
+    @raise Pta_obs.Budget.Exhausted when the budget runs out. *)

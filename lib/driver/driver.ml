@@ -1,0 +1,124 @@
+module Solver = Pta_solver.Solver
+module Strategies = Pta_context.Strategies
+module Observer = Pta_obs.Observer
+module Recorder = Pta_obs.Recorder
+module Run_stats = Pta_obs.Run_stats
+
+type source =
+  | File of string
+  | Literal of { name : string; contents : string }
+
+type error =
+  | Frontend_error of exn
+  | Unknown_analysis of string
+  | Timed_out of { analysis : string; abort : Pta_obs.Budget.abort }
+
+let exit_code = function
+  | Frontend_error _ -> 1
+  | Unknown_analysis _ -> 2
+  | Timed_out _ -> 3
+
+let pp_error ppf = function
+  | Frontend_error exn ->
+    if not (Pta_frontend.Frontend.report ppf exn) then raise exn
+  | Unknown_analysis name ->
+    Format.fprintf ppf "unknown analysis %S; see `pointsto strategies'" name
+  | Timed_out { analysis; abort } ->
+    Format.fprintf ppf
+      "analysis %s timed out after %.1fs (%d iterations, %d nodes)" analysis
+      abort.Pta_obs.Budget.elapsed_s abort.Pta_obs.Budget.iterations
+      abort.Pta_obs.Budget.nodes
+
+let report_and_exit err =
+  Format.eprintf "%a@." pp_error err;
+  exit (exit_code err)
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let is_frontend_error exn =
+  let sink = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  Pta_frontend.Frontend.report sink exn
+
+let load_program ?(stdlib = true) sources =
+  match
+    let named =
+      (if stdlib then [ (Pta_mjdk.Mjdk.file_name, Pta_mjdk.Mjdk.source) ]
+       else [])
+      @ List.map
+          (function
+            | File path -> (path, read_file path)
+            | Literal { name; contents } -> (name, contents))
+          sources
+    in
+    Pta_frontend.Frontend.program_of_sources named
+  with
+  | program -> Ok program
+  | exception exn when is_frontend_error exn -> Error (Frontend_error exn)
+
+let load_files ?stdlib paths =
+  load_program ?stdlib (List.map (fun p -> File p) paths)
+
+let load_string ?stdlib ?(name = "<string>") contents =
+  load_program ?stdlib [ Literal { name; contents } ]
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_of_name program name =
+  match Strategies.by_name name with
+  | Some factory -> Ok (factory program)
+  | None -> Error (Unknown_analysis name)
+
+type run = {
+  solver : Solver.t;
+  strategy : Pta_context.Strategy.t;
+  wall_time_s : float;
+  stats : Run_stats.t option;
+}
+
+let run ?(config = Solver.Config.default) ?(collect_stats = false) program
+    ~analysis =
+  match strategy_of_name program analysis with
+  | Error e -> Error e
+  | Ok strategy -> (
+    let recorder = if collect_stats then Some (Recorder.create ()) else None in
+    let config =
+      match recorder with
+      | None -> config
+      | Some r ->
+        {
+          config with
+          Solver.Config.observer =
+            Observer.tee config.Solver.Config.observer (Recorder.observer r);
+        }
+    in
+    let t0 = Unix.gettimeofday () in
+    match Solver.solve ~config program strategy with
+    | solver ->
+      let wall_time_s = Unix.gettimeofday () -. t0 in
+      let stats =
+        Option.map
+          (fun r ->
+            Run_stats.make ~analysis ~wall_time_s
+              ~sensitive_vpt_size:(Solver.sensitive_vpt_size solver)
+              ~n_ctxs:(Solver.n_ctxs solver) ~n_hctxs:(Solver.n_hctxs solver)
+              ~n_hobjs:(Solver.n_hobjs solver) r)
+          recorder
+      in
+      Ok { solver; strategy; wall_time_s; stats }
+    | exception Solver.Timeout abort -> Error (Timed_out { analysis; abort }))
+
+let load_and_run ?stdlib ?config ?collect_stats ~analysis sources =
+  Result.bind (load_program ?stdlib sources) (fun program ->
+      Result.map
+        (fun r -> (program, r))
+        (run ?config ?collect_stats program ~analysis))

@@ -1,0 +1,76 @@
+(** The one place that loads MJ programs and runs analyses on them.
+
+    The CLI, the bench harness, and the examples all need the same
+    plumbing: read sources, link the bundled mini-JDK, resolve an
+    analysis name through the strategy registry, run the solver under a
+    {!Pta_solver.Solver.Config.t}, and report errors with normalised
+    exit codes.  This module is that plumbing, once.
+
+    Exit-code contract (shared by every [pointsto] subcommand):
+    parse/lexical/semantic error = 1, unknown analysis = 2,
+    timeout = 3. *)
+
+type source =
+  | File of string  (** path to an MJ source file *)
+  | Literal of { name : string; contents : string }
+
+type error =
+  | Frontend_error of exn
+      (** a lexical / syntax / semantic error; format with {!pp_error} *)
+  | Unknown_analysis of string
+  | Timed_out of { analysis : string; abort : Pta_obs.Budget.abort }
+
+val exit_code : error -> int
+(** 1 / 2 / 3 as per the contract above. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val report_and_exit : error -> 'a
+(** Print to stderr, [exit (exit_code e)]. *)
+
+(** {1 Loading} *)
+
+val load_program :
+  ?stdlib:bool -> source list -> (Pta_ir.Ir.Program.t, error) result
+(** Parse, link (with the mini-JDK unless [~stdlib:false]) and lower.
+    Never raises on bad input: lexical, syntax and semantic failures
+    come back as [Error (Frontend_error _)]. *)
+
+val load_files :
+  ?stdlib:bool -> string list -> (Pta_ir.Ir.Program.t, error) result
+
+val load_string :
+  ?stdlib:bool -> ?name:string -> string -> (Pta_ir.Ir.Program.t, error) result
+
+(** {1 Running} *)
+
+val strategy_of_name :
+  Pta_ir.Ir.Program.t -> string -> (Pta_context.Strategy.t, error) result
+(** Resolve through the {!Pta_context.Strategies} registry. *)
+
+type run = {
+  solver : Pta_solver.Solver.t;
+  strategy : Pta_context.Strategy.t;
+  wall_time_s : float;
+  stats : Pta_obs.Run_stats.t option;  (** [Some] iff [collect_stats] *)
+}
+
+val run :
+  ?config:Pta_solver.Solver.Config.t ->
+  ?collect_stats:bool ->
+  Pta_ir.Ir.Program.t ->
+  analysis:string ->
+  (run, error) result
+(** Resolve [analysis] and solve under [config].  With
+    [~collect_stats:true] a {!Pta_obs.Recorder.t} is tee'd onto the
+    configured observer and the full {!Pta_obs.Run_stats.t} bundle
+    (counters, final sizes, wall time, phase timings) is assembled. *)
+
+val load_and_run :
+  ?stdlib:bool ->
+  ?config:Pta_solver.Solver.Config.t ->
+  ?collect_stats:bool ->
+  analysis:string ->
+  source list ->
+  (Pta_ir.Ir.Program.t * run, error) result
+(** {!load_program} then {!run}. *)

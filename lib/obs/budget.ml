@@ -1,0 +1,65 @@
+type abort = {
+  elapsed_s : float;
+  iterations : int;
+  nodes : int;
+}
+
+exception Exhausted of abort
+
+type t = {
+  timeout_s : float option;
+  mutable deadline : float;  (* infinity = no deadline *)
+  mutable started_at : float;
+  mutable ticks : int;
+  mutable cancelled : bool;
+  mutable probe : unit -> int;
+}
+
+(* Poll the clock every [mask + 1] ticks; cancellation is checked on
+   every tick regardless. *)
+let mask = 0xFFF
+
+let make timeout_s =
+  {
+    timeout_s;
+    deadline = infinity;
+    started_at = Unix.gettimeofday ();
+    ticks = 0;
+    cancelled = false;
+    probe = (fun () -> 0);
+  }
+
+let unlimited () = make None
+let of_seconds s = make (Some s)
+let of_seconds_opt = make
+
+let start b ~probe =
+  b.started_at <- Unix.gettimeofday ();
+  b.deadline <-
+    (match b.timeout_s with Some s -> b.started_at +. s | None -> infinity);
+  b.ticks <- 0;
+  b.cancelled <- false;
+  b.probe <- probe
+
+let elapsed_s b = Unix.gettimeofday () -. b.started_at
+let iterations b = b.ticks
+
+let abort_info b =
+  { elapsed_s = elapsed_s b; iterations = b.ticks; nodes = b.probe () }
+
+let exhaust b = raise (Exhausted (abort_info b))
+
+let tick b =
+  if b.cancelled then exhaust b;
+  let n = b.ticks + 1 in
+  b.ticks <- n;
+  if b.deadline < infinity && n land mask = 0 && Unix.gettimeofday () > b.deadline
+  then exhaust b
+
+let check b =
+  if b.cancelled then exhaust b;
+  b.ticks <- b.ticks + 1;
+  if b.deadline < infinity && Unix.gettimeofday () > b.deadline then exhaust b
+
+let cancel b = b.cancelled <- true
+let is_limited b = b.timeout_s <> None

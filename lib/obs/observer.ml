@@ -1,0 +1,77 @@
+type t = {
+  on_iteration : unit -> unit;
+  on_node : unit -> unit;
+  on_edge : unit -> unit;
+  on_ctx : unit -> unit;
+  on_hctx : unit -> unit;
+  on_hobj : unit -> unit;
+  on_trigger : unit -> unit;
+  on_delta : int -> unit;
+  on_phase : string -> float -> unit;
+}
+
+let nothing () = ()
+
+let null =
+  {
+    on_iteration = nothing;
+    on_node = nothing;
+    on_edge = nothing;
+    on_ctx = nothing;
+    on_hctx = nothing;
+    on_hobj = nothing;
+    on_trigger = nothing;
+    on_delta = ignore;
+    on_phase = (fun _ _ -> ());
+  }
+
+let is_null t = t == null
+
+let make ?(on_iteration = nothing) ?(on_node = nothing) ?(on_edge = nothing)
+    ?(on_ctx = nothing) ?(on_hctx = nothing) ?(on_hobj = nothing)
+    ?(on_trigger = nothing) ?(on_delta = ignore) ?(on_phase = fun _ _ -> ())
+    () =
+  {
+    on_iteration;
+    on_node;
+    on_edge;
+    on_ctx;
+    on_hctx;
+    on_hobj;
+    on_trigger;
+    on_delta;
+    on_phase;
+  }
+
+let tee a b =
+  if is_null a then b
+  else if is_null b then a
+  else
+    {
+      on_iteration = (fun () -> a.on_iteration (); b.on_iteration ());
+      on_node = (fun () -> a.on_node (); b.on_node ());
+      on_edge = (fun () -> a.on_edge (); b.on_edge ());
+      on_ctx = (fun () -> a.on_ctx (); b.on_ctx ());
+      on_hctx = (fun () -> a.on_hctx (); b.on_hctx ());
+      on_hobj = (fun () -> a.on_hobj (); b.on_hobj ());
+      on_trigger = (fun () -> a.on_trigger (); b.on_trigger ());
+      on_delta = (fun d -> a.on_delta d; b.on_delta d);
+      on_phase = (fun name s -> a.on_phase name s; b.on_phase name s);
+    }
+
+let iteration t = if t != null then t.on_iteration ()
+let node t = if t != null then t.on_node ()
+let edge t = if t != null then t.on_edge ()
+let ctx t = if t != null then t.on_ctx ()
+let hctx t = if t != null then t.on_hctx ()
+let hobj t = if t != null then t.on_hobj ()
+let trigger t = if t != null then t.on_trigger ()
+let delta t d = if t != null then t.on_delta d
+
+let phase t name f =
+  if t == null then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let finally () = t.on_phase name (Unix.gettimeofday () -. t0) in
+    Fun.protect ~finally f
+  end

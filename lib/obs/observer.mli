@@ -1,0 +1,66 @@
+(** Event hooks on the analysis engines.
+
+    An observer is a record of callbacks the engines invoke as they run:
+    worklist iteration ticks, supergraph node / edge creation, context
+    and abstract-object interning, trigger firings, processed delta
+    sizes, and phase timings.
+
+    Instrumentation is {e zero-cost when no observer is installed}: the
+    emit helpers below (and the engines' own hot paths) guard every
+    callback behind a physical-equality check against {!null}, so an
+    unobserved run executes the exact instruction sequence it did before
+    this layer existed — no clock reads, no closure calls. *)
+
+type t = {
+  on_iteration : unit -> unit;  (** one worklist / fixpoint-round tick *)
+  on_node : unit -> unit;  (** a supergraph node was created *)
+  on_edge : unit -> unit;  (** a flow edge was added *)
+  on_ctx : unit -> unit;  (** a new method context was interned *)
+  on_hctx : unit -> unit;  (** a new heap context was interned *)
+  on_hobj : unit -> unit;  (** a new abstract object was interned *)
+  on_trigger : unit -> unit;
+      (** a vcall / load / store trigger fired for one object *)
+  on_delta : int -> unit;  (** size of a processed propagation delta *)
+  on_phase : string -> float -> unit;  (** a named phase took [s] seconds *)
+}
+
+val null : t
+(** The no-op observer; compared against {e physically}. *)
+
+val is_null : t -> bool
+
+val make :
+  ?on_iteration:(unit -> unit) ->
+  ?on_node:(unit -> unit) ->
+  ?on_edge:(unit -> unit) ->
+  ?on_ctx:(unit -> unit) ->
+  ?on_hctx:(unit -> unit) ->
+  ?on_hobj:(unit -> unit) ->
+  ?on_trigger:(unit -> unit) ->
+  ?on_delta:(int -> unit) ->
+  ?on_phase:(string -> float -> unit) ->
+  unit ->
+  t
+(** An observer with the given hooks; omitted hooks do nothing. *)
+
+val tee : t -> t -> t
+(** Both observers receive every event ([null] operands collapse). *)
+
+(** {1 Guarded emitters}
+
+    One-liners for engine call sites; each is a no-op (a single pointer
+    comparison) on {!null}. *)
+
+val iteration : t -> unit
+val node : t -> unit
+val edge : t -> unit
+val ctx : t -> unit
+val hctx : t -> unit
+val hobj : t -> unit
+val trigger : t -> unit
+val delta : t -> int -> unit
+
+val phase : t -> string -> (unit -> 'a) -> 'a
+(** [phase obs name f] runs [f ()]; with an observer installed it also
+    times the call and reports it via [on_phase].  No clock is read on
+    {!null}. *)

@@ -1,0 +1,78 @@
+type t = {
+  mutable iterations : int;
+  mutable nodes : int;
+  mutable edges : int;
+  mutable ctxs : int;
+  mutable hctxs : int;
+  mutable hobjs : int;
+  mutable triggers : int;
+  mutable delta_total : int;
+  mutable max_delta : int;
+  mutable phases : (string * float) list;  (* reversed first-seen order *)
+  mutable obs : Observer.t;
+}
+
+let record_phase t name s =
+  let rec bump acc = function
+    | [] -> (name, s) :: t.phases
+    | (n, total) :: rest when String.equal n name ->
+      List.rev_append acc ((n, total +. s) :: rest)
+    | entry :: rest -> bump (entry :: acc) rest
+  in
+  t.phases <- bump [] t.phases
+
+let create () =
+  let t =
+    {
+      iterations = 0;
+      nodes = 0;
+      edges = 0;
+      ctxs = 0;
+      hctxs = 0;
+      hobjs = 0;
+      triggers = 0;
+      delta_total = 0;
+      max_delta = 0;
+      phases = [];
+      obs = Observer.null;
+    }
+  in
+  t.obs <-
+    Observer.make
+      ~on_iteration:(fun () -> t.iterations <- t.iterations + 1)
+      ~on_node:(fun () -> t.nodes <- t.nodes + 1)
+      ~on_edge:(fun () -> t.edges <- t.edges + 1)
+      ~on_ctx:(fun () -> t.ctxs <- t.ctxs + 1)
+      ~on_hctx:(fun () -> t.hctxs <- t.hctxs + 1)
+      ~on_hobj:(fun () -> t.hobjs <- t.hobjs + 1)
+      ~on_trigger:(fun () -> t.triggers <- t.triggers + 1)
+      ~on_delta:(fun d ->
+        t.delta_total <- t.delta_total + d;
+        if d > t.max_delta then t.max_delta <- d)
+      ~on_phase:(fun name s -> record_phase t name s)
+      ();
+  t
+
+let observer t = t.obs
+let iterations t = t.iterations
+let nodes t = t.nodes
+let edges t = t.edges
+let ctxs t = t.ctxs
+let hctxs t = t.hctxs
+let hobjs t = t.hobjs
+let triggers t = t.triggers
+let delta_total t = t.delta_total
+let max_delta t = t.max_delta
+let phases t = List.rev t.phases
+
+let reset t =
+  t.iterations <- 0;
+  t.nodes <- 0;
+  t.edges <- 0;
+  t.ctxs <- 0;
+  t.hctxs <- 0;
+  t.hobjs <- 0;
+  t.triggers <- 0;
+  t.delta_total <- 0;
+  t.max_delta <- 0;
+  t.phases <- []

@@ -1,0 +1,33 @@
+(** The standard counting observer.
+
+    A recorder accumulates every {!Observer} event into monotonic
+    counters and per-phase elapsed-time sums.  All counters are exact
+    and deterministic — two identical runs produce identical counts;
+    only the phase timings carry wall-clock noise. *)
+
+type t
+
+val create : unit -> t
+val observer : t -> Observer.t
+(** The hook record to install; each recorder has one (stable) observer. *)
+
+(** {1 Readings} *)
+
+val iterations : t -> int
+val nodes : t -> int
+val edges : t -> int
+val ctxs : t -> int
+val hctxs : t -> int
+val hobjs : t -> int
+val triggers : t -> int
+
+val delta_total : t -> int
+(** Sum of all processed delta sizes — the engine's total propagation
+    volume. *)
+
+val max_delta : t -> int
+
+val phases : t -> (string * float) list
+(** Accumulated seconds per phase name, in first-seen order. *)
+
+val reset : t -> unit

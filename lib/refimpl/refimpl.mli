@@ -9,7 +9,17 @@
 
 type t
 
-val run : Pta_ir.Ir.Program.t -> Pta_context.Strategy.t -> t
+val run :
+  ?observer:Pta_obs.Observer.t ->
+  ?budget:Pta_obs.Budget.t ->
+  Pta_ir.Ir.Program.t ->
+  Pta_context.Strategy.t ->
+  t
+(** Evaluate the reference rules, optionally under the same observer /
+    budget instruments as the native solver — so the differential oracle
+    is measured with the same tools.
+
+    @raise Pta_obs.Budget.Exhausted when the budget runs out. *)
 
 val fold_var_points_to :
   t ->

@@ -3,6 +3,8 @@ module Vec = Pta_ir.Vec
 module Hierarchy = Pta_ir.Hierarchy
 module Ctx = Pta_context.Ctx
 module Strategy = Pta_context.Strategy
+module Observer = Pta_obs.Observer
+module Budget = Pta_obs.Budget
 open Ir
 
 type hobj = int
@@ -60,6 +62,9 @@ type t = {
   strategy : Strategy.t;
   hierarchy : Hierarchy.t;
   field_based : bool;
+  obs : Observer.t;
+      (* every emission is guarded by a physical-equality check against
+         [Observer.null]; an unobserved run pays nothing *)
   ctx_store : Ctx.store;
   hctx_store : Ctx.store;
   (* hobj interning *)
@@ -93,11 +98,33 @@ type t = {
 (* Interning                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Interning wrappers that report creation events.  [Ctx.intern] gives no
+   created/found signal, so the observed path compares store sizes; the
+   unobserved path is the bare intern. *)
+let intern_ctx st v =
+  if st.obs == Observer.null then Ctx.intern st.ctx_store v
+  else begin
+    let before = Ctx.size st.ctx_store in
+    let id = Ctx.intern st.ctx_store v in
+    if Ctx.size st.ctx_store > before then Observer.ctx st.obs;
+    id
+  end
+
+let intern_hctx st v =
+  if st.obs == Observer.null then Ctx.intern st.hctx_store v
+  else begin
+    let before = Ctx.size st.hctx_store in
+    let id = Ctx.intern st.hctx_store v in
+    if Ctx.size st.hctx_store > before then Observer.hctx st.obs;
+    id
+  end
+
 let intern_hobj st heap hctx =
   let key = (Heap_id.to_int heap, hctx) in
   match Hashtbl.find_opt st.hobj_table key with
   | Some h -> h
   | None ->
+    Observer.hobj st.obs;
     let h = Vec.push st.hobj_heaps (Heap_id.to_int heap) in
     let (_ : int) = Vec.push st.hobj_hctxs hctx in
     let (_ : int) =
@@ -107,6 +134,7 @@ let intern_hobj st heap hctx =
     h
 
 let fresh_node st =
+  Observer.node st.obs;
   Vec.push st.nodes
     {
       all = Intset.empty;
@@ -192,6 +220,7 @@ let filter_set st set = function
       Intset.filter (fun hobj -> not (List.exists (compat hobj) tys)) set)
 
 let attach_edge st ~src ~dst ~filter =
+  Observer.edge st.obs;
   let n = Vec.get st.nodes src in
   n.succs <- { dst; filter } :: n.succs;
   let existing = Intset.union n.all n.pending in
@@ -265,6 +294,7 @@ let wire_call st ~invo ~caller_ctx ~callee ~callee_ctx ~args ~ret_target
    base variable.  Resolve the target, build the callee context with
    [Merge], bind [this], and wire the edge. *)
 let dispatch st (vc : vcall_site) hobj =
+  Observer.trigger st.obs;
   let heap = Heap_id.of_int (Vec.get st.hobj_heaps hobj) in
   let receiver_type = Vec.get st.hobj_types hobj in
   match Hierarchy.lookup st.hierarchy receiver_type vc.vc_sig with
@@ -275,7 +305,7 @@ let dispatch st (vc : vcall_site) hobj =
       let hctx = Ctx.value st.hctx_store (Vec.get st.hobj_hctxs hobj) in
       let ctx = Ctx.value st.ctx_store vc.vc_ctx in
       let callee_ctx =
-        Ctx.intern st.ctx_store
+        intern_ctx st
           (st.strategy.Strategy.merge ~heap ~hctx ~invo:vc.vc_invo ~ctx)
       in
       (match mi.this_var with
@@ -289,25 +319,27 @@ let dispatch st (vc : vcall_site) hobj =
 (* Instruction processing: runs once per reachable (method, context)    *)
 (* ------------------------------------------------------------------ *)
 
+let fire_load st trigger hobj =
+  Observer.trigger st.obs;
+  add_edge st
+    ~src:(fld_node st hobj trigger.ld_field)
+    ~dst:trigger.ld_target ~filter:None
+
+let fire_store st trigger hobj =
+  Observer.trigger st.obs;
+  add_edge st ~src:trigger.st_source
+    ~dst:(fld_node st hobj trigger.st_field)
+    ~filter:None
+
 let attach_load st base_node trigger =
   let n = Vec.get st.nodes base_node in
   n.loads <- trigger :: n.loads;
-  Intset.iter
-    (fun hobj ->
-      add_edge st
-        ~src:(fld_node st hobj trigger.ld_field)
-        ~dst:trigger.ld_target ~filter:None)
-    n.all
+  Intset.iter (fun hobj -> fire_load st trigger hobj) n.all
 
 let attach_store st base_node trigger =
   let n = Vec.get st.nodes base_node in
   n.stores <- trigger :: n.stores;
-  Intset.iter
-    (fun hobj ->
-      add_edge st ~src:trigger.st_source
-        ~dst:(fld_node st hobj trigger.st_field)
-        ~filter:None)
-    n.all
+  Intset.iter (fun hobj -> fire_store st trigger hobj) n.all
 
 let attach_vcall st base_node vc =
   let n = Vec.get st.nodes base_node in
@@ -349,7 +381,7 @@ and process_instr st ~ctx ~ctx_value ~exc_target instr =
   | Alloc { target; heap } ->
     (* The Record rule: allocation in a reachable method. *)
     let hctx =
-      Ctx.intern st.hctx_store (st.strategy.Strategy.record ~heap ~ctx:ctx_value)
+      intern_hctx st (st.strategy.Strategy.record ~heap ~ctx:ctx_value)
     in
     push st (var_node st target ctx) (Intset.singleton (intern_hobj st heap hctx))
   | Move { target; source } ->
@@ -377,8 +409,7 @@ and process_instr st ~ctx ~ctx_value ~exc_target instr =
   | Static_call { callee; invo; args; ret_target } ->
     (* The MergeStatic rule. *)
     let callee_ctx =
-      Ctx.intern st.ctx_store
-        (st.strategy.Strategy.merge_static ~invo ~ctx:ctx_value)
+      intern_ctx st (st.strategy.Strategy.merge_static ~invo ~ctx:ctx_value)
     in
     wire_call st ~invo ~caller_ctx:ctx ~callee ~callee_ctx ~args ~ret_target
       ~exc_target
@@ -402,6 +433,8 @@ let process_node st nid =
   let delta = n.pending in
   n.pending <- Intset.empty;
   if not (Intset.is_empty delta) then begin
+    if st.obs != Observer.null then
+      Observer.delta st.obs (Intset.cardinal delta);
     n.all <- Intset.union n.all delta;
     List.iter
       (fun e -> push st e.dst (filter_set st delta e.filter))
@@ -410,21 +443,10 @@ let process_node st nid =
       (fun vc -> Intset.iter (fun hobj -> dispatch st vc hobj) delta)
       n.vcalls;
     List.iter
-      (fun ld ->
-        Intset.iter
-          (fun hobj ->
-            add_edge st ~src:(fld_node st hobj ld.ld_field) ~dst:ld.ld_target
-              ~filter:None)
-          delta)
+      (fun ld -> Intset.iter (fun hobj -> fire_load st ld hobj) delta)
       n.loads;
     List.iter
-      (fun stg ->
-        Intset.iter
-          (fun hobj ->
-            add_edge st ~src:stg.st_source
-              ~dst:(fld_node st hobj stg.st_field)
-              ~filter:None)
-          delta)
+      (fun stg -> Intset.iter (fun hobj -> fire_store st stg hobj) delta)
       n.stores
   end
 
@@ -432,64 +454,90 @@ let process_node st nid =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-exception Timeout
+exception Timeout = Budget.Exhausted
 
-let run ?timeout_s ?(field_based = false) program strategy =
+module Config = struct
+  type t = {
+    budget : Budget.t;
+    field_based : bool;
+    observer : Observer.t;
+  }
+
+  let default =
+    { budget = Budget.unlimited (); field_based = false; observer = Observer.null }
+
+  let make ?timeout_s ?(field_based = false) ?(observer = Observer.null) () =
+    { budget = Budget.of_seconds_opt timeout_s; field_based; observer }
+end
+
+let solve ?(config = Config.default) program strategy =
+  let obs = config.Config.observer in
   let st =
-    {
-      program;
-      strategy;
-      hierarchy = Hierarchy.create program;
-      field_based;
-      ctx_store = Ctx.create_store ();
-      hctx_store = Ctx.create_store ();
-      hobj_table = Hashtbl.create 4096;
-      hobj_heaps = Vec.create ();
-      hobj_hctxs = Vec.create ();
-      hobj_types = Vec.create ();
-      nodes = Vec.create ();
-      var_nodes = Hashtbl.create 4096;
-      fld_nodes = Hashtbl.create 4096;
-      static_fld_nodes = Hashtbl.create 64;
-      throw_nodes = Hashtbl.create 1024;
-      edge_seen = Hashtbl.create 4096;
-      node_queue = Queue.create ();
-      meth_queue = Queue.create ();
-      reachable = Hashtbl.create 1024;
-      call_edges = Hashtbl.create 4096;
-      ci_vpt = None;
-      ci_targets = None;
-      node_kinds = None;
-    }
+    Observer.phase obs "setup" @@ fun () ->
+    let st =
+      {
+        program;
+        strategy;
+        hierarchy = Hierarchy.create program;
+        field_based = config.Config.field_based;
+        obs;
+        ctx_store = Ctx.create_store ();
+        hctx_store = Ctx.create_store ();
+        hobj_table = Hashtbl.create 4096;
+        hobj_heaps = Vec.create ();
+        hobj_hctxs = Vec.create ();
+        hobj_types = Vec.create ();
+        nodes = Vec.create ();
+        var_nodes = Hashtbl.create 4096;
+        fld_nodes = Hashtbl.create 4096;
+        static_fld_nodes = Hashtbl.create 64;
+        throw_nodes = Hashtbl.create 1024;
+        edge_seen = Hashtbl.create 4096;
+        node_queue = Queue.create ();
+        meth_queue = Queue.create ();
+        reachable = Hashtbl.create 1024;
+        call_edges = Hashtbl.create 4096;
+        ci_vpt = None;
+        ci_targets = None;
+        node_kinds = None;
+      }
+    in
+    let initial_ctx = Ctx.intern st.ctx_store strategy.Strategy.initial_ctx in
+    List.iter
+      (fun m -> mark_reachable st m initial_ctx)
+      (Program.entries program);
+    st
   in
-  let initial_ctx = Ctx.intern st.ctx_store strategy.Strategy.initial_ctx in
-  List.iter (fun m -> mark_reachable st m initial_ctx) (Program.entries program);
-  let deadline =
-    Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
-  in
-  let steps = ref 0 in
-  let check_deadline () =
-    incr steps;
-    if !steps land 0xFFF = 0 then
-      match deadline with
-      | Some d when Unix.gettimeofday () > d -> raise Timeout
-      | Some _ | None -> ()
-  in
+  let budget = config.Config.budget in
+  Budget.start budget ~probe:(fun () -> Vec.length st.nodes);
+  Observer.phase obs "fixpoint" @@ fun () ->
   let rec loop () =
     if not (Queue.is_empty st.meth_queue) then begin
-      check_deadline ();
+      Budget.tick budget;
+      Observer.iteration obs;
       let meth, ctx = Queue.pop st.meth_queue in
       process_method st meth ctx;
       loop ()
     end
     else if not (Queue.is_empty st.node_queue) then begin
-      check_deadline ();
+      Budget.tick budget;
+      Observer.iteration obs;
       process_node st (Queue.pop st.node_queue);
       loop ()
     end
   in
   loop ();
   st
+
+let run ?timeout_s ?(field_based = false) program strategy =
+  solve
+    ~config:
+      {
+        Config.budget = Budget.of_seconds_opt timeout_s;
+        field_based;
+        observer = Observer.null;
+      }
+    program strategy
 
 (* ------------------------------------------------------------------ *)
 (* Results                                                             *)

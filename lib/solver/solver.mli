@@ -23,10 +23,54 @@
 
 type t
 
-exception Timeout
-(** Raised by {!run} when [timeout_s] elapses before the fixpoint — the
-    analogue of the paper's 90-minute cutoff (the "-" entries of
-    Table 1). *)
+exception Timeout of Pta_obs.Budget.abort
+(** Raised by {!solve} when the run's {!Pta_obs.Budget.t} is exhausted
+    before the fixpoint — the analogue of the paper's 90-minute cutoff
+    (the "-" entries of Table 1).  The payload records the elapsed
+    wall-clock seconds, worklist iterations completed, and supergraph
+    nodes created at abort.
+
+    This is the same exception as {!Pta_obs.Budget.Exhausted} (an
+    exception rebinding), so either name matches. *)
+
+(** How to run the solver: the budget (deadline / cancellation token),
+    the heap-field abstraction, and the observer receiving
+    instrumentation events.  Replaces the former pile of optional
+    arguments on [run]. *)
+module Config : sig
+  type t = {
+    budget : Pta_obs.Budget.t;
+        (** deadline/cancellation; {!Pta_obs.Budget.unlimited} by default *)
+    field_based : bool;
+        (** [false] (default): field-sensitive points-to, one cell per
+            (abstract object, field) — the Doop/paper treatment.
+            [true]: the classic field-based approximation, one global
+            cell per field name — kept as an ablation baseline. *)
+    observer : Pta_obs.Observer.t;
+        (** event hooks; {!Pta_obs.Observer.null} costs nothing *)
+  }
+
+  val default : t
+  (** Unlimited budget, field-sensitive, no observer. *)
+
+  val make :
+    ?timeout_s:float ->
+    ?field_based:bool ->
+    ?observer:Pta_obs.Observer.t ->
+    unit ->
+    t
+end
+
+val solve :
+  ?config:Config.t -> Pta_ir.Ir.Program.t -> Pta_context.Strategy.t -> t
+(** Run the analysis to fixpoint.  Deterministic: same program and
+    strategy yield identical interning and results, with or without an
+    observer installed.
+
+    Reports two phases to the observer: ["setup"] (hierarchy and entry
+    seeding) and ["fixpoint"] (the worklist).
+
+    @raise Timeout if the configured budget is exhausted. *)
 
 val run :
   ?timeout_s:float ->
@@ -34,15 +78,10 @@ val run :
   Pta_ir.Ir.Program.t ->
   Pta_context.Strategy.t ->
   t
-(** Run the analysis to fixpoint.  Deterministic: same program and
-    strategy yield identical interning and results.
+(** Compatibility wrapper for the pre-{!Config} API.
 
-    [field_based] (default [false]) switches from field-sensitive
-    points-to (one cell per abstract object and field, the Doop/paper
-    treatment) to the classic field-based approximation (one global cell
-    per field name) — kept as an ablation baseline.
-
-    @raise Timeout if a wall-clock budget is given and exceeded. *)
+    @deprecated Use {!solve} with a {!Config.t}; this wrapper will be
+    removed once external callers migrate. *)
 
 val program : t -> Pta_ir.Ir.Program.t
 val strategy : t -> Pta_context.Strategy.t

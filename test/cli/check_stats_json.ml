@@ -1,0 +1,56 @@
+(* Schema check for `pointsto analyze --stats-json`: the emitted file
+   must be valid JSON carrying the documented keys with the documented
+   types.  Time-valued fields vary run to run, so only presence and type
+   are checked here — value determinism is covered by test_obs. *)
+
+module Json = Pta_obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> fail "usage: check_stats_json FILE"
+  in
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let json =
+    match Json.of_string contents with
+    | Ok json -> json
+    | Error msg -> fail "%s: not valid JSON: %s" path msg
+  in
+  let get name =
+    match Json.member name json with
+    | Some v -> v
+    | None -> fail "%s: key %S missing" path name
+  in
+  let check name kind decode =
+    match decode (get name) with
+    | Some _ -> ()
+    | None -> fail "%s: key %S is not %s" path name kind
+  in
+  check "analysis" "a string" Json.to_str;
+  check "wall_time_s" "a number" Json.to_float;
+  List.iter
+    (fun name -> check name "an integer" Json.to_int)
+    [
+      "iterations"; "n_nodes"; "n_edges"; "n_ctxs"; "n_hctxs"; "n_hobjs";
+      "sensitive_vpt_size"; "triggers"; "delta_total"; "max_delta";
+    ];
+  (match Json.to_obj (get "phases") with
+  | None -> fail "%s: key \"phases\" is not an object" path
+  | Some phases ->
+    if not (List.mem_assoc "fixpoint" phases) then
+      fail "%s: phases lacks a \"fixpoint\" entry" path;
+    List.iter
+      (fun (name, v) ->
+        match Json.to_float v with
+        | Some _ -> ()
+        | None -> fail "%s: phase %S is not a number" path name)
+      phases);
+  print_endline "stats JSON schema ok"

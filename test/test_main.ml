@@ -18,6 +18,7 @@ let () =
       ("interp", Test_interp.tests);
       ("workloads", Test_workloads.tests);
       ("report", Test_report.tests);
+      ("obs", Test_obs.tests);
       ("stats", Test_stats.tests);
       ("provenance", Test_provenance.tests);
       ("roundtrip", Test_roundtrip.tests);

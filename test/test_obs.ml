@@ -1,0 +1,162 @@
+(** Tests for the pta_obs observability layer and its integration with
+    the solver: counter determinism, observational transparency of the
+    null observer, budget cancellation, and stats JSON round-tripping. *)
+
+module Solver = Pta_solver.Solver
+module Budget = Pta_obs.Budget
+module Observer = Pta_obs.Observer
+module Recorder = Pta_obs.Recorder
+module Run_stats = Pta_obs.Run_stats
+module Json = Pta_obs.Json
+module Driver = Pta_driver.Driver
+module Metrics = Pta_clients.Metrics
+
+let tiny_program () =
+  Pta_workloads.Workloads.program
+    (Option.get (Pta_workloads.Profile.by_name "tiny"))
+
+let collect_run ?(analysis = "S-2obj+H") program =
+  match Driver.run ~collect_stats:true program ~analysis with
+  | Ok r -> Option.get r.Driver.stats
+  | Error e -> Alcotest.failf "driver error: %a" Driver.pp_error e
+
+(* Every non-time field of two identical runs must agree: the solver is
+   deterministic, and the recorder must observe it faithfully. *)
+let counters_deterministic_test () =
+  let program = tiny_program () in
+  let s1 = collect_run program and s2 = collect_run program in
+  let check name f = Alcotest.(check int) name (f s1) (f s2) in
+  check "iterations" (fun s -> s.Run_stats.iterations);
+  check "n_nodes" (fun s -> s.Run_stats.n_nodes);
+  check "n_edges" (fun s -> s.Run_stats.n_edges);
+  check "n_ctxs" (fun s -> s.Run_stats.n_ctxs);
+  check "n_hctxs" (fun s -> s.Run_stats.n_hctxs);
+  check "n_hobjs" (fun s -> s.Run_stats.n_hobjs);
+  check "sensitive_vpt_size" (fun s -> s.Run_stats.sensitive_vpt_size);
+  check "triggers" (fun s -> s.Run_stats.triggers);
+  check "delta_total" (fun s -> s.Run_stats.delta_total);
+  check "max_delta" (fun s -> s.Run_stats.max_delta);
+  Alcotest.(check (list string))
+    "same phases"
+    (List.map fst s1.Run_stats.phases)
+    (List.map fst s2.Run_stats.phases)
+
+(* Installing an observer must not change what the solver computes: the
+   metric bundle with a live recorder must be identical to the one from
+   a bare run (null observer). *)
+let observer_transparent_test () =
+  let program = tiny_program () in
+  let factory = Option.get (Pta_context.Strategies.by_name "S-2obj+H") in
+  let bare = Metrics.compute (Solver.solve program (factory program)) in
+  let recorder = Recorder.create () in
+  let config = Solver.Config.make ~observer:(Recorder.observer recorder) () in
+  let observed =
+    Metrics.compute (Solver.solve ~config program (factory program))
+  in
+  Alcotest.(check bool) "identical metric bundles" true (bare = observed);
+  Alcotest.(check bool) "recorder saw the run" true (Recorder.nodes recorder > 0)
+
+(* Cancelling the budget from an observer hook must abort the solve
+   within one worklist iteration, with a populated abort payload. *)
+let budget_cancellation_test () =
+  let program = tiny_program () in
+  let factory = Option.get (Pta_context.Strategies.by_name "S-2obj+H") in
+  let budget = Budget.unlimited () in
+  let iterations = ref 0 in
+  let cancel_at = 10 in
+  let observer =
+    Observer.make
+      ~on_iteration:(fun () ->
+        incr iterations;
+        if !iterations = cancel_at then Budget.cancel budget)
+      ()
+  in
+  let config = { Solver.Config.default with budget; observer } in
+  match Solver.solve ~config program (factory program) with
+  | _ -> Alcotest.fail "expected Solver.Timeout"
+  | exception Solver.Timeout abort ->
+    (* The tick right after the cancelling hook raises, so no further
+       iteration hook runs: the abort happens within one iteration. *)
+    Alcotest.(check int) "within one iteration" cancel_at !iterations;
+    Alcotest.(check int) "payload iterations" cancel_at abort.Budget.iterations;
+    Alcotest.(check bool) "payload nodes" true (abort.Budget.nodes > 0);
+    Alcotest.(check bool) "payload elapsed" true (abort.Budget.elapsed_s >= 0.)
+
+let stats_roundtrip_test () =
+  let program = tiny_program () in
+  let stats = collect_run program in
+  let json = Json.to_string (Run_stats.to_json stats) in
+  match Json.of_string json with
+  | Error msg -> Alcotest.failf "stats JSON does not parse: %s" msg
+  | Ok parsed -> (
+    match Run_stats.of_json parsed with
+    | Error msg -> Alcotest.failf "stats JSON does not decode: %s" msg
+    | Ok back ->
+      Alcotest.(check string) "analysis" stats.Run_stats.analysis back.Run_stats.analysis;
+      Alcotest.(check int) "iterations" stats.Run_stats.iterations back.Run_stats.iterations;
+      Alcotest.(check int) "n_nodes" stats.Run_stats.n_nodes back.Run_stats.n_nodes;
+      Alcotest.(check int) "n_edges" stats.Run_stats.n_edges back.Run_stats.n_edges;
+      Alcotest.(check int) "n_ctxs" stats.Run_stats.n_ctxs back.Run_stats.n_ctxs;
+      Alcotest.(check int) "n_hobjs" stats.Run_stats.n_hobjs back.Run_stats.n_hobjs;
+      Alcotest.(check int)
+        "sensitive_vpt_size" stats.Run_stats.sensitive_vpt_size
+        back.Run_stats.sensitive_vpt_size;
+      Alcotest.(check (float 1e-9))
+        "wall_time_s" stats.Run_stats.wall_time_s back.Run_stats.wall_time_s;
+      Alcotest.(check int)
+        "phase count"
+        (List.length stats.Run_stats.phases)
+        (List.length back.Run_stats.phases))
+
+(* The JSON printer/parser pair must round-trip structurally, including
+   escapes and numeric edge cases. *)
+let json_roundtrip_test () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\n\t\r \x01 é");
+        ("i", Json.Int (-42));
+        ("big", Json.Int max_int);
+        ("f", Json.Float 0.1);
+        ("whole", Json.Float 3.0);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.List []; Json.Obj [] ]);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Error msg -> Alcotest.failf "printed JSON does not parse: %s" msg
+  | Ok v' -> Alcotest.(check bool) "structurally equal" true (v = v')
+
+(* The datalog engine reports through the same instruments. *)
+let refimpl_observed_test () =
+  let program =
+    Pta_frontend.Frontend.program_of_string ~file:"<t>"
+      "class Main { static method main() { var x = new Main; } }"
+  in
+  let strategy = Pta_context.Strategies.insens program in
+  let recorder = Recorder.create () in
+  let t = Pta_refimpl.Refimpl.run ~observer:(Recorder.observer recorder) program strategy in
+  Alcotest.(check bool)
+    "facts observed" true
+    (Recorder.nodes recorder >= Pta_refimpl.Refimpl.n_var_points_to t);
+  Alcotest.(check bool) "rounds observed" true (Recorder.iterations recorder > 0)
+
+let refimpl_budget_test () =
+  let program = tiny_program () in
+  let strategy = Pta_context.Strategies.selective_obj2_heap program in
+  let budget = Budget.of_seconds 1e-9 in
+  match Pta_refimpl.Refimpl.run ~budget program strategy with
+  | _ -> Alcotest.fail "expected Budget.Exhausted"
+  | exception Budget.Exhausted _ -> ()
+
+let tests =
+  [
+    Alcotest.test_case "counters deterministic" `Quick counters_deterministic_test;
+    Alcotest.test_case "null observer transparent" `Quick observer_transparent_test;
+    Alcotest.test_case "budget cancellation" `Quick budget_cancellation_test;
+    Alcotest.test_case "stats JSON round-trip" `Quick stats_roundtrip_test;
+    Alcotest.test_case "json round-trip" `Quick json_roundtrip_test;
+    Alcotest.test_case "refimpl observed" `Quick refimpl_observed_test;
+    Alcotest.test_case "refimpl budget" `Quick refimpl_budget_test;
+  ]

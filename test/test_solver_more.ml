@@ -29,12 +29,17 @@ let timeout_test () =
   let factory = Option.get (Pta_context.Strategies.by_name "U-2obj+H") in
   match Solver.run ~timeout_s:0.0001 program (factory program) with
   | _ -> Alcotest.fail "expected Solver.Timeout"
-  | exception Solver.Timeout -> ()
+  | exception Solver.Timeout abort ->
+    Alcotest.(check bool)
+      "abort payload populated" true
+      (abort.Pta_obs.Budget.elapsed_s >= 0.0001
+      && abort.Pta_obs.Budget.iterations > 0
+      && abort.Pta_obs.Budget.nodes > 0)
 
 let no_timeout_when_fast_test () =
   match run ~timeout_s:30. "class Main { static method main() { var x = new Main; } }" "1obj" with
   | solver -> Alcotest.(check int) "one hobj" 1 (Solver.n_hobjs solver)
-  | exception Solver.Timeout -> Alcotest.fail "spurious timeout"
+  | exception Solver.Timeout _ -> Alcotest.fail "spurious timeout"
 
 let unresolved_dispatch_test () =
   (* Calling a method that exists nowhere in the receiver's hierarchy:
