@@ -24,6 +24,7 @@ module Scatter = Pta_report.Scatter
 module Driver = Pta_driver.Driver
 module Json = Pta_obs.Json
 module Run_stats = Pta_obs.Run_stats
+module Trace = Pta_obs.Trace
 
 let timeout_s =
   match Sys.getenv_opt "PTA_BENCH_TIMEOUT" with
@@ -43,8 +44,9 @@ let analysis_groups =
 let analyses = List.concat analysis_groups
 
 type outcome =
-  | Done of Metrics.t * float * Run_stats.t
-      (* metrics, median elapsed seconds, counters of the first run *)
+  | Done of Metrics.t * float * Run_stats.t * Trace.stat list
+      (* metrics, median elapsed seconds, counters and trace profile of
+         the first run *)
   | Timed_out of Pta_obs.Budget.abort
 
 let runs : (string * string, outcome) Hashtbl.t = Hashtbl.create 256
@@ -59,13 +61,18 @@ let run_one profile analysis_name =
        deterministic, so metrics and counters are collected once (on the
        first run — the recorder's non-time fields are identical across
        runs either way). *)
-    let run_once ~collect () =
+    (* The first (instrumented) run also carries a small trace sink —
+       aggregates are exact regardless of the tiny ring, and they feed
+       the per-cell hot-spot summary in table1_stats.json.  Timed runs
+       stay untraced. *)
+    let run_once ~collect ?trace () =
       Driver.run
-        ~config:(Solver.Config.make ~timeout_s ())
+        ~config:(Solver.Config.make ~timeout_s ?trace ())
         ~collect_stats:collect program ~analysis:analysis_name
     in
+    let trace = Trace.create ~limit:4096 () in
     let outcome =
-      match run_once ~collect:true () with
+      match run_once ~collect:true ~trace () with
       | Error (Driver.Timed_out { abort; _ }) -> Timed_out abort
       | Error e -> Driver.report_and_exit e
       | Ok r1 ->
@@ -80,11 +87,15 @@ let run_one profile analysis_name =
           | [ _; m; _ ] -> m
           | _ -> r1.Driver.wall_time_s
         in
-        Done (Metrics.compute r1.Driver.solver, median, Option.get r1.Driver.stats)
+        Done
+          ( Metrics.compute r1.Driver.solver,
+            median,
+            Option.get r1.Driver.stats,
+            Trace.profile trace )
     in
     Hashtbl.replace runs key outcome;
     (match outcome with
-    | Done (_, s, _) ->
+    | Done (_, s, _, _) ->
       Printf.eprintf "  [bench] %-10s %-10s %6.2fs\n%!" profile.Profile.name
         analysis_name s
     | Timed_out abort ->
@@ -99,11 +110,31 @@ let run_one profile analysis_name =
 
 (* A per-cell stats record for table1_stats.json: the Run_stats bundle of
    finished cells, the abort payload of timed-out ones. *)
+let trace_summary_json stats =
+  Json.List
+    (List.filter_map
+       (fun (s : Trace.stat) ->
+         (* Per-edge-kind solver spans only; phase spans just restate the
+            run's overall timings. *)
+         if String.equal s.Trace.stat_cat "solver" then
+           Some
+             (Json.Obj
+                [
+                  ("name", Json.String s.Trace.stat_name);
+                  ("events", Json.Int s.Trace.events);
+                  ("delta", Json.Int s.Trace.delta);
+                  ("seconds", Json.Float s.Trace.seconds);
+                ])
+         else None)
+       stats)
+
 let cell_stats_json profile_name analysis_name = function
-  | Done (_, _, stats) -> (
+  | Done (_, _, stats, tprofile) -> (
     match Run_stats.to_json stats with
     | Json.Obj fields ->
-      Json.Obj (("benchmark", Json.String profile_name) :: fields)
+      Json.Obj
+        (("benchmark", Json.String profile_name)
+        :: (fields @ [ ("trace", trace_summary_json tprofile) ]))
     | _ -> assert false)
   | Timed_out abort ->
     Json.Obj
@@ -128,7 +159,7 @@ let table1_block profile =
   let outcomes = List.map (fun a -> (a, run_one profile a)) analyses in
   let program = Workloads.program profile in
   let some_metrics =
-    List.find_map (function _, Done (m, _, _) -> Some m | _ -> None) outcomes
+    List.find_map (function _, Done (m, _, _, _) -> Some m | _ -> None) outcomes
   in
   let headline =
     match some_metrics with
@@ -145,7 +176,7 @@ let table1_block profile =
     Table.add_row t
       (label
       :: List.map
-           (fun (_, o) -> match o with Done (m, _, _) -> f m | Timed_out _ -> "-")
+           (fun (_, o) -> match o with Done (m, _, _, _) -> f m | Timed_out _ -> "-")
            outcomes)
   in
   metric_row "avg objs per var" (fun m -> fmt_float m.Metrics.avg_objs_per_var);
@@ -162,7 +193,7 @@ let table1_block profile =
           List.filter_map
             (fun a ->
               match run_one profile a with
-              | Done (_, s, _) -> Some (a, s)
+              | Done (_, s, _, _) -> Some (a, s)
               | Timed_out _ -> None)
             group
         in
@@ -182,7 +213,7 @@ let table1_block profile =
     :: List.map
          (fun (a, o) ->
            match o with
-           | Done (_, s, _) ->
+           | Done (_, s, _, _) ->
              Printf.sprintf "%.2f%s" s
                (if List.mem a best_in_group then "*" else "")
            | Timed_out _ -> "-")
@@ -210,7 +241,7 @@ let cmd_table1 () =
       List.iter
         (fun a ->
           match run_one profile a with
-          | Done (m, s, _) ->
+          | Done (m, s, _, _) ->
             rows :=
               [
                 profile.Profile.name;
@@ -266,7 +297,53 @@ let cmd_table1 () =
   output_string oc (Json.to_string (Json.List stats));
   output_char oc '\n';
   close_out oc;
-  print_endline "[table1_stats.json written]\n"
+  print_endline "[table1_stats.json written]";
+  (* The committed perf snapshot: just enough per cell to diff run-time
+     regressions across revisions (schema documented in EXPERIMENTS.md). *)
+  let cells =
+    List.concat_map
+      (fun profile ->
+        List.map
+          (fun a ->
+            let common =
+              [
+                ("benchmark", Json.String profile.Profile.name);
+                ("analysis", Json.String a);
+              ]
+            in
+            match run_one profile a with
+            | Done (_, s, stats, _) ->
+              Json.Obj
+                (common
+                @ [
+                    ("timed_out", Json.Bool false);
+                    ("time_s", Json.Float s);
+                    ("iterations", Json.Int stats.Run_stats.iterations);
+                  ])
+            | Timed_out abort ->
+              Json.Obj
+                (common
+                @ [
+                    ("timed_out", Json.Bool true);
+                    ("time_s", Json.Float abort.Pta_obs.Budget.elapsed_s);
+                    ("iterations", Json.Int abort.Pta_obs.Budget.iterations);
+                  ]))
+          analyses)
+      Profile.dacapo
+  in
+  let snapshot =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("timeout_s", Json.Float timeout_s);
+        ("cells", Json.List cells);
+      ]
+  in
+  let oc = open_out "BENCH_table1.json" in
+  output_string oc (Json.to_string snapshot);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "[BENCH_table1.json written]\n"
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3                                                            *)
@@ -298,7 +375,7 @@ let cmd_figure3 () =
         List.filter_map
           (fun (a, key) ->
             match run_one profile a with
-            | Done (m, s, _) ->
+            | Done (m, s, _, _) ->
               Some
                 {
                   Scatter.key;
@@ -332,7 +409,7 @@ let ratio_over_benchmarks f num den =
   List.filter_map
     (fun profile ->
       match (run_one profile num, run_one profile den) with
-      | Done (m1, s1, _), Done (m2, s2, _) -> (
+      | Done (m1, s1, _, _), Done (m2, s2, _, _) -> (
         match f (m1, s1) (m2, s2) with
         | r when r > 0. && Float.is_finite r -> Some r
         | _ -> None)
@@ -403,7 +480,7 @@ let cmd_summary () =
         List.fold_left
           (fun acc profile ->
             match run_one profile a with
-            | Done (m, _, _) -> acc + m.Metrics.may_fail_casts
+            | Done (m, _, _, _) -> acc + m.Metrics.may_fail_casts
             | Timed_out _ -> acc)
           0 Profile.dacapo
       in
@@ -434,7 +511,7 @@ let cmd_ablation () =
       List.iter
         (fun a ->
           match run_one profile a with
-          | Done (m, secs, _) ->
+          | Done (m, secs, _, _) ->
             Table.add_row t
               [
                 a;
@@ -496,7 +573,7 @@ let cmd_futurework () =
       List.iter
         (fun a ->
           match run_one profile a with
-          | Done (m, secs, _) ->
+          | Done (m, secs, _, _) ->
             Table.add_row t
               [
                 a;
@@ -602,6 +679,16 @@ let cmd_micro () =
                    ~observer:(Pta_obs.Recorder.observer recorder)
                    ()
                in
+               ignore
+                 (Solver.solve ~config tiny_program
+                    (Strategies.obj1 tiny_program))));
+        (* Same run with a live trace sink, to expose the tracer tax
+           (compare against solver-1obj-tiny: the untraced run must not
+           be measurably slower than before the tracer existed). *)
+        Test.make ~name:"solver-1obj-tiny-traced"
+          (Staged.stage (fun () ->
+               let trace = Trace.create ~limit:4096 () in
+               let config = Solver.Config.make ~trace () in
                ignore
                  (Solver.solve ~config tiny_program
                     (Strategies.obj1 tiny_program))));

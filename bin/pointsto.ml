@@ -23,6 +23,7 @@ module Driver = Pta_driver.Driver
 module Observer = Pta_obs.Observer
 module Json = Pta_obs.Json
 module Run_stats = Pta_obs.Run_stats
+module Trace = Pta_obs.Trace
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -48,9 +49,19 @@ let stats_json_arg =
   let doc =
     "Write run statistics (wall time, iterations, nodes, edges, contexts, \
      abstract objects, sensitive var-points-to size, per-phase timings) as \
-     JSON to $(docv)."
+     JSON to $(docv), or to stdout if $(docv) is $(b,-) (the human-readable \
+     report then goes to stderr)."
   in
   Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Record a rule/edge-level execution trace and write it as Chrome \
+     trace-event JSON to $(docv), or to stdout if $(docv) is $(b,-) (the \
+     human-readable report then goes to stderr).  Open the file in Perfetto \
+     (ui.perfetto.dev) or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let progress_arg =
   let doc = "Report solver progress on stderr while the analysis runs." in
@@ -91,9 +102,9 @@ let progress_observer () =
         (String.make 24 ' '))
     ()
 
-let config_of ?timeout_s ~progress () =
+let config_of ?timeout_s ?trace ~progress () =
   let observer = if progress then progress_observer () else Observer.null in
-  Solver.Config.make ?timeout_s ~observer ()
+  Solver.Config.make ?timeout_s ~observer ?trace ()
 
 let sources_of files = List.map (fun f -> Driver.File f) files
 
@@ -108,13 +119,36 @@ let write_file path contents =
     Printf.eprintf "pointsto: cannot write %s: %s\n" path msg;
     exit 123
 
-let emit_stats ~stats_json ~profile (r : Driver.run) =
+(* "-" means stdout, so machine output can be piped; the callers then
+   route the human-readable report to stderr to keep the two streams
+   from interleaving. *)
+let write_output path contents =
+  if String.equal path "-" then (print_string contents; flush stdout)
+  else write_file path contents
+
+let stdout_dest = function Some "-" -> true | _ -> false
+
+(* The human-readable report goes to stdout unless some machine output
+   claimed it. *)
+let report_ppf ~machine_on_stdout =
+  if machine_on_stdout then Format.err_formatter else Format.std_formatter
+
+let trace_sink = function
+  | None -> Trace.null
+  | Some _ -> Trace.create ()
+
+let emit_trace trace_file trace =
+  Option.iter
+    (fun path -> write_output path (Json.to_string (Trace.to_chrome_json trace)))
+    trace_file
+
+let emit_stats ~ppf ~stats_json ~profile (r : Driver.run) =
   match r.Driver.stats with
   | None -> ()
   | Some stats ->
-    if profile then Format.printf "%a@." Run_stats.pp stats;
+    if profile then Format.fprintf ppf "%a@." Run_stats.pp stats;
     Option.iter
-      (fun path -> write_file path (Json.to_string (Run_stats.to_json stats)))
+      (fun path -> write_output path (Json.to_string (Run_stats.to_json stats)))
       stats_json
 
 (* ------------------------------------------------------------------ *)
@@ -160,8 +194,14 @@ let resolve_meth_var program meth_name var_name =
   (meth, var)
 
 let analyze_cmd =
-  let run files analysis no_stdlib timeout_s stats_json progress profile =
-    let config = config_of ?timeout_s ~progress () in
+  let run files analysis no_stdlib timeout_s stats_json trace_file progress
+      profile =
+    let trace = trace_sink trace_file in
+    let config = config_of ?timeout_s ~trace ~progress () in
+    let ppf =
+      report_ppf
+        ~machine_on_stdout:(stdout_dest stats_json || stdout_dest trace_file)
+    in
     let _program, r =
       handle
         (Driver.load_and_run ~stdlib:(not no_stdlib) ~config
@@ -169,18 +209,19 @@ let analyze_cmd =
            ~analysis (sources_of files))
     in
     let metrics = Metrics.compute r.Driver.solver in
-    Format.printf "analysis: %s (%s)@." analysis
+    Format.fprintf ppf "analysis: %s (%s)@." analysis
       r.Driver.strategy.Pta_context.Strategy.description;
-    Format.printf "%a@." Metrics.pp metrics;
-    Format.printf "elapsed: %.3fs@." r.Driver.wall_time_s;
-    emit_stats ~stats_json ~profile r
+    Format.fprintf ppf "%a@." Metrics.pp metrics;
+    Format.fprintf ppf "elapsed: %.3fs@." r.Driver.wall_time_s;
+    emit_stats ~ppf ~stats_json ~profile r;
+    emit_trace trace_file trace
   in
   let doc = "Run one points-to analysis and print its metrics." in
   Cmd.v
     (Cmd.info "analyze" ~doc ~exits:common_exits)
     Term.(
       const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
-      $ stats_json_arg $ progress_arg $ profile_arg)
+      $ stats_json_arg $ trace_arg $ progress_arg $ profile_arg)
 
 let compare_cmd =
   let analyses_arg =
@@ -190,8 +231,15 @@ let compare_cmd =
       & opt (list string) [ "1call"; "1obj"; "SB-1obj"; "2obj+H"; "S-2obj+H"; "2type+H" ]
       & info [ "analyses" ] ~docv:"NAMES" ~doc)
   in
-  let run files analyses no_stdlib timeout_s stats_json progress profile =
+  let run files analyses no_stdlib timeout_s stats_json trace_file progress
+      profile =
     let program = handle (Driver.load_program ~stdlib:(not no_stdlib) (sources_of files)) in
+    (* One shared sink: the trace holds every analysis back to back. *)
+    let trace = trace_sink trace_file in
+    let ppf =
+      report_ppf
+        ~machine_on_stdout:(stdout_dest stats_json || stdout_dest trace_file)
+    in
     let table =
       Pta_report.Table.create
         ~headers:
@@ -206,13 +254,13 @@ let compare_cmd =
         let (_ : Pta_context.Strategy.t) =
           handle (Driver.strategy_of_name program name)
         in
-        let config = config_of ?timeout_s ~progress () in
+        let config = config_of ?timeout_s ~trace ~progress () in
         match Driver.run ~config ~collect_stats program ~analysis:name with
         | Ok r ->
           let m = Metrics.compute r.Driver.solver in
           (match r.Driver.stats with
           | Some stats ->
-            if profile then Format.printf "%a@." Run_stats.pp stats;
+            if profile then Format.fprintf ppf "%a@." Run_stats.pp stats;
             all_stats := Run_stats.to_json stats :: !all_stats
           | None -> ());
           Pta_report.Table.add_row table
@@ -239,29 +287,35 @@ let compare_cmd =
           Pta_report.Table.add_row table [ name; "-"; "-"; "-"; "-"; "-"; "-" ]
         | Error e -> Driver.report_and_exit e)
       analyses;
-    print_string (Pta_report.Table.render table);
+    Format.fprintf ppf "%s@?" (Pta_report.Table.render table);
     Option.iter
       (fun path ->
-        write_file path (Json.to_string (Json.List (List.rev !all_stats))))
-      stats_json
+        write_output path (Json.to_string (Json.List (List.rev !all_stats))))
+      stats_json;
+    emit_trace trace_file trace
   in
   let doc = "Compare several analyses on the same program." in
   Cmd.v
     (Cmd.info "compare" ~doc ~exits:common_exits)
     Term.(
       const run $ files_arg $ analyses_arg $ no_stdlib_arg $ timeout_arg
-      $ stats_json_arg $ progress_arg $ profile_arg)
+      $ stats_json_arg $ trace_arg $ progress_arg $ profile_arg)
 
 (* Load + run for the query-style subcommands: no stats machinery, but
-   the same exit-code contract and optional timeout. *)
-let load_and_solve ?timeout_s ~no_stdlib ~analysis files =
-  let config = Solver.Config.make ?timeout_s () in
+   the same exit-code contract, optional timeout and optional trace.
+   The trace file is written before returning, so a "-" destination has
+   stdout to itself; the returned formatter is where the report goes. *)
+let load_and_solve ?timeout_s ?(trace_file = None) ~no_stdlib ~analysis files =
+  let trace = trace_sink trace_file in
+  let config = Solver.Config.make ?timeout_s ~trace () in
   let program, r =
     handle
       (Driver.load_and_run ~stdlib:(not no_stdlib) ~config ~analysis
          (sources_of files))
   in
-  (program, r.Driver.solver)
+  emit_trace trace_file trace;
+  let ppf = report_ppf ~machine_on_stdout:(stdout_dest trace_file) in
+  (program, r.Driver.solver, ppf)
 
 let query_cmd =
   let meth_arg =
@@ -276,16 +330,19 @@ let query_cmd =
       & opt (some string) None
       & info [ "var" ] ~docv:"NAME" ~doc:"Local variable name.")
   in
-  let run files analysis no_stdlib timeout_s meth_name var_name =
-    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
+  let run files analysis no_stdlib timeout_s trace_file meth_name var_name =
+    let program, solver, ppf =
+      load_and_solve ?timeout_s ~trace_file ~no_stdlib ~analysis files
+    in
     let _, var = resolve_meth_var program meth_name var_name in
     let heaps = Solver.ci_var_points_to solver var in
-    Format.printf "%s may point to %d allocation site(s):@."
+    Format.fprintf ppf "%s may point to %d allocation site(s):@."
       (Ir.Program.var_qualified_name program var)
       (Intset.cardinal heaps);
     Intset.iter
       (fun h ->
-        Format.printf "  %s@." (Ir.Program.heap_name program (Ir.Heap_id.of_int h)))
+        Format.fprintf ppf "  %s@."
+          (Ir.Program.heap_name program (Ir.Heap_id.of_int h)))
       heaps
   in
   let doc = "Print the points-to set of one variable." in
@@ -293,42 +350,49 @@ let query_cmd =
     (Cmd.info "query" ~doc ~exits:common_exits)
     Term.(
       const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
-      $ meth_arg $ var_arg)
+      $ trace_arg $ meth_arg $ var_arg)
 
 let casts_cmd =
-  let run files analysis no_stdlib timeout_s =
-    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
+  let run files analysis no_stdlib timeout_s trace_file =
+    let program, solver, ppf =
+      load_and_solve ?timeout_s ~trace_file ~no_stdlib ~analysis files
+    in
     let sites = Pta_clients.Casts.analyze solver in
     List.iter
       (fun (site : Pta_clients.Casts.site) ->
         match site.verdict with
         | Pta_clients.Casts.Safe -> ()
         | Pta_clients.Casts.May_fail witnesses ->
-          Format.printf "MAY FAIL: (%s) cast of %s in %s@."
+          Format.fprintf ppf "MAY FAIL: (%s) cast of %s in %s@."
             (Ir.Program.type_name program site.cast_type)
             (Ir.Program.var_info program site.source).Ir.var_name
             (Ir.Program.meth_qualified_name program site.in_meth);
           List.iteri
             (fun i h ->
               if i < 3 then
-                Format.printf "    witness: %s@." (Ir.Program.heap_name program h))
+                Format.fprintf ppf "    witness: %s@."
+                  (Ir.Program.heap_name program h))
             witnesses)
       sites;
-    Format.printf "%d of %d casts may fail under %s@."
+    Format.fprintf ppf "%d of %d casts may fail under %s@."
       (Pta_clients.Casts.may_fail_count sites)
       (List.length sites) analysis
   in
   let doc = "List casts the analysis cannot prove safe." in
   Cmd.v
     (Cmd.info "casts" ~doc ~exits:common_exits)
-    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg)
+    Term.(
+      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ trace_arg)
 
 let callgraph_cmd =
   let dot_arg =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot on stdout.")
   in
-  let run files analysis no_stdlib timeout_s dot =
-    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
+  let run files analysis no_stdlib timeout_s trace_file dot =
+    let program, solver, ppf =
+      load_and_solve ?timeout_s ~trace_file ~no_stdlib ~analysis files
+    in
     (* Method-level edges: caller method -> callee method. *)
     let edges = Hashtbl.create 256 in
     Ir.Program.iter_invos program (fun invo info ->
@@ -343,15 +407,15 @@ let callgraph_cmd =
       Hashtbl.fold (fun e () acc -> e :: acc) edges [] |> List.sort compare
     in
     if dot then begin
-      Format.printf "digraph callgraph {@.";
+      Format.fprintf ppf "digraph callgraph {@.";
       List.iter
-        (fun (src, dst) -> Format.printf "  %S -> %S;@." src dst)
+        (fun (src, dst) -> Format.fprintf ppf "  %S -> %S;@." src dst)
         sorted;
-      Format.printf "}@."
+      Format.fprintf ppf "}@."
     end
     else begin
-      List.iter (fun (src, dst) -> Format.printf "%s -> %s@." src dst) sorted;
-      Format.printf "%d method-level call edges@." (List.length sorted)
+      List.iter (fun (src, dst) -> Format.fprintf ppf "%s -> %s@." src dst) sorted;
+      Format.fprintf ppf "%d method-level call edges@." (List.length sorted)
     end
   in
   let doc = "Print the computed (context-insensitive) call graph." in
@@ -359,7 +423,7 @@ let callgraph_cmd =
     (Cmd.info "callgraph" ~doc ~exits:common_exits)
     Term.(
       const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
-      $ dot_arg)
+      $ trace_arg $ dot_arg)
 
 let why_cmd =
   let meth_arg =
@@ -374,26 +438,28 @@ let why_cmd =
       & opt (some string) None
       & info [ "var" ] ~docv:"NAME" ~doc:"Local variable name.")
   in
-  let run files analysis no_stdlib timeout_s meth_name var_name =
-    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
+  let run files analysis no_stdlib timeout_s trace_file meth_name var_name =
+    let program, solver, ppf =
+      load_and_solve ?timeout_s ~trace_file ~no_stdlib ~analysis files
+    in
     let meth, var = resolve_meth_var program meth_name var_name in
     ignore meth;
     let heaps = Solver.ci_var_points_to solver var in
     if Intset.is_empty heaps then
-      Format.printf "%s points to nothing under %s@."
+      Format.fprintf ppf "%s points to nothing under %s@."
         (Ir.Program.var_qualified_name program var)
         analysis
     else
       Intset.iter
         (fun h ->
           let heap = Ir.Heap_id.of_int h in
-          Format.printf "@[<v>%s may point to %s because:@,"
+          Format.fprintf ppf "@[<v>%s may point to %s because:@,"
             (Ir.Program.var_qualified_name program var)
             (Ir.Program.heap_name program heap);
           (match Pta_clients.Provenance.explain solver ~var ~heap with
-          | Some chain -> Pta_clients.Provenance.pp_chain Format.std_formatter chain
-          | None -> Format.printf "  (no witness chain found)@,");
-          Format.printf "@]@.")
+          | Some chain -> Pta_clients.Provenance.pp_chain ppf chain
+          | None -> Format.fprintf ppf "  (no witness chain found)@,");
+          Format.fprintf ppf "@]@.")
         heaps
   in
   let doc = "Explain why a variable may point to each of its allocation sites." in
@@ -401,12 +467,14 @@ let why_cmd =
     (Cmd.info "why" ~doc ~exits:common_exits)
     Term.(
       const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
-      $ meth_arg $ var_arg)
+      $ trace_arg $ meth_arg $ var_arg)
 
 let stats_cmd =
-  let run files analysis no_stdlib timeout_s =
-    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
-    Format.printf "%a@."
+  let run files analysis no_stdlib timeout_s trace_file =
+    let program, solver, ppf =
+      load_and_solve ?timeout_s ~trace_file ~no_stdlib ~analysis files
+    in
+    Format.fprintf ppf "%a@."
       (Pta_clients.Stats.pp program)
       (Pta_clients.Stats.compute solver)
   in
@@ -415,7 +483,79 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc ~exits:common_exits)
-    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg)
+    Term.(
+      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ trace_arg)
+
+let profile_cmd =
+  let top_arg =
+    let doc = "Show the $(docv) hottest rows." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let datalog_arg =
+    let doc =
+      "Profile the reference Datalog implementation (per-rule firings) \
+       instead of the native solver (per-edge-kind propagation)."
+    in
+    Arg.(value & flag & info [ "datalog" ] ~doc)
+  in
+  let run files analysis no_stdlib timeout_s trace_file top datalog =
+    (* Always trace — the profile is read off the sink's aggregates —
+       but only write the event timeline when --trace asks for it. *)
+    let trace = Trace.create () in
+    let ppf = report_ppf ~machine_on_stdout:(stdout_dest trace_file) in
+    let wall_time_s =
+      let t0 = Unix.gettimeofday () in
+      (if datalog then begin
+         let program =
+           handle (Driver.load_program ~stdlib:(not no_stdlib) (sources_of files))
+         in
+         let strategy = handle (Driver.strategy_of_name program analysis) in
+         let budget = Pta_obs.Budget.of_seconds_opt timeout_s in
+         match Pta_refimpl.Refimpl.run ~budget ~trace program strategy with
+         | (_ : Pta_refimpl.Refimpl.t) -> ()
+         | exception Pta_obs.Budget.Exhausted abort ->
+           Driver.report_and_exit (Driver.Timed_out { analysis; abort })
+       end
+       else
+         let config = Solver.Config.make ?timeout_s ~trace () in
+         ignore
+           (handle
+              (Driver.load_and_run ~stdlib:(not no_stdlib) ~config ~analysis
+                 (sources_of files))));
+      Unix.gettimeofday () -. t0
+    in
+    let cat = if datalog then "rule" else "solver" in
+    let rows =
+      List.filter_map
+        (fun (s : Trace.stat) ->
+          if String.equal s.stat_cat cat then
+            Some
+              {
+                Pta_report.Hotspots.name = s.stat_name;
+                events = s.events;
+                delta = s.delta;
+                seconds = s.seconds;
+              }
+          else None)
+        (Trace.profile trace)
+    in
+    let title = if datalog then "rule" else "edge kind" in
+    Format.fprintf ppf "analysis: %s (%s)@." analysis
+      (if datalog then "reference Datalog engine" else "native solver");
+    Format.fprintf ppf "%s" (Pta_report.Hotspots.render ~top ~title rows);
+    Format.fprintf ppf "elapsed: %.3fs@." wall_time_s;
+    emit_trace trace_file trace
+  in
+  let doc =
+    "Run one analysis under the tracer and print its hot-spot table \
+     (per-Datalog-rule with $(b,--datalog), per-edge-kind otherwise)."
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc ~exits:common_exits)
+    Term.(
+      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ trace_arg $ top_arg $ datalog_arg)
 
 let decompile_cmd =
   let run files no_stdlib =
@@ -430,25 +570,30 @@ let decompile_cmd =
     Term.(const run $ files_arg $ no_stdlib_arg)
 
 let exceptions_cmd =
-  let run files analysis no_stdlib timeout_s =
-    let program, solver = load_and_solve ?timeout_s ~no_stdlib ~analysis files in
+  let run files analysis no_stdlib timeout_s trace_file =
+    let program, solver, ppf =
+      load_and_solve ?timeout_s ~trace_file ~no_stdlib ~analysis files
+    in
     let escapes = Pta_clients.Exceptions.escapes solver in
     List.iter
       (fun (e : Pta_clients.Exceptions.escape) ->
-        Format.printf "%s may leak:@."
+        Format.fprintf ppf "%s may leak:@."
           (Ir.Program.meth_qualified_name program e.meth);
         List.iter
-          (fun h -> Format.printf "    %s@." (Ir.Program.heap_name program h))
+          (fun h -> Format.fprintf ppf "    %s@." (Ir.Program.heap_name program h))
           e.exceptions)
       escapes;
     let uncaught = Pta_clients.Exceptions.uncaught_at_entries solver in
-    Format.printf "%d method(s) may leak exceptions; %d site(s) may escape main@."
+    Format.fprintf ppf
+      "%d method(s) may leak exceptions; %d site(s) may escape main@."
       (List.length escapes) (List.length uncaught)
   in
   let doc = "Report which exceptions may escape which methods." in
   Cmd.v
     (Cmd.info "exceptions" ~doc ~exits:common_exits)
-    Term.(const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg)
+    Term.(
+      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ trace_arg)
 
 let dump_ir_cmd =
   let run files no_stdlib =
@@ -503,9 +648,9 @@ let main_cmd =
   let info = Cmd.info "pointsto" ~version:"1.0.0" ~doc ~exits:common_exits in
   Cmd.group info
     [
-      analyze_cmd; compare_cmd; query_cmd; why_cmd; casts_cmd; exceptions_cmd;
-      callgraph_cmd; stats_cmd; dump_ir_cmd; decompile_cmd; gen_cmd;
-      strategies_cmd;
+      analyze_cmd; compare_cmd; profile_cmd; query_cmd; why_cmd; casts_cmd;
+      exceptions_cmd; callgraph_cmd; stats_cmd; dump_ir_cmd; decompile_cmd;
+      gen_cmd; strategies_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

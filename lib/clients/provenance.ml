@@ -37,6 +37,12 @@ let describe_node solver nid =
    the abstract object; the chain root is a node with no predecessor
    passing the object (the allocation target, a receiver binding, ...). *)
 let explain solver ~var ~heap =
+  (* An aborted run leaves a partially-populated supergraph: nodes may
+     exist whose in-edges were never wired, so a "witness chain" found
+     in it can be truncated or outright wrong.  Refuse rather than
+     mislead. *)
+  if not (Solver.is_complete solver) then
+    invalid_arg "Provenance.explain: analysis aborted before fixpoint";
   if not (Intset.mem (Heap_id.to_int heap) (Solver.ci_var_points_to solver var))
   then None
   else begin

@@ -19,6 +19,11 @@ val explain :
   step list option
 (** [explain solver ~var ~heap] returns a forward witness chain ending at
     one of [var]'s contexts, or [None] if the analysis does not compute
-    [var] pointing to [heap]. *)
+    [var] pointing to [heap].
+
+    @raise Invalid_argument if the solver state is the partial result of
+    an aborted (budget-exhausted) run — see
+    {!Pta_solver.Solver.is_complete}; a partially-populated supergraph
+    cannot support trustworthy witness chains. *)
 
 val pp_chain : Format.formatter -> step list -> unit

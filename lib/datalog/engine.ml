@@ -105,15 +105,17 @@ let relations_of rules =
   !out
 
 let run ?(observer = Pta_obs.Observer.null) ?(budget = Pta_obs.Budget.unlimited ())
-    rules =
+    ?(trace = Pta_obs.Trace.null) rules =
   let module Observer = Pta_obs.Observer in
   let module Budget = Pta_obs.Budget in
+  let module Trace = Pta_obs.Trace in
   let rels = relations_of rules in
   let total_facts () =
     List.fold_left (fun acc r -> acc + Relation.cardinal r) 0 rels
   in
   Budget.start budget ~probe:total_facts;
   Observer.phase observer "fixpoint" @@ fun () ->
+  Trace.span trace ~cat:"phase" "fixpoint" @@ fun () ->
   (* delta = facts with index in [low, high) *)
   let low = Hashtbl.create 16 and high = Hashtbl.create 16 in
   List.iter
@@ -128,32 +130,51 @@ let run ?(observer = Pta_obs.Observer.null) ?(budget = Pta_obs.Budget.unlimited 
        are few and heavy, so poll the clock on every one. *)
     Budget.check budget;
     Observer.iteration observer;
-    let facts_before = if Observer.is_null observer then 0 else total_facts () in
+    Trace.begin_span trace ~cat:"phase" "round";
+    let measured =
+      not (Observer.is_null observer && Trace.is_null trace)
+    in
+    let facts_before = if measured then total_facts () else 0 in
     (* Evaluate every rule once per body position, with that position
        restricted to the previous round's delta. *)
     List.iter
       (fun rule ->
-        let env = Array.make rule.n_vars (-1) in
-        List.iteri
-          (fun p atom ->
-            let lo = Hashtbl.find low (Relation.name atom.rel) in
-            let hi = Hashtbl.find high (Relation.name atom.rel) in
-            if hi > lo then
-              for i = lo to hi - 1 do
-                let fact = Relation.nth atom.rel i in
-                match match_fact env atom fact with
-                | None -> ()
-                | Some bound ->
-                  let rest = List.filteri (fun q _ -> q <> p) rule.body in
-                  solve env rest (fun () ->
-                      List.iter
-                        (fun h ->
-                          if Relation.add h.hrel (head_fact env h) then
-                            changed := true)
-                        rule.heads);
-                  undo env bound
-              done)
-          rule.body)
+        let eval () =
+          let env = Array.make rule.n_vars (-1) in
+          List.iteri
+            (fun p atom ->
+              let lo = Hashtbl.find low (Relation.name atom.rel) in
+              let hi = Hashtbl.find high (Relation.name atom.rel) in
+              if hi > lo then
+                for i = lo to hi - 1 do
+                  let fact = Relation.nth atom.rel i in
+                  match match_fact env atom fact with
+                  | None -> ()
+                  | Some bound ->
+                    let rest = List.filteri (fun q _ -> q <> p) rule.body in
+                    solve env rest (fun () ->
+                        List.iter
+                          (fun h ->
+                            if Relation.add h.hrel (head_fact env h) then
+                              changed := true)
+                          rule.heads);
+                    undo env bound
+                done)
+            rule.body
+        in
+        if Trace.is_null trace then eval ()
+        else begin
+          (* One complete span per rule per round: its wall time and the
+             facts it alone derived (rules fire in sequence, so the
+             fact-count difference is attributable). *)
+          let before = total_facts () in
+          let t0 = Trace.now_us trace in
+          eval ();
+          Trace.complete trace
+            ~delta:(total_facts () - before)
+            ~cat:"rule" ~name:rule.rname ~t0_us:t0
+            ~dur_us:(Trace.now_us trace -. t0)
+        end)
       rules;
     (* Advance the delta windows. *)
     List.iter
@@ -162,16 +183,16 @@ let run ?(observer = Pta_obs.Observer.null) ?(budget = Pta_obs.Budget.unlimited 
         Hashtbl.replace low name (Hashtbl.find high name);
         Hashtbl.replace high name (Relation.cardinal r))
       rels;
+    let fresh = if measured then total_facts () - facts_before else 0 in
     if not (Observer.is_null observer) then begin
       (* New facts this round double as both the node count and the
          round's delta size. *)
-      let fresh = total_facts () - facts_before in
       Observer.delta observer fresh;
       for _ = 1 to fresh do
         Observer.node observer
       done
     end;
+    Trace.end_span ~delta:fresh trace
     (* A final catch-up round: facts derived this round become the next
        delta; loop continues while any rule fired. *)
-    ()
   done

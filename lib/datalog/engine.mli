@@ -37,7 +37,11 @@ type rule = {
 val rule : string -> n_vars:int -> head list -> atom list -> rule
 
 val run :
-  ?observer:Pta_obs.Observer.t -> ?budget:Pta_obs.Budget.t -> rule list -> unit
+  ?observer:Pta_obs.Observer.t ->
+  ?budget:Pta_obs.Budget.t ->
+  ?trace:Pta_obs.Trace.t ->
+  rule list ->
+  unit
 (** Evaluate to fixpoint, mutating the relations appearing in the rules.
     Facts already present count as the initial delta.
 
@@ -46,7 +50,15 @@ val run :
     count, so an abort payload's [nodes] field is facts derived);
     [observer] receives an iteration tick and the round's new-fact count
     (as [on_delta] plus one [on_node] per fact) each round, and a
-    ["fixpoint"] phase timing.  Both default to the free null/unlimited
+    ["fixpoint"] phase timing.  All default to the free null/unlimited
     instruments.
+
+    With a live [trace], the engine emits a ["phase"] span for the
+    fixpoint and one per round, and — per rule, per round — a
+    ["rule"]-category complete span named after the rule, carrying its
+    wall time and the facts it derived ([delta]).  The per-rule
+    aggregates behind {!Pta_obs.Trace.profile} are exact; the engine is
+    deterministic, so firing and delta counts are identical across
+    identical runs.
 
     @raise Pta_obs.Budget.Exhausted when the budget runs out. *)

@@ -85,6 +85,30 @@ type run = {
   stats : Run_stats.t option;
 }
 
+(* The four Table-1 precision gauges, sampled once at fixpoint into the
+   trace so a Chrome-trace export is self-describing. *)
+let emit_gauges trace program solver =
+  let module Trace = Pta_obs.Trace in
+  if not (Trace.is_null trace) then begin
+    let module Intset = Pta_solver.Intset in
+    let vars = ref 0 and objs = ref 0 in
+    Pta_ir.Ir.Program.iter_vars program (fun v _info ->
+        let s = Solver.ci_var_points_to solver v in
+        if not (Intset.is_empty s) then begin
+          incr vars;
+          objs := !objs + Intset.cardinal s
+        end);
+    let avg = if !vars = 0 then 0. else float_of_int !objs /. float_of_int !vars in
+    Trace.counter trace ~cat:"gauge" "contexts"
+      (float_of_int (Solver.n_ctxs solver));
+    Trace.counter trace ~cat:"gauge" "avg objs per var" avg;
+    Trace.counter trace ~cat:"gauge" "reachable methods"
+      (float_of_int
+         (Pta_ir.Ir.Meth_id.Set.cardinal (Solver.reachable_meths solver)));
+    Trace.counter trace ~cat:"gauge" "call-graph edges"
+      (float_of_int (Solver.n_call_edges_ci solver))
+  end
+
 let run ?(config = Solver.Config.default) ?(collect_stats = false) program
     ~analysis =
   match strategy_of_name program analysis with
@@ -105,6 +129,7 @@ let run ?(config = Solver.Config.default) ?(collect_stats = false) program
     match Solver.solve ~config program strategy with
     | solver ->
       let wall_time_s = Unix.gettimeofday () -. t0 in
+      emit_gauges config.Solver.Config.trace program solver;
       let stats =
         Option.map
           (fun r ->

@@ -64,7 +64,12 @@ val run :
 (** Resolve [analysis] and solve under [config].  With
     [~collect_stats:true] a {!Pta_obs.Recorder.t} is tee'd onto the
     configured observer and the full {!Pta_obs.Run_stats.t} bundle
-    (counters, final sizes, wall time, phase timings) is assembled. *)
+    (counters, final sizes, wall time, phase timings) is assembled.
+
+    If [config] carries a live {!Pta_obs.Trace.t}, the four Table-1
+    precision gauges are sampled into it at fixpoint as
+    ["gauge"]-category counters: ["contexts"], ["avg objs per var"],
+    ["reachable methods"] and ["call-graph edges"]. *)
 
 val load_and_run :
   ?stdlib:bool ->

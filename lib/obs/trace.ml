@@ -1,0 +1,211 @@
+type ev =
+  | Begin of { cat : string; name : string; ts : float }
+  | End of { name : string; ts : float }
+  | Complete of {
+      cat : string;
+      name : string;
+      ts : float;
+      dur : float;
+      delta : int option;
+    }
+  | Instant of { cat : string; name : string; ts : float }
+  | Counter of { cat : string; name : string; ts : float; value : float }
+
+type agg = {
+  mutable a_events : int;
+  mutable a_us : float;
+  mutable a_delta : int;
+}
+
+type t = {
+  mutable buf : ev array;
+  mutable head : int;  (* index of the oldest retained event *)
+  mutable len : int;
+  limit : int;  (* ring capacity ceiling; [buf] grows up to it *)
+  mutable dropped : int;
+  epoch : float;
+  mutable last_us : float;  (* monotone clamp *)
+  open_spans : (string * string * float) Stack.t;  (* cat, name, t0 *)
+  aggs : (string * string, agg) Hashtbl.t;
+}
+
+let dummy = Instant { cat = ""; name = ""; ts = 0. }
+
+let null =
+  {
+    buf = [||];
+    head = 0;
+    len = 0;
+    limit = 0;
+    dropped = 0;
+    epoch = 0.;
+    last_us = 0.;
+    open_spans = Stack.create ();
+    aggs = Hashtbl.create 1;
+  }
+
+let is_null t = t == null
+
+let default_limit = 1 lsl 18
+
+let create ?(limit = default_limit) () =
+  let limit = max 16 limit in
+  {
+    buf = Array.make (min 1024 limit) dummy;
+    head = 0;
+    len = 0;
+    limit;
+    dropped = 0;
+    epoch = Unix.gettimeofday ();
+    last_us = 0.;
+    open_spans = Stack.create ();
+    aggs = Hashtbl.create 64;
+  }
+
+let now_us t =
+  let us = (Unix.gettimeofday () -. t.epoch) *. 1e6 in
+  if us > t.last_us then begin
+    t.last_us <- us;
+    us
+  end
+  else t.last_us
+
+let push t ev =
+  let cap = Array.length t.buf in
+  if t.len = cap && cap < t.limit then begin
+    (* Grow: unroll the ring into a larger flat array. *)
+    let ncap = min t.limit (cap * 2) in
+    let nbuf = Array.make ncap dummy in
+    for i = 0 to t.len - 1 do
+      nbuf.(i) <- t.buf.((t.head + i) mod cap)
+    done;
+    t.buf <- nbuf;
+    t.head <- 0
+  end;
+  let cap = Array.length t.buf in
+  if t.len = cap then begin
+    (* At the ceiling: overwrite the oldest event. *)
+    t.buf.(t.head) <- ev;
+    t.head <- (t.head + 1) mod cap;
+    t.dropped <- t.dropped + 1
+  end
+  else begin
+    t.buf.((t.head + t.len) mod cap) <- ev;
+    t.len <- t.len + 1
+  end
+
+let agg t cat name =
+  match Hashtbl.find_opt t.aggs (cat, name) with
+  | Some a -> a
+  | None ->
+    let a = { a_events = 0; a_us = 0.; a_delta = 0 } in
+    Hashtbl.add t.aggs (cat, name) a;
+    a
+
+let bump t cat name ~us ~delta =
+  let a = agg t cat name in
+  a.a_events <- a.a_events + 1;
+  a.a_us <- a.a_us +. us;
+  a.a_delta <- a.a_delta + delta
+
+let begin_span t ~cat name =
+  if t != null then begin
+    let ts = now_us t in
+    Stack.push (cat, name, ts) t.open_spans;
+    push t (Begin { cat; name; ts })
+  end
+
+let end_span ?(delta = 0) t =
+  if t != null then
+    match Stack.pop_opt t.open_spans with
+    | None -> ()
+    | Some (cat, name, t0) ->
+      let ts = now_us t in
+      push t (End { name; ts });
+      bump t cat name ~us:(ts -. t0) ~delta
+
+let span t ~cat name f =
+  if t == null then f ()
+  else begin
+    begin_span t ~cat name;
+    Fun.protect ~finally:(fun () -> end_span t) f
+  end
+
+let complete ?delta t ~cat ~name ~t0_us ~dur_us =
+  if t != null then begin
+    push t (Complete { cat; name; ts = t0_us; dur = dur_us; delta });
+    bump t cat name ~us:dur_us ~delta:(Option.value ~default:0 delta)
+  end
+
+let instant t ~cat name =
+  if t != null then push t (Instant { cat; name; ts = now_us t })
+
+let counter t ~cat name value =
+  if t != null then push t (Counter { cat; name; ts = now_us t; value })
+
+type stat = {
+  stat_cat : string;
+  stat_name : string;
+  events : int;
+  delta : int;
+  seconds : float;
+}
+
+let profile t =
+  Hashtbl.fold
+    (fun (cat, name) a acc ->
+      {
+        stat_cat = cat;
+        stat_name = name;
+        events = a.a_events;
+        delta = a.a_delta;
+        seconds = a.a_us /. 1e6;
+      }
+      :: acc)
+    t.aggs []
+  |> List.sort (fun a b ->
+         match compare b.seconds a.seconds with
+         | 0 -> compare (a.stat_cat, a.stat_name) (b.stat_cat, b.stat_name)
+         | c -> c)
+
+let n_events t = t.len
+let dropped t = t.dropped
+
+let iter t f =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.head + i) mod cap)
+  done
+
+let to_chrome_json t =
+  let common ~name ~ph ~ts rest =
+    Json.Obj
+      (("name", Json.String name)
+      :: ("ph", Json.String ph)
+      :: ("ts", Json.Float ts)
+      :: ("pid", Json.Int 1)
+      :: ("tid", Json.Int 1)
+      :: rest)
+  in
+  let cat c = ("cat", Json.String c) in
+  let events = ref [] in
+  iter t (fun ev ->
+      let j =
+        match ev with
+        | Begin { cat = c; name; ts } -> common ~name ~ph:"B" ~ts [ cat c ]
+        | End { name; ts } -> common ~name ~ph:"E" ~ts []
+        | Complete { cat = c; name; ts; dur; delta } ->
+          let args =
+            match delta with
+            | None -> []
+            | Some d -> [ ("args", Json.Obj [ ("delta", Json.Int d) ]) ]
+          in
+          common ~name ~ph:"X" ~ts (cat c :: ("dur", Json.Float dur) :: args)
+        | Instant { cat = c; name; ts } ->
+          common ~name ~ph:"i" ~ts [ cat c; ("s", Json.String "t") ]
+        | Counter { cat = c; name; ts; value } ->
+          common ~name ~ph:"C" ~ts
+            [ cat c; ("args", Json.Obj [ ("value", Json.Float value) ]) ]
+      in
+      events := j :: !events);
+  Json.List (List.rev !events)

@@ -182,7 +182,7 @@ let build_edb program =
     subtype,
     (throw_in, call_scope, catches, escapes_scope, scope_parent, root_scope) )
 
-let run ?observer ?budget program (strategy : Strategy.t) =
+let run ?observer ?budget ?trace program (strategy : Strategy.t) =
   let ( alloc,
         move,
         cast,
@@ -392,7 +392,7 @@ let run ?observer ?budget program (strategy : Strategy.t) =
   List.iter
     (fun m -> ignore (Relation.add reach [| Meth_id.to_int m; initial |]))
     (Program.entries program);
-  Engine.run ?observer ?budget rules;
+  Engine.run ?observer ?budget ?trace rules;
   { vpt; cg; reach; throwpt; ctx_store; hctx_store }
 
 let fold_var_points_to t f acc =

@@ -12,12 +12,15 @@ type t
 val run :
   ?observer:Pta_obs.Observer.t ->
   ?budget:Pta_obs.Budget.t ->
+  ?trace:Pta_obs.Trace.t ->
   Pta_ir.Ir.Program.t ->
   Pta_context.Strategy.t ->
   t
 (** Evaluate the reference rules, optionally under the same observer /
-    budget instruments as the native solver — so the differential oracle
-    is measured with the same tools.
+    budget / trace instruments as the native solver — so the
+    differential oracle is measured with the same tools.  A live [trace]
+    receives per-rule complete spans from the engine (see
+    {!Pta_datalog.Engine.run}).
 
     @raise Pta_obs.Budget.Exhausted when the budget runs out. *)
 

@@ -1,0 +1,55 @@
+type row = {
+  name : string;
+  events : int;
+  delta : int;
+  seconds : float;
+}
+
+let bar_width = 20
+
+let bar share =
+  let n = int_of_float ((share *. float_of_int bar_width) +. 0.5) in
+  String.make (max 0 (min bar_width n)) '#'
+
+let render ?(top = 10) ?total_s ~title rows =
+  let rows =
+    List.sort
+      (fun a b ->
+        match compare b.seconds a.seconds with
+        | 0 -> compare a.name b.name
+        | c -> c)
+      rows
+  in
+  let sum = List.fold_left (fun acc r -> acc +. r.seconds) 0. rows in
+  let total = match total_s with Some t when t > 0. -> t | _ -> sum in
+  let shown, hidden =
+    if List.length rows <= top then (rows, [])
+    else (List.filteri (fun i _ -> i < top) rows, List.filteri (fun i _ -> i >= top) rows)
+  in
+  let share r = if total > 0. then r.seconds /. total else 0. in
+  let table =
+    Table.create ~headers:[ title; "events"; "delta"; "time (s)"; "share"; "" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.name;
+          string_of_int r.events;
+          string_of_int r.delta;
+          Printf.sprintf "%.4f" r.seconds;
+          Printf.sprintf "%5.1f%%" (100. *. share r);
+          bar (share r);
+        ])
+    shown;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Table.render table);
+  (match hidden with
+  | [] -> ()
+  | _ ->
+    let rest = List.fold_left (fun acc r -> acc +. r.seconds) 0. hidden in
+    Buffer.add_string buf
+      (Printf.sprintf "... %d more (%.4f s, %.1f%%)\n" (List.length hidden)
+         rest
+         (if total > 0. then 100. *. rest /. total else 0.)));
+  Buffer.contents buf

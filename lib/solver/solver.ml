@@ -5,6 +5,7 @@ module Ctx = Pta_context.Ctx
 module Strategy = Pta_context.Strategy
 module Observer = Pta_obs.Observer
 module Budget = Pta_obs.Budget
+module Trace = Pta_obs.Trace
 open Ir
 
 type hobj = int
@@ -65,6 +66,11 @@ type t = {
   obs : Observer.t;
       (* every emission is guarded by a physical-equality check against
          [Observer.null]; an unobserved run pays nothing *)
+  trace : Trace.t;
+      (* span sink under the same null-guard discipline as [obs] *)
+  mutable solved : bool;
+      (* set once the worklists drain; false on a budget abort, so
+         clients can refuse to walk a partially-populated supergraph *)
   ctx_store : Ctx.store;
   hctx_store : Ctx.store;
   (* hobj interning *)
@@ -331,20 +337,50 @@ let fire_store st trigger hobj =
     ~dst:(fld_node st hobj trigger.st_field)
     ~filter:None
 
+(* Trigger attachment replays the node's existing objects; when traced,
+   each replay is one per-edge-kind complete span (same names as the
+   delta-propagation spans in [process_node]). *)
 let attach_load st base_node trigger =
   let n = Vec.get st.nodes base_node in
   n.loads <- trigger :: n.loads;
-  Intset.iter (fun hobj -> fire_load st trigger hobj) n.all
+  if Trace.is_null st.trace || Intset.is_empty n.all then
+    Intset.iter (fun hobj -> fire_load st trigger hobj) n.all
+  else begin
+    let t0 = Trace.now_us st.trace in
+    Intset.iter (fun hobj -> fire_load st trigger hobj) n.all;
+    Trace.complete st.trace
+      ~delta:(Intset.cardinal n.all)
+      ~cat:"solver" ~name:"load" ~t0_us:t0
+      ~dur_us:(Trace.now_us st.trace -. t0)
+  end
 
 let attach_store st base_node trigger =
   let n = Vec.get st.nodes base_node in
   n.stores <- trigger :: n.stores;
-  Intset.iter (fun hobj -> fire_store st trigger hobj) n.all
+  if Trace.is_null st.trace || Intset.is_empty n.all then
+    Intset.iter (fun hobj -> fire_store st trigger hobj) n.all
+  else begin
+    let t0 = Trace.now_us st.trace in
+    Intset.iter (fun hobj -> fire_store st trigger hobj) n.all;
+    Trace.complete st.trace
+      ~delta:(Intset.cardinal n.all)
+      ~cat:"solver" ~name:"store" ~t0_us:t0
+      ~dur_us:(Trace.now_us st.trace -. t0)
+  end
 
 let attach_vcall st base_node vc =
   let n = Vec.get st.nodes base_node in
   n.vcalls <- vc :: n.vcalls;
-  Intset.iter (fun hobj -> dispatch st vc hobj) n.all
+  if Trace.is_null st.trace || Intset.is_empty n.all then
+    Intset.iter (fun hobj -> dispatch st vc hobj) n.all
+  else begin
+    let t0 = Trace.now_us st.trace in
+    Intset.iter (fun hobj -> dispatch st vc hobj) n.all;
+    Trace.complete st.trace
+      ~delta:(Intset.cardinal n.all)
+      ~cat:"solver" ~name:"vcall" ~t0_us:t0
+      ~dur_us:(Trace.now_us st.trace -. t0)
+  end
 
 let rec process_code st ~ctx ~ctx_value ~exc_target code =
   match code with
@@ -408,11 +444,23 @@ and process_instr st ~ctx ~ctx_value ~exc_target instr =
       }
   | Static_call { callee; invo; args; ret_target } ->
     (* The MergeStatic rule. *)
-    let callee_ctx =
-      intern_ctx st (st.strategy.Strategy.merge_static ~invo ~ctx:ctx_value)
-    in
-    wire_call st ~invo ~caller_ctx:ctx ~callee ~callee_ctx ~args ~ret_target
-      ~exc_target
+    if Trace.is_null st.trace then begin
+      let callee_ctx =
+        intern_ctx st (st.strategy.Strategy.merge_static ~invo ~ctx:ctx_value)
+      in
+      wire_call st ~invo ~caller_ctx:ctx ~callee ~callee_ctx ~args ~ret_target
+        ~exc_target
+    end
+    else begin
+      let t0 = Trace.now_us st.trace in
+      let callee_ctx =
+        intern_ctx st (st.strategy.Strategy.merge_static ~invo ~ctx:ctx_value)
+      in
+      wire_call st ~invo ~caller_ctx:ctx ~callee ~callee_ctx ~args ~ret_target
+        ~exc_target;
+      Trace.complete st.trace ~delta:1 ~cat:"solver" ~name:"scall" ~t0_us:t0
+        ~dur_us:(Trace.now_us st.trace -. t0)
+    end
   | Static_load { target; field } ->
     add_edge st ~src:(static_fld_node st field) ~dst:(var_node st target ctx)
       ~filter:None
@@ -436,18 +484,58 @@ let process_node st nid =
     if st.obs != Observer.null then
       Observer.delta st.obs (Intset.cardinal delta);
     n.all <- Intset.union n.all delta;
-    List.iter
-      (fun e -> push st e.dst (filter_set st delta e.filter))
-      n.succs;
-    List.iter
-      (fun vc -> Intset.iter (fun hobj -> dispatch st vc hobj) delta)
-      n.vcalls;
-    List.iter
-      (fun ld -> Intset.iter (fun hobj -> fire_load st ld hobj) delta)
-      n.loads;
-    List.iter
-      (fun stg -> Intset.iter (fun hobj -> fire_store st stg hobj) delta)
-      n.stores
+    if Trace.is_null st.trace then begin
+      List.iter
+        (fun e -> push st e.dst (filter_set st delta e.filter))
+        n.succs;
+      List.iter
+        (fun vc -> Intset.iter (fun hobj -> dispatch st vc hobj) delta)
+        n.vcalls;
+      List.iter
+        (fun ld -> Intset.iter (fun hobj -> fire_load st ld hobj) delta)
+        n.loads;
+      List.iter
+        (fun stg -> Intset.iter (fun hobj -> fire_store st stg hobj) delta)
+        n.stores
+    end
+    else begin
+      (* Traced: one complete span per edge kind with work to do, its
+         delta being the objects propagated through that kind. *)
+      let card = Intset.cardinal delta in
+      let tr = st.trace in
+      if n.succs <> [] then begin
+        let t0 = Trace.now_us tr in
+        List.iter
+          (fun e -> push st e.dst (filter_set st delta e.filter))
+          n.succs;
+        Trace.complete tr ~delta:card ~cat:"solver" ~name:"move" ~t0_us:t0
+          ~dur_us:(Trace.now_us tr -. t0)
+      end;
+      if n.vcalls <> [] then begin
+        let t0 = Trace.now_us tr in
+        List.iter
+          (fun vc -> Intset.iter (fun hobj -> dispatch st vc hobj) delta)
+          n.vcalls;
+        Trace.complete tr ~delta:card ~cat:"solver" ~name:"vcall" ~t0_us:t0
+          ~dur_us:(Trace.now_us tr -. t0)
+      end;
+      if n.loads <> [] then begin
+        let t0 = Trace.now_us tr in
+        List.iter
+          (fun ld -> Intset.iter (fun hobj -> fire_load st ld hobj) delta)
+          n.loads;
+        Trace.complete tr ~delta:card ~cat:"solver" ~name:"load" ~t0_us:t0
+          ~dur_us:(Trace.now_us tr -. t0)
+      end;
+      if n.stores <> [] then begin
+        let t0 = Trace.now_us tr in
+        List.iter
+          (fun stg -> Intset.iter (fun hobj -> fire_store st stg hobj) delta)
+          n.stores;
+        Trace.complete tr ~delta:card ~cat:"solver" ~name:"store" ~t0_us:t0
+          ~dur_us:(Trace.now_us tr -. t0)
+      end
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -461,19 +549,32 @@ module Config = struct
     budget : Budget.t;
     field_based : bool;
     observer : Observer.t;
+    trace : Trace.t;
   }
 
   let default =
-    { budget = Budget.unlimited (); field_based = false; observer = Observer.null }
+    {
+      budget = Budget.unlimited ();
+      field_based = false;
+      observer = Observer.null;
+      trace = Trace.null;
+    }
 
-  let make ?timeout_s ?(field_based = false) ?(observer = Observer.null) () =
-    { budget = Budget.of_seconds_opt timeout_s; field_based; observer }
+  let make ?timeout_s ?(field_based = false) ?(observer = Observer.null)
+      ?(trace = Trace.null) () =
+    { budget = Budget.of_seconds_opt timeout_s; field_based; observer; trace }
 end
 
-let solve ?(config = Config.default) program strategy =
+type outcome =
+  | Complete of t
+  | Aborted of t * Budget.abort
+
+let solve_outcome ?(config = Config.default) program strategy =
   let obs = config.Config.observer in
+  let trace = config.Config.trace in
   let st =
     Observer.phase obs "setup" @@ fun () ->
+    Trace.span trace ~cat:"phase" "setup" @@ fun () ->
     let st =
       {
         program;
@@ -481,6 +582,8 @@ let solve ?(config = Config.default) program strategy =
         hierarchy = Hierarchy.create program;
         field_based = config.Config.field_based;
         obs;
+        trace;
+        solved = false;
         ctx_store = Ctx.create_store ();
         hctx_store = Ctx.create_store ();
         hobj_table = Hashtbl.create 4096;
@@ -510,24 +613,38 @@ let solve ?(config = Config.default) program strategy =
   in
   let budget = config.Config.budget in
   Budget.start budget ~probe:(fun () -> Vec.length st.nodes);
-  Observer.phase obs "fixpoint" @@ fun () ->
-  let rec loop () =
-    if not (Queue.is_empty st.meth_queue) then begin
-      Budget.tick budget;
-      Observer.iteration obs;
-      let meth, ctx = Queue.pop st.meth_queue in
-      process_method st meth ctx;
-      loop ()
-    end
-    else if not (Queue.is_empty st.node_queue) then begin
-      Budget.tick budget;
-      Observer.iteration obs;
-      process_node st (Queue.pop st.node_queue);
-      loop ()
-    end
+  let fixpoint () =
+    Observer.phase obs "fixpoint" @@ fun () ->
+    Trace.span trace ~cat:"phase" "fixpoint" @@ fun () ->
+    let rec loop () =
+      if not (Queue.is_empty st.meth_queue) then begin
+        Budget.tick budget;
+        Observer.iteration obs;
+        let meth, ctx = Queue.pop st.meth_queue in
+        process_method st meth ctx;
+        loop ()
+      end
+      else if not (Queue.is_empty st.node_queue) then begin
+        Budget.tick budget;
+        Observer.iteration obs;
+        process_node st (Queue.pop st.node_queue);
+        loop ()
+      end
+    in
+    loop ()
   in
-  loop ();
-  st
+  match fixpoint () with
+  | () ->
+    st.solved <- true;
+    Complete st
+  | exception Budget.Exhausted abort -> Aborted (st, abort)
+
+let solve ?config program strategy =
+  match solve_outcome ?config program strategy with
+  | Complete st -> st
+  | Aborted (_, abort) -> raise (Timeout abort)
+
+let is_complete st = st.solved
 
 let run ?timeout_s ?(field_based = false) program strategy =
   solve
@@ -536,6 +653,7 @@ let run ?timeout_s ?(field_based = false) program strategy =
         Config.budget = Budget.of_seconds_opt timeout_s;
         field_based;
         observer = Observer.null;
+        trace = Trace.null;
       }
     program strategy
 

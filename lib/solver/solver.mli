@@ -34,9 +34,9 @@ exception Timeout of Pta_obs.Budget.abort
     exception rebinding), so either name matches. *)
 
 (** How to run the solver: the budget (deadline / cancellation token),
-    the heap-field abstraction, and the observer receiving
-    instrumentation events.  Replaces the former pile of optional
-    arguments on [run]. *)
+    the heap-field abstraction, the observer receiving instrumentation
+    events, and the trace sink receiving timed spans.  Replaces the
+    former pile of optional arguments on [run]. *)
 module Config : sig
   type t = {
     budget : Pta_obs.Budget.t;
@@ -48,29 +48,54 @@ module Config : sig
             cell per field name — kept as an ablation baseline. *)
     observer : Pta_obs.Observer.t;
         (** event hooks; {!Pta_obs.Observer.null} costs nothing *)
+    trace : Pta_obs.Trace.t;
+        (** span sink; {!Pta_obs.Trace.null} costs nothing.  A live sink
+            receives ["phase"] spans for setup/fixpoint and, per
+            propagation batch, a ["solver"]-category complete span named
+            by edge kind ([move]/[load]/[store]/[vcall]/[scall]) whose
+            [delta] is the number of objects pushed through that kind. *)
   }
 
   val default : t
-  (** Unlimited budget, field-sensitive, no observer. *)
+  (** Unlimited budget, field-sensitive, no observer, no trace. *)
 
   val make :
     ?timeout_s:float ->
     ?field_based:bool ->
     ?observer:Pta_obs.Observer.t ->
+    ?trace:Pta_obs.Trace.t ->
     unit ->
     t
 end
+
+type outcome =
+  | Complete of t  (** fixpoint reached; all results valid *)
+  | Aborted of t * Pta_obs.Budget.abort
+      (** budget exhausted mid-run.  The state is the {e partial}
+          supergraph at abort: sound queries are not guaranteed and
+          provenance refuses to walk it ({!is_complete} is [false]). *)
+
+val solve_outcome :
+  ?config:Config.t -> Pta_ir.Ir.Program.t -> Pta_context.Strategy.t -> outcome
+(** Like {!solve}, but a budget abort returns the partial state instead
+    of raising — for callers (bench harnesses, the driver) that want to
+    report how far an aborted run got. *)
 
 val solve :
   ?config:Config.t -> Pta_ir.Ir.Program.t -> Pta_context.Strategy.t -> t
 (** Run the analysis to fixpoint.  Deterministic: same program and
     strategy yield identical interning and results, with or without an
-    observer installed.
+    observer or trace installed.
 
-    Reports two phases to the observer: ["setup"] (hierarchy and entry
-    seeding) and ["fixpoint"] (the worklist).
+    Reports two phases to the observer and trace: ["setup"] (hierarchy
+    and entry seeding) and ["fixpoint"] (the worklist).
 
     @raise Timeout if the configured budget is exhausted. *)
+
+val is_complete : t -> bool
+(** [true] iff the worklists drained — i.e. the state came from a
+    {!Complete} outcome (or a {!solve} that returned).  [false] on the
+    partial state of an {!Aborted} outcome. *)
 
 val run :
   ?timeout_s:float ->

@@ -19,6 +19,7 @@ let () =
       ("workloads", Test_workloads.tests);
       ("report", Test_report.tests);
       ("obs", Test_obs.tests);
+      ("trace", Test_trace.tests);
       ("stats", Test_stats.tests);
       ("provenance", Test_provenance.tests);
       ("roundtrip", Test_roundtrip.tests);

@@ -95,9 +95,48 @@ let direct_alloc_test () =
   | Some chain -> Alcotest.failf "expected length-1 chain, got %d" (List.length chain)
   | None -> Alcotest.fail "expected a chain"
 
+(* Regression: explain on the partial state of a budget-aborted run must
+   refuse cleanly (Invalid_argument), not walk the half-built supergraph
+   and return a bogus chain or crash. *)
+let aborted_run_test () =
+  let module Budget = Pta_obs.Budget in
+  let module Observer = Pta_obs.Observer in
+  let program =
+    Pta_workloads.Workloads.program
+      (Option.get (Pta_workloads.Profile.by_name "tiny"))
+  in
+  let factory = Option.get (Pta_context.Strategies.by_name "S-2obj+H") in
+  let budget = Budget.unlimited () in
+  let iterations = ref 0 in
+  let observer =
+    Observer.make
+      ~on_iteration:(fun () ->
+        incr iterations;
+        if !iterations = 5 then Budget.cancel budget)
+      ()
+  in
+  let config = { Solver.Config.default with budget; observer } in
+  match Solver.solve_outcome ~config program (factory program) with
+  | Solver.Complete _ -> Alcotest.fail "expected an aborted run"
+  | Solver.Aborted (partial, _abort) ->
+    Alcotest.(check bool) "partial state" false (Solver.is_complete partial);
+    let var = ref None in
+    Ir.Program.iter_vars (Solver.program partial) (fun v _ ->
+        if !var = None then var := Some v);
+    let heap = ref None in
+    Ir.Program.iter_heaps (Solver.program partial) (fun h _ ->
+        if !heap = None then heap := Some h);
+    Alcotest.check_raises "refuses partial supergraph"
+      (Invalid_argument "Provenance.explain: analysis aborted before fixpoint")
+      (fun () ->
+        ignore
+          (Provenance.explain partial ~var:(Option.get !var)
+             ~heap:(Option.get !heap)))
+
 let tests =
   [
     Alcotest.test_case "chain through call and field" `Quick chain_test;
     Alcotest.test_case "no chain for non-facts" `Quick negative_test;
     Alcotest.test_case "direct allocation" `Quick direct_alloc_test;
+    Alcotest.test_case "refuses aborted runs" `Quick aborted_run_test;
   ]
