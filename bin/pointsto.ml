@@ -3,6 +3,7 @@
    Subcommands:
      analyze    — run one analysis on MJ sources, print metrics
      compare    — run several analyses, print a metric table
+     check      — run the points-to-powered checkers, report diagnostics
      query      — points-to set of one variable
      casts      — may-fail casts with witness allocation sites
      callgraph  — context-insensitive call graph
@@ -12,7 +13,8 @@
 
    All subcommands share the exit-code contract enforced by
    [Pta_driver.Driver]: 1 = MJ parse/semantic error, 2 = unknown
-   analysis (or benchmark), 3 = analysis timeout. *)
+   analysis (or benchmark), 3 = analysis timeout.  [check] adds
+   4 = at least one error-severity diagnostic. *)
 
 module Ir = Pta_ir.Ir
 module Solver = Pta_solver.Solver
@@ -82,6 +84,11 @@ let common_exits =
     Cmd.Exit.info 3 ~doc:"when the analysis exceeds its time budget.";
   ]
   @ Cmd.Exit.defaults
+
+(* [check] extends the shared contract with its findings signal. *)
+let check_exits =
+  Cmd.Exit.info 4 ~doc:"when any error-severity diagnostic is reported."
+  :: common_exits
 
 let handle = function Ok v -> v | Error e -> Driver.report_and_exit e
 
@@ -385,6 +392,94 @@ let casts_cmd =
       const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
       $ trace_arg)
 
+let check_cmd =
+  let format_arg =
+    let doc =
+      "Report format: $(b,text) (gcc-style file:line:col diagnostics) or \
+       $(b,sarif) (SARIF 2.1.0 JSON)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("sarif", `Sarif) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let output_arg =
+    let doc = "Write the report to $(docv) instead of stdout." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let checkers_arg =
+    let doc =
+      "Comma-separated checkers to run (default: all).  See the CHECKERS \
+       section."
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "checkers" ] ~docv:"NAMES" ~doc)
+  in
+  let include_stdlib_arg =
+    let doc =
+      "Also report diagnostics located in the bundled mini-JDK (filtered out \
+       by default)."
+    in
+    Arg.(value & flag & info [ "include-stdlib" ] ~doc)
+  in
+  let run files analysis no_stdlib timeout_s checkers format output
+      include_stdlib =
+    let _program, solver, _ppf =
+      load_and_solve ?timeout_s ~no_stdlib ~analysis files
+    in
+    let results = Pta_checkers.Results.of_solver solver in
+    let diags =
+      match Pta_checkers.Checkers.run ?only:checkers results with
+      | diags -> diags
+      | exception Invalid_argument msg ->
+        Printf.eprintf "pointsto: %s\n" msg;
+        exit 2
+    in
+    let in_stdlib (d : Pta_checkers.Diagnostic.t) =
+      match d.span with
+      | Some span ->
+        String.equal span.Pta_ir.Srcloc.left.file Pta_mjdk.Mjdk.file_name
+      | None -> false
+    in
+    let diags =
+      if include_stdlib then diags else List.filter (fun d -> not (in_stdlib d)) diags
+    in
+    let rendered =
+      match format with
+      | `Text ->
+        Format.asprintf "%a" Pta_checkers.Diagnostic.pp_report diags
+      | `Sarif -> Pta_checkers.Sarif.to_string ~tool_version:"1.0.0" diags
+    in
+    write_output output rendered;
+    if Pta_checkers.Diagnostic.has_errors diags then exit 4
+  in
+  let doc =
+    "Run the points-to-powered checkers (may-fail-cast, null-dereference, \
+     dead-method, monomorphic-call-site) and report diagnostics."
+  in
+  let man =
+    [
+      `S "CHECKERS";
+      `Blocks
+        (List.concat_map
+           (fun (i : Pta_checkers.Checkers.info) ->
+             [
+               `I
+                 ( Printf.sprintf "$(b,%s) (%s)" i.code
+                     (Pta_checkers.Diagnostic.severity_to_string i.severity),
+                   i.help );
+             ])
+           Pta_checkers.Checkers.all);
+    ]
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc ~man ~exits:check_exits)
+    Term.(
+      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ checkers_arg $ format_arg $ output_arg $ include_stdlib_arg)
+
 let callgraph_cmd =
   let dot_arg =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot on stdout.")
@@ -648,9 +743,9 @@ let main_cmd =
   let info = Cmd.info "pointsto" ~version:"1.0.0" ~doc ~exits:common_exits in
   Cmd.group info
     [
-      analyze_cmd; compare_cmd; profile_cmd; query_cmd; why_cmd; casts_cmd;
-      exceptions_cmd; callgraph_cmd; stats_cmd; dump_ir_cmd; decompile_cmd;
-      gen_cmd; strategies_cmd;
+      analyze_cmd; compare_cmd; check_cmd; profile_cmd; query_cmd; why_cmd;
+      casts_cmd; exceptions_cmd; callgraph_cmd; stats_cmd; dump_ir_cmd;
+      decompile_cmd; gen_cmd; strategies_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

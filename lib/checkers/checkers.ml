@@ -1,0 +1,269 @@
+module Ir = Pta_ir.Ir
+module Hierarchy = Pta_ir.Hierarchy
+module Intset = Pta_solver.Intset
+module Provenance = Pta_clients.Provenance
+open Ir
+
+type info = {
+  code : string;
+  summary : string;
+  help : string;
+  severity : Diagnostic.severity;
+}
+
+let all =
+  [
+    {
+      code = "may-fail-cast";
+      summary = "cast may fail at runtime";
+      help =
+        "The points-to set of the cast operand contains an allocation \
+         site whose type is not a subtype of the cast type, so the cast \
+         can raise a class-cast error at runtime.  Each incompatible \
+         allocation site is reported as a witness.";
+      severity = Diagnostic.Error;
+    };
+    {
+      code = "null-dereference";
+      summary = "dereference of a possibly-null variable";
+      help =
+        "The base variable of a field access or virtual call has an \
+         empty points-to set: no allocation ever flows into it, so any \
+         execution reaching the instruction dereferences null.";
+      severity = Diagnostic.Warning;
+    };
+    {
+      code = "dead-method";
+      summary = "method unreachable from every entry point";
+      help =
+        "The method is declared but the context-insensitive call graph \
+         never reaches it from any entry point; it is dead code under \
+         the analyzed entry points.";
+      severity = Diagnostic.Warning;
+    };
+    {
+      code = "monomorphic-call-site";
+      summary = "virtual call resolves to a single target";
+      help =
+        "The call graph finds exactly one callee for this virtual call; \
+         it could be devirtualized (informational).";
+      severity = Diagnostic.Note;
+    };
+  ]
+
+let find code = List.find_opt (fun i -> i.code = code) all
+let info code =
+  match find code with
+  | Some i -> i
+  | None -> invalid_arg ("Checkers.info: unknown checker " ^ code)
+
+(* Walk a method's instructions together with their recorded spans;
+   [Program.instr_spans] is aligned with [iter_instrs] order. *)
+let iter_instrs_with_spans program meth f =
+  let mi = Program.meth_info program meth in
+  let spans = Program.instr_spans program meth in
+  let idx = ref 0 in
+  iter_instrs
+    (fun instr ->
+      let i = !idx in
+      incr idx;
+      let span = if i < Array.length spans then Some spans.(i) else None in
+      f instr span)
+    mi.body
+
+let mk code ?span message witnesses =
+  {
+    Diagnostic.code;
+    severity = (info code).severity;
+    span;
+    message;
+    witnesses;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* may-fail-cast                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let provenance_detail (r : Results.t) ~var ~heap =
+  match r.solver with
+  | None -> []
+  | Some solver ->
+    (match Provenance.explain solver ~var ~heap with
+    | None -> []
+    | Some steps ->
+      List.map
+        (fun (s : Provenance.step) ->
+          (if s.is_origin then "origin: " else "via: ") ^ s.description)
+        steps)
+
+let may_fail_cast (r : Results.t) =
+  let p = r.program in
+  Meth_id.Set.fold
+    (fun meth acc ->
+      let acc_ref = ref acc in
+      iter_instrs_with_spans p meth (fun instr span ->
+          match instr with
+          | Cast { source; cast_type; _ } ->
+            let bad =
+              Intset.fold
+                (fun heap bad ->
+                  let heap = Heap_id.of_int heap in
+                  let heap_type = (Program.heap_info p heap).heap_type in
+                  if Hierarchy.subtype r.hierarchy ~sub:heap_type ~sup:cast_type
+                  then bad
+                  else heap :: bad)
+                (r.points_to source) []
+            in
+            (match List.rev bad with
+            | [] -> ()
+            | heaps ->
+              let witnesses =
+                List.map
+                  (fun heap ->
+                    {
+                      Diagnostic.w_message =
+                        Printf.sprintf "may point to %s of type %s, allocated here"
+                          (Program.heap_name p heap)
+                          (Program.type_name p
+                             (Program.heap_info p heap).heap_type);
+                      w_span = Program.heap_span p heap;
+                      w_detail = provenance_detail r ~var:source ~heap;
+                    })
+                  heaps
+              in
+              let d =
+                mk "may-fail-cast" ?span
+                  (Printf.sprintf "cast of %s to %s may fail"
+                     (Program.var_info p source).var_name
+                     (Program.type_name p cast_type))
+                  witnesses
+              in
+              acc_ref := d :: !acc_ref)
+          | Alloc _ | Move _ | Load _ | Store _ | Virtual_call _
+          | Static_call _ | Static_load _ | Static_store _ | Throw _ -> ());
+      !acc_ref)
+    r.reachable []
+
+(* ------------------------------------------------------------------ *)
+(* null-dereference                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let null_dereference (r : Results.t) =
+  let p = r.program in
+  let describe instr =
+    match instr with
+    | Load { base; field; _ } ->
+      Some
+        ( base,
+          Printf.sprintf "load of field %s from %s which never points to any object"
+            (Program.field_info p field).field_name
+            (Program.var_info p base).var_name )
+    | Store { base; field; _ } ->
+      Some
+        ( base,
+          Printf.sprintf "store to field %s of %s which never points to any object"
+            (Program.field_info p field).field_name
+            (Program.var_info p base).var_name )
+    | Virtual_call { base; signature; _ } ->
+      Some
+        ( base,
+          Printf.sprintf "virtual call %s.%s on a receiver that never points to any object"
+            (Program.var_info p base).var_name
+            (Program.sig_info p signature).sig_name )
+    | Alloc _ | Move _ | Cast _ | Static_call _ | Static_load _
+    | Static_store _ | Throw _ -> None
+  in
+  Meth_id.Set.fold
+    (fun meth acc ->
+      let acc_ref = ref acc in
+      iter_instrs_with_spans p meth (fun instr span ->
+          match describe instr with
+          | Some (base, message) when Intset.is_empty (r.points_to base) ->
+            acc_ref := mk "null-dereference" ?span message [] :: !acc_ref
+          | _ -> ());
+      !acc_ref)
+    r.reachable []
+
+(* ------------------------------------------------------------------ *)
+(* dead-method                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let dead_method (r : Results.t) =
+  let p = r.program in
+  let acc = ref [] in
+  Program.iter_meths p (fun meth _mi ->
+      if not (Meth_id.Set.mem meth r.reachable) then
+        acc :=
+          mk "dead-method"
+            ?span:(Program.meth_span p meth)
+            (Printf.sprintf "method %s is unreachable from every entry point"
+               (Program.meth_qualified_name p meth))
+            []
+          :: !acc);
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* monomorphic-call-site                                               *)
+(* ------------------------------------------------------------------ *)
+
+let monomorphic_call_site (r : Results.t) =
+  let p = r.program in
+  Meth_id.Set.fold
+    (fun meth acc ->
+      let acc_ref = ref acc in
+      iter_instrs_with_spans p meth (fun instr span ->
+          match instr with
+          | Virtual_call { invo; _ } ->
+            let targets = r.invo_targets invo in
+            if Meth_id.Set.cardinal targets = 1 then begin
+              let target = Meth_id.Set.choose targets in
+              let witnesses =
+                [
+                  {
+                    Diagnostic.w_message = "the single target, declared here";
+                    w_span = Program.meth_span p target;
+                    w_detail = [];
+                  };
+                ]
+              in
+              acc_ref :=
+                mk "monomorphic-call-site" ?span
+                  (Printf.sprintf "virtual call resolves to the single target %s"
+                     (Program.meth_qualified_name p target))
+                  witnesses
+                :: !acc_ref
+            end
+          | Alloc _ | Move _ | Load _ | Store _ | Cast _ | Static_call _
+          | Static_load _ | Static_store _ | Throw _ -> ());
+      !acc_ref)
+    r.reachable []
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let checker_fn code =
+  match code with
+  | "may-fail-cast" -> may_fail_cast
+  | "null-dereference" -> null_dereference
+  | "dead-method" -> dead_method
+  | "monomorphic-call-site" -> monomorphic_call_site
+  | _ -> assert false
+
+let run ?only results =
+  let selected =
+    match only with
+    | None -> all
+    | Some codes ->
+      List.map
+        (fun code ->
+          match find code with
+          | Some i -> i
+          | None ->
+            invalid_arg
+              (Printf.sprintf "unknown checker %s (known: %s)" code
+                 (String.concat ", " (List.map (fun i -> i.code) all))))
+        codes
+  in
+  List.sort Diagnostic.compare
+    (List.concat_map (fun i -> checker_fn i.code results) selected)

@@ -1,0 +1,44 @@
+(** The checkers: each turns solved points-to state into diagnostics.
+
+    All checkers run over {!Results.t}, so their verdicts are identical
+    whichever engine produced the fixpoint.  Witness {e detail} (the
+    provenance chains) is the one solver-only enrichment, kept in
+    {!Diagnostic.witness.w_detail} so differential comparisons can
+    ignore it. *)
+
+type info = {
+  code : string;  (** stable id; also the SARIF rule id *)
+  summary : string;  (** one-line description (SARIF shortDescription) *)
+  help : string;  (** what the finding means and what to do about it *)
+  severity : Diagnostic.severity;
+}
+
+val all : info list
+(** Every registered checker, in canonical order:
+    may-fail-cast, null-dereference, dead-method, monomorphic-call-site. *)
+
+val find : string -> info option
+
+val may_fail_cast : Results.t -> Diagnostic.t list
+(** A cast whose operand may point to an object of an incompatible type
+    — the points-to-powered upgrade of {!Pta_clients.Casts}: same
+    verdicts, but located at the cast's source span with each offending
+    allocation site as a witness (plus its provenance chain when the
+    native solver produced the result). *)
+
+val null_dereference : Results.t -> Diagnostic.t list
+(** A field load, field store, or virtual call whose base variable has
+    an empty points-to set: every execution reaching it dereferences
+    null (or the instruction is dead). *)
+
+val dead_method : Results.t -> Diagnostic.t list
+(** Methods never reached from any entry point, context-insensitively. *)
+
+val monomorphic_call_site : Results.t -> Diagnostic.t list
+(** Virtual calls with exactly one resolved target — devirtualization
+    opportunities, reported as notes. *)
+
+val run : ?only:string list -> Results.t -> Diagnostic.t list
+(** Run the selected checkers (default: all) and return the merged
+    diagnostics in {!Diagnostic.compare} order.
+    @raise Invalid_argument on an unknown checker code in [only]. *)

@@ -1,0 +1,69 @@
+module Srcloc = Pta_ir.Srcloc
+
+type severity =
+  | Error
+  | Warning
+  | Note
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+type witness = {
+  w_message : string;
+  w_span : Srcloc.span option;
+  w_detail : string list;
+}
+
+type t = {
+  code : string;
+  severity : severity;
+  span : Srcloc.span option;
+  message : string;
+  witnesses : witness list;
+}
+
+let compare_span a b =
+  match (a, b) with
+  | None, None -> 0
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | Some a, Some b ->
+    let open Srcloc in
+    let c = String.compare a.left.file b.left.file in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.left.line b.left.line in
+      if c <> 0 then c else Int.compare a.left.col b.left.col
+
+let compare a b =
+  let c = compare_span a.span b.span in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c else String.compare a.message b.message
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+let pp_loc ppf = function
+  | Some span -> Format.fprintf ppf "%a" Srcloc.pp_pos span.Srcloc.left
+  | None -> Format.pp_print_string ppf "<no location>"
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>%a: %s: %s [%s]" pp_loc d.span
+    (severity_to_string d.severity)
+    d.message d.code;
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "@,  %a: note: %s" pp_loc w.w_span w.w_message;
+      List.iter (fun line -> Format.fprintf ppf "@,    %s" line) w.w_detail)
+    d.witnesses;
+  Format.fprintf ppf "@]"
+
+let pp_report ppf diags =
+  let diags = List.sort compare diags in
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) diags;
+  let count sev = List.length (List.filter (fun d -> d.severity = sev) diags) in
+  Format.fprintf ppf "%d error(s), %d warning(s), %d note(s)@." (count Error)
+    (count Warning) (count Note)

@@ -1,0 +1,49 @@
+(** Unified diagnostics produced by the points-to-powered checkers.
+
+    Every checker reports findings in this one shape so the reporters
+    (gcc-style text, SARIF) and the exit-code contract are shared.  A
+    diagnostic optionally carries a source span — programs built by the
+    frontend have them, synthetic workloads do not — plus witness
+    locations that justify the finding (e.g. the allocation sites that
+    make a cast fail). *)
+
+module Srcloc = Pta_ir.Srcloc
+
+type severity =
+  | Error  (** likely runtime failure; drives the non-zero exit code *)
+  | Warning
+  | Note  (** informational, e.g. devirtualization opportunities *)
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["note"] — also the SARIF level values. *)
+
+type witness = {
+  w_message : string;
+  w_span : Srcloc.span option;
+  w_detail : string list;
+      (** Extra explanation lines (e.g. a provenance chain).  Only
+          available when the diagnostic came from the native solver;
+          excluded from cross-engine comparisons. *)
+}
+
+type t = {
+  code : string;  (** stable checker identifier, e.g. ["may-fail-cast"] *)
+  severity : severity;
+  span : Srcloc.span option;
+  message : string;
+  witnesses : witness list;
+}
+
+val compare : t -> t -> int
+(** Stable report order: by location (file, line, column), then code,
+    then message.  Spanless diagnostics sort after spanned ones. *)
+
+val has_errors : t list -> bool
+
+val pp : Format.formatter -> t -> unit
+(** gcc-style rendering:
+    [file:line:col: severity: message \[code\]] followed by indented
+    witness and detail lines. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** All diagnostics in {!compare} order plus a one-line summary. *)

@@ -1,0 +1,66 @@
+module Ir = Pta_ir.Ir
+module Hierarchy = Pta_ir.Hierarchy
+module Solver = Pta_solver.Solver
+module Intset = Pta_solver.Intset
+module Refimpl = Pta_refimpl.Refimpl
+open Ir
+
+type t = {
+  program : Ir.Program.t;
+  hierarchy : Hierarchy.t;
+  reachable : Meth_id.Set.t;
+  points_to : Var_id.t -> Intset.t;
+  invo_targets : Invo_id.t -> Meth_id.Set.t;
+  solver : Solver.t option;
+}
+
+let of_solver solver =
+  if not (Solver.is_complete solver) then
+    invalid_arg "Results.of_solver: aborted run; checkers need a fixpoint";
+  {
+    program = Solver.program solver;
+    hierarchy = Solver.hierarchy solver;
+    reachable = Solver.reachable_meths solver;
+    points_to = Solver.ci_var_points_to solver;
+    invo_targets = Solver.invo_targets solver;
+    solver = Some solver;
+  }
+
+let of_refimpl program refimpl =
+  let pts : (int, Intset.t) Hashtbl.t = Hashtbl.create 256 in
+  Refimpl.fold_var_points_to refimpl
+    (fun var _ctx heap _hctx () ->
+      let key = Var_id.to_int var in
+      let prev =
+        Option.value ~default:Intset.empty (Hashtbl.find_opt pts key)
+      in
+      Hashtbl.replace pts key (Intset.add (Heap_id.to_int heap) prev))
+    ();
+  let targets : (int, Meth_id.Set.t) Hashtbl.t = Hashtbl.create 64 in
+  Refimpl.fold_call_edges refimpl
+    (fun invo _ctx callee _callee_ctx () ->
+      let key = Invo_id.to_int invo in
+      let prev =
+        Option.value ~default:Meth_id.Set.empty (Hashtbl.find_opt targets key)
+      in
+      Hashtbl.replace targets key (Meth_id.Set.add callee prev))
+    ();
+  let reachable =
+    Refimpl.fold_reachable refimpl
+      (fun meth _ctx acc -> Meth_id.Set.add meth acc)
+      Meth_id.Set.empty
+  in
+  {
+    program;
+    hierarchy = Hierarchy.create program;
+    reachable;
+    points_to =
+      (fun v ->
+        Option.value ~default:Intset.empty
+          (Hashtbl.find_opt pts (Var_id.to_int v)));
+    invo_targets =
+      (fun i ->
+        Option.value ~default:Meth_id.Set.empty
+          (Hashtbl.find_opt targets (Invo_id.to_int i)));
+    solver = None;
+  }

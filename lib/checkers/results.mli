@@ -1,0 +1,29 @@
+(** Engine-independent view of a solved analysis.
+
+    Checkers consume this abstraction instead of {!Pta_solver.Solver.t}
+    directly so the same checker logic runs over the native solver and
+    over the Datalog reference implementation — which is what lets the
+    differential tests compare checker verdicts across engines.  All
+    views are context-insensitive projections: contexts are collapsed,
+    matching what the clients report. *)
+
+module Ir = Pta_ir.Ir
+module Intset = Pta_solver.Intset
+
+type t = {
+  program : Ir.Program.t;
+  hierarchy : Pta_ir.Hierarchy.t;
+  reachable : Ir.Meth_id.Set.t;
+  points_to : Ir.Var_id.t -> Intset.t;
+      (** context-insensitive points-to set, as heap ids *)
+  invo_targets : Ir.Invo_id.t -> Ir.Meth_id.Set.t;
+  solver : Pta_solver.Solver.t option;
+      (** present only for native-solver results; enables provenance
+          enrichment of witnesses *)
+}
+
+val of_solver : Pta_solver.Solver.t -> t
+(** @raise Invalid_argument on an aborted (budget-exhausted) run; a
+    partial fixpoint under-approximates and would make checkers lie. *)
+
+val of_refimpl : Ir.Program.t -> Pta_refimpl.Refimpl.t -> t

@@ -1,0 +1,96 @@
+module Json = Pta_obs.Json
+module Srcloc = Pta_ir.Srcloc
+
+let text s = Json.Obj [ ("text", Json.String s) ]
+
+let region (span : Srcloc.span) =
+  Json.Obj
+    [
+      ("startLine", Json.Int span.left.line);
+      ("startColumn", Json.Int span.left.col);
+      ("endLine", Json.Int span.right.line);
+      ("endColumn", Json.Int span.right.col);
+    ]
+
+let location_fields (span : Srcloc.span) =
+  [
+    ( "physicalLocation",
+      Json.Obj
+        [
+          ("artifactLocation", Json.Obj [ ("uri", Json.String span.left.file) ]);
+          ("region", region span);
+        ] );
+  ]
+
+let physical_location span = Json.Obj (location_fields span)
+
+let location_with_message span message =
+  match span with
+  | None -> None
+  | Some span ->
+    Some (Json.Obj (location_fields span @ [ ("message", text message) ]))
+
+let result (d : Diagnostic.t) =
+  let locations =
+    match d.span with None -> [] | Some span -> [ physical_location span ]
+  in
+  let related =
+    List.filter_map
+      (fun (w : Diagnostic.witness) ->
+        let message =
+          String.concat "\n" (w.w_message :: List.map (fun l -> "  " ^ l) w.w_detail)
+        in
+        location_with_message w.w_span message)
+      d.witnesses
+  in
+  Json.Obj
+    (("ruleId", Json.String d.code)
+     :: ("level", Json.String (Diagnostic.severity_to_string d.severity))
+     :: ("message", text d.message)
+     :: ("locations", Json.List locations)
+     ::
+     (if related = [] then []
+      else [ ("relatedLocations", Json.List related) ]))
+
+let rule (i : Checkers.info) =
+  Json.Obj
+    [
+      ("id", Json.String i.code);
+      ("shortDescription", text i.summary);
+      ("fullDescription", text i.help);
+      ( "defaultConfiguration",
+        Json.Obj
+          [ ("level", Json.String (Diagnostic.severity_to_string i.severity)) ]
+      );
+    ]
+
+let to_json ~tool_version diagnostics =
+  let diagnostics = List.sort Diagnostic.compare diagnostics in
+  Json.Obj
+    [
+      ("$schema", Json.String "https://json.schemastore.org/sarif-2.1.0.json");
+      ("version", Json.String "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String "pointsto");
+                            ("version", Json.String tool_version);
+                            ( "rules",
+                              Json.List (List.map rule Checkers.all) );
+                          ] );
+                    ] );
+                ("results", Json.List (List.map result diagnostics));
+              ];
+          ] );
+    ]
+
+let to_string ~tool_version diagnostics =
+  Json.to_string ~indent:true (to_json ~tool_version diagnostics) ^ "\n"

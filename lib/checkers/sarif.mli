@@ -1,0 +1,12 @@
+(** SARIF 2.1.0 export of checker diagnostics.
+
+    One run, one tool driver ("pointsto"), one rule descriptor per
+    registered checker (whether or not it fired), and one result per
+    diagnostic.  The output is deterministic: diagnostics are emitted in
+    {!Diagnostic.compare} order and the JSON printer is stable, so two
+    identical analyses produce byte-identical documents. *)
+
+val to_json : tool_version:string -> Diagnostic.t list -> Pta_obs.Json.t
+
+val to_string : tool_version:string -> Diagnostic.t list -> string
+(** [to_json] pretty-printed, with a trailing newline. *)

@@ -85,6 +85,117 @@ let head_fact env head =
     head.hargs
 
 (* ------------------------------------------------------------------ *)
+(* Linter                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type lint_kind =
+  | Unbound_head_var
+  | Bad_arity
+  | Var_out_of_range
+  | Never_fires
+
+type lint_error = {
+  lint_rule : string;
+  lint_kind : lint_kind;
+  lint_message : string;
+}
+
+let lint_is_hard = function
+  | Unbound_head_var | Bad_arity | Var_out_of_range -> true
+  | Never_fires -> false
+
+let lint rules =
+  let errors = ref [] in
+  let err rule lint_kind fmt =
+    Printf.ksprintf
+      (fun lint_message ->
+        errors := { lint_rule = rule.rname; lint_kind; lint_message } :: !errors)
+      fmt
+  in
+  let derived = Hashtbl.create 16 in
+  List.iter
+    (fun rule ->
+      List.iter
+        (fun h -> Hashtbl.replace derived (Relation.name h.hrel) ())
+        rule.heads)
+    rules;
+  List.iter
+    (fun rule ->
+      (* Arity consistency and variable ranges, body side. *)
+      List.iteri
+        (fun i atom ->
+          let arity = Relation.arity atom.rel in
+          if Array.length atom.args <> arity then
+            err rule Bad_arity
+              "body atom %d of rule %s has %d arguments but relation %s has \
+               arity %d"
+              i rule.rname (Array.length atom.args) (Relation.name atom.rel)
+              arity;
+          Array.iter
+            (function
+              | V v ->
+                if v < 0 || v >= rule.n_vars then
+                  err rule Var_out_of_range
+                    "body atom %d of rule %s uses variable %d outside [0, \
+                     n_vars=%d)"
+                    i rule.rname v rule.n_vars
+              | C _ -> ())
+            atom.args)
+        rule.body;
+      (* Head side. *)
+      let bound = Array.make (max rule.n_vars 0) false in
+      List.iter
+        (fun atom ->
+          Array.iter
+            (function
+              | V v -> if v >= 0 && v < rule.n_vars then bound.(v) <- true
+              | C _ -> ())
+            atom.args)
+        rule.body;
+      List.iteri
+        (fun i head ->
+          let arity = Relation.arity head.hrel in
+          if Array.length head.hargs <> arity then
+            err rule Bad_arity
+              "head %d of rule %s has %d arguments but relation %s has arity \
+               %d"
+              i rule.rname (Array.length head.hargs) (Relation.name head.hrel)
+              arity;
+          Array.iter
+            (function
+              | Hv v ->
+                if v < 0 || v >= rule.n_vars then
+                  err rule Var_out_of_range
+                    "head %d of rule %s uses variable %d outside [0, \
+                     n_vars=%d)"
+                    i rule.rname v rule.n_vars
+                else if not bound.(v) then
+                  (* The runtime counterpart is the [invalid_arg] in
+                     [head_fact]; the linter rejects the rule before it
+                     can ever fire. *)
+                  err rule Unbound_head_var
+                    "head %d of rule %s (relation %s) uses variable %d which \
+                     no body atom binds: the rule violates range restriction"
+                    i rule.rname (Relation.name head.hrel) v
+              | Hc _ | Hf _ -> ())
+            head.hargs)
+        rule.heads;
+      (* Never-fires: a body atom over a relation that is empty now and
+         that no rule derives can never match, so the rule is dead. *)
+      List.iteri
+        (fun i atom ->
+          let name = Relation.name atom.rel in
+          if (not (Hashtbl.mem derived name)) && Relation.cardinal atom.rel = 0
+          then
+            err rule Never_fires
+              "body atom %d of rule %s reads relation %s, which is empty and \
+               derived by no rule: the rule can never fire"
+              i rule.rname name)
+        rule.body)
+    rules;
+  List.rev !errors
+
+(* ------------------------------------------------------------------ *)
 (* Semi-naive driver                                                   *)
 (* ------------------------------------------------------------------ *)
 

@@ -36,6 +36,38 @@ type rule = {
 
 val rule : string -> n_vars:int -> head list -> atom list -> rule
 
+(** {1 Linting}
+
+    Static well-formedness checks over a rule program, run before
+    evaluation.  The first three kinds are {e hard} errors — the rule
+    would crash or silently misbehave at runtime (the engine's own
+    guard is the [invalid_arg] raised on an unbound head variable
+    mid-fixpoint; the linter surfaces it at construction time instead).
+    [Never_fires] is informational: it depends on the current (EDB)
+    contents of the relations, so callers decide whether it matters. *)
+
+type lint_kind =
+  | Unbound_head_var
+      (** a head copies a variable no positive body atom binds
+          (range-restriction violation) *)
+  | Bad_arity  (** an atom's argument count differs from its relation's *)
+  | Var_out_of_range  (** a variable index is outside [\[0, n_vars)] *)
+  | Never_fires
+      (** a body atom reads a relation that is empty and derived by no
+          rule, so the rule cannot ever fire *)
+
+type lint_error = {
+  lint_rule : string;  (** name of the offending rule *)
+  lint_kind : lint_kind;
+  lint_message : string;  (** precise, human-readable explanation *)
+}
+
+val lint_is_hard : lint_kind -> bool
+
+val lint : rule list -> lint_error list
+(** Errors in program order (per rule: body arity/range, head checks,
+    never-fires).  An empty list means the program is well-formed. *)
+
 val run :
   ?observer:Pta_obs.Observer.t ->
   ?budget:Pta_obs.Budget.t ->

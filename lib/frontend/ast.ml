@@ -8,7 +8,11 @@
 
 type ident = string
 
-type expr = { e : expr_kind; e_pos : Srcloc.pos }
+type expr = {
+  e : expr_kind;
+  e_pos : Srcloc.pos;
+  e_span : Srcloc.span;  (** full extent of the expression *)
+}
 
 and expr_kind =
   | E_var of ident
@@ -22,7 +26,11 @@ and expr_kind =
   | E_sfield of ident * ident  (** [C::f], a static field read *)
   | E_cast of ident * expr  (** [(C) e] *)
 
-type stmt = { s : stmt_kind; s_pos : Srcloc.pos }
+type stmt = {
+  s : stmt_kind;
+  s_pos : Srcloc.pos;
+  s_span : Srcloc.span;  (** full extent of the statement *)
+}
 
 and stmt_kind =
   | S_decl of ident * expr option  (** [var x;] or [var x = e;] *)
@@ -50,6 +58,7 @@ type meth_decl = {
   m_ret_ty : ident option;  (** declared return type; documentation only *)
   m_body : stmt list;
   m_pos : Srcloc.pos;
+  m_span : Srcloc.span;  (** declaration header, [static method name(...)] *)
 }
 
 type field_decl = {

@@ -66,11 +66,14 @@ let read_ident lx =
   done;
   String.sub lx.src start (lx.pos - start)
 
+(* [finish] stamps the token with its start position and the position
+   one past its last character, giving the parser real spans. *)
 let next lx =
   skip_space lx;
   let pos = here lx in
+  let finish tok = (tok, pos, here lx) in
   match peek lx with
-  | None -> (Token.Eof, pos)
+  | None -> finish Token.Eof
   | Some c when is_ident_start c ->
     let word = read_ident lx in
     let tok =
@@ -78,48 +81,48 @@ let next lx =
       | Some kw -> kw
       | None -> Token.Ident word
     in
-    (tok, pos)
+    finish tok
   | Some '{' ->
     advance lx;
-    (Token.Lbrace, pos)
+    finish Token.Lbrace
   | Some '}' ->
     advance lx;
-    (Token.Rbrace, pos)
+    finish Token.Rbrace
   | Some '(' ->
     advance lx;
-    (Token.Lparen, pos)
+    finish Token.Lparen
   | Some ')' ->
     advance lx;
-    (Token.Rparen, pos)
+    finish Token.Rparen
   | Some ',' ->
     advance lx;
-    (Token.Comma, pos)
+    finish Token.Comma
   | Some ';' ->
     advance lx;
-    (Token.Semi, pos)
+    finish Token.Semi
   | Some '=' ->
     advance lx;
-    (Token.Eq, pos)
+    finish Token.Eq
   | Some '.' ->
     advance lx;
-    (Token.Dot, pos)
+    finish Token.Dot
   | Some '*' ->
     advance lx;
-    (Token.Star, pos)
+    finish Token.Star
   | Some ':' ->
     advance lx;
     if peek lx = Some ':' then begin
       advance lx;
-      (Token.Coloncolon, pos)
+      finish Token.Coloncolon
     end
-    else (Token.Colon, pos)
+    else finish Token.Colon
   | Some c -> Srcloc.error pos "invalid character %C" c
 
 let tokenize ~file src =
   let lx = create ~file src in
   let rec loop acc =
-    let tok, pos = next lx in
-    let acc = (tok, pos) :: acc in
+    let ((tok, _, _) as t) = next lx in
+    let acc = t :: acc in
     match tok with
     | Token.Eof -> List.rev acc
     | _ -> loop acc

@@ -4,10 +4,11 @@ type t
 
 val create : file:string -> string -> t
 
-val next : t -> Token.t * Srcloc.pos
-(** Returns the next token and its starting position.  After [Eof] it keeps
-    returning [Eof].  @raise Srcloc.Error on invalid input characters or
-    unterminated comments. *)
+val next : t -> Token.t * Srcloc.pos * Srcloc.pos
+(** Returns the next token, its starting position, and the position just
+    past its last character (so the pair forms a {!Srcloc.span}).  After
+    [Eof] it keeps returning [Eof].  @raise Srcloc.Error on invalid
+    input characters or unterminated comments. *)
 
-val tokenize : file:string -> string -> (Token.t * Srcloc.pos) list
+val tokenize : file:string -> string -> (Token.t * Srcloc.pos * Srcloc.pos) list
 (** Entire input, ending with [Eof]. *)

@@ -179,7 +179,7 @@ let declare_meths env order =
           Hashtbl.add seen (m.m_name, arity) ();
           if not m.m_abstract then begin
             let id =
-              Builder.add_meth env.b ~owner ~name:m.m_name ~arity
+              Builder.add_meth ~span:m.m_span env.b ~owner ~name:m.m_name ~arity
                 ~static:m.m_static
             in
             Hashtbl.add env.meth_ids (cls_name, m.m_name, arity) id
@@ -253,15 +253,15 @@ let fresh_temp me =
   me.n_temp <- me.n_temp + 1;
   Builder.add_var me.e.b ~owner:me.meth ~name
 
-let fresh_heap me pos ~ty =
+let fresh_heap me pos ~span ~ty =
   let label = Printf.sprintf "h%d@%d:%d" me.n_heap pos.Srcloc.line pos.Srcloc.col in
   me.n_heap <- me.n_heap + 1;
-  Builder.add_heap me.e.b ~owner:me.meth ~label ~ty
+  Builder.add_heap ~span me.e.b ~owner:me.meth ~label ~ty
 
-let fresh_invo me pos =
+let fresh_invo me pos ~span =
   let label = Printf.sprintf "i%d@%d:%d" me.n_invo pos.Srcloc.line pos.Srcloc.col in
   me.n_invo <- me.n_invo + 1;
-  Builder.add_invo me.e.b ~owner:me.meth ~label
+  Builder.add_invo ~span me.e.b ~owner:me.meth ~label
 
 let null_var me =
   match me.null_var with
@@ -288,10 +288,61 @@ let declare_var me pos name =
   Hashtbl.add me.locals name v;
   v
 
+(* Lowered code annotated with the source span of each instruction.  The
+   spans are stripped into a positional side table (in [fold_instrs]
+   order) once the whole body is assembled, so they survive interning
+   without the IR needing per-instruction identities. *)
+type acode =
+  | A_instr of instr * Srcloc.span
+  | A_seq of acode list
+  | A_branch of acode * acode
+  | A_loop of acode
+  | A_try of acode * ahandler list
+
+and ahandler = {
+  a_catch_type : Type_id.t;
+  a_catch_var : Var_id.t;
+  a_handler_body : acode;
+}
+
+(* Explicit recursion (not [List.map]) so the traversal order provably
+   matches [fold_instrs] over the stripped tree. *)
+let strip_spans (root : acode) : code * Srcloc.span array =
+  let spans = ref [] in
+  let rec go = function
+    | A_instr (i, sp) ->
+      spans := sp :: !spans;
+      Instr i
+    | A_seq cs -> Seq (go_list cs)
+    | A_branch (a, b) ->
+      let a = go a in
+      let b = go b in
+      Branch (a, b)
+    | A_loop c -> Loop (go c)
+    | A_try (body, handlers) ->
+      let body = go body in
+      Try (body, go_handlers handlers)
+  and go_list = function
+    | [] -> []
+    | c :: rest ->
+      let c = go c in
+      c :: go_list rest
+  and go_handlers = function
+    | [] -> []
+    | h :: rest ->
+      let handler_body = go h.a_handler_body in
+      { catch_type = h.a_catch_type; catch_var = h.a_catch_var; handler_body }
+      :: go_handlers rest
+  in
+  let code = go root in
+  (code, Array.of_list (List.rev !spans))
+
 (* [lower_value] produces the variable holding the expression's value;
    [lower_into] materializes the expression directly into [target].
-   Both return the emitted instructions in order. *)
-let rec lower_value me (expr : Ast.expr) : instr list * Var_id.t =
+   Both return the emitted instructions in order, each carrying the span
+   of the expression it implements. *)
+let rec lower_value me (expr : Ast.expr) :
+    (instr * Srcloc.span) list * Var_id.t =
   match expr.e with
   | Ast.E_var name -> ([], lookup_var me expr.e_pos name)
   | Ast.E_this -> ([], this_var me expr.e_pos)
@@ -301,46 +352,50 @@ let rec lower_value me (expr : Ast.expr) : instr list * Var_id.t =
     let t = fresh_temp me in
     (lower_into me ~target:t expr, t)
 
-and lower_into me ~target (expr : Ast.expr) : instr list =
+and lower_into me ~target (expr : Ast.expr) : (instr * Srcloc.span) list =
   let pos = expr.e_pos in
+  let sp = expr.e_span in
   match expr.e with
-  | Ast.E_var name -> [ Move { target; source = lookup_var me pos name } ]
-  | Ast.E_this -> [ Move { target; source = this_var me pos } ]
+  | Ast.E_var name -> [ (Move { target; source = lookup_var me pos name }, sp) ]
+  | Ast.E_this -> [ (Move { target; source = this_var me pos }, sp) ]
   | Ast.E_null -> []
   | Ast.E_new (cls_name, args) ->
     let ctor_arity = Option.map List.length args in
     check_instantiable me.e pos cls_name ~ctor_arity;
     let ty = type_id me.e pos cls_name in
-    let heap = fresh_heap me pos ~ty in
-    let alloc = Alloc { target; heap } in
+    let heap = fresh_heap me pos ~span:sp ~ty in
+    let alloc = (Alloc { target; heap }, sp) in
     (match args with
     | None -> [ alloc ]
     | Some args ->
       let arg_instrs, arg_vars = lower_args me args in
-      let invo = fresh_invo me pos in
+      let invo = fresh_invo me pos ~span:sp in
       let signature =
         Builder.intern_sig me.e.b ~name:"init" ~arity:(List.length args)
       in
       (alloc :: arg_instrs)
       @ [
-          Virtual_call
-            { base = target; signature; invo; args = arg_vars; ret_target = None };
+          ( Virtual_call
+              { base = target; signature; invo; args = arg_vars;
+                ret_target = None },
+            sp );
         ])
   | Ast.E_load (base, field_name) ->
     let base_instrs, base_var = lower_value me base in
     let field = field_id me pos field_name in
-    base_instrs @ [ Load { target; base = base_var; field } ]
+    base_instrs @ [ (Load { target; base = base_var; field }, sp) ]
   | Ast.E_vcall (base, meth_name, args) ->
-    lower_call me pos ~ret_target:(Some target) base meth_name args
+    lower_call me pos ~span:sp ~ret_target:(Some target) base meth_name args
   | Ast.E_scall (cls_name, meth_name, args) ->
-    lower_static_call me pos ~ret_target:(Some target) cls_name meth_name args
+    lower_static_call me pos ~span:sp ~ret_target:(Some target) cls_name
+      meth_name args
   | Ast.E_sfield (cls_name, field_name) ->
     let field = resolve_sfield me.e pos cls_name field_name in
-    [ Static_load { target; field } ]
+    [ (Static_load { target; field }, sp) ]
   | Ast.E_cast (cls_name, operand) ->
     let cast_type = type_id me.e pos cls_name in
     let instrs, source = lower_value me operand in
-    instrs @ [ Cast { target; source; cast_type } ]
+    instrs @ [ (Cast { target; source; cast_type }, sp) ]
 
 and field_id me pos name =
   match Hashtbl.find_opt me.e.field_ids name with
@@ -357,89 +412,97 @@ and lower_args me args =
   in
   (instrs, List.rev vars)
 
-and lower_call me pos ~ret_target base meth_name args =
+and lower_call me pos ~span ~ret_target base meth_name args =
   let base_instrs, base_var = lower_value me base in
   let arg_instrs, arg_vars = lower_args me args in
-  let invo = fresh_invo me pos in
+  let invo = fresh_invo me pos ~span in
   let signature =
     Builder.intern_sig me.e.b ~name:meth_name ~arity:(List.length args)
   in
   base_instrs @ arg_instrs
   @ [
-      Virtual_call
-        { base = base_var; signature; invo; args = arg_vars; ret_target };
+      ( Virtual_call
+          { base = base_var; signature; invo; args = arg_vars; ret_target },
+        span );
     ]
 
-and lower_static_call me pos ~ret_target cls_name meth_name args =
+and lower_static_call me pos ~span ~ret_target cls_name meth_name args =
   let callee =
     resolve_static me.e pos cls_name meth_name (List.length args)
   in
   let arg_instrs, arg_vars = lower_args me args in
-  let invo = fresh_invo me pos in
-  arg_instrs @ [ Static_call { callee; invo; args = arg_vars; ret_target } ]
+  let invo = fresh_invo me pos ~span in
+  arg_instrs
+  @ [ (Static_call { callee; invo; args = arg_vars; ret_target }, span) ]
 
-let rec lower_stmt me (stmt : Ast.stmt) : code list =
+let instrs_to_acode annotated =
+  List.map (fun (i, sp) -> A_instr (i, sp)) annotated
+
+let rec lower_stmt me (stmt : Ast.stmt) : acode list =
   let pos = stmt.s_pos in
   match stmt.s with
   | Ast.S_decl (name, init) ->
     let v = declare_var me pos name in
     (match init with
     | None -> []
-    | Some expr -> List.map (fun i -> Instr i) (lower_into me ~target:v expr))
+    | Some expr -> instrs_to_acode (lower_into me ~target:v expr))
   | Ast.S_assign (name, expr) ->
     let target =
       match Hashtbl.find_opt me.locals name with
       | Some v -> v
       | None -> declare_var me pos name  (* implicit declaration *)
     in
-    List.map (fun i -> Instr i) (lower_into me ~target expr)
+    instrs_to_acode (lower_into me ~target expr)
   | Ast.S_sstore (cls_name, field_name, rhs) ->
     let field = resolve_sfield me.e pos cls_name field_name in
     let rhs_instrs, source = lower_value me rhs in
-    List.map (fun i -> Instr i) (rhs_instrs @ [ Static_store { field; source } ])
+    instrs_to_acode
+      (rhs_instrs @ [ (Static_store { field; source }, stmt.s_span) ])
   | Ast.S_store (base, field_name, rhs) ->
     let base_instrs, base_var = lower_value me base in
     let rhs_instrs, source = lower_value me rhs in
     let field = field_id me pos field_name in
-    List.map
-      (fun i -> Instr i)
-      (base_instrs @ rhs_instrs @ [ Store { base = base_var; field; source } ])
+    instrs_to_acode
+      (base_instrs @ rhs_instrs
+      @ [ (Store { base = base_var; field; source }, stmt.s_span) ])
   | Ast.S_expr expr ->
     let instrs =
       match expr.e with
       | Ast.E_vcall (base, meth_name, args) ->
-        lower_call me pos ~ret_target:None base meth_name args
+        lower_call me pos ~span:expr.e_span ~ret_target:None base meth_name
+          args
       | Ast.E_scall (cls_name, meth_name, args) ->
-        lower_static_call me pos ~ret_target:None cls_name meth_name args
+        lower_static_call me pos ~span:expr.e_span ~ret_target:None cls_name
+          meth_name args
       | Ast.E_new (_, Some _) ->
         let t = fresh_temp me in
         lower_into me ~target:t expr
       | _ -> Srcloc.error pos "expression statement must be a call"
     in
-    List.map (fun i -> Instr i) instrs
+    instrs_to_acode instrs
   | Ast.S_return None -> []
   | Ast.S_return (Some expr) ->
     let target = Builder.ensure_ret_var me.e.b me.meth in
-    List.map (fun i -> Instr i) (lower_into me ~target expr)
+    instrs_to_acode (lower_into me ~target expr)
   | Ast.S_if (then_branch, else_branch) ->
-    [ Branch (lower_block me then_branch, lower_block me else_branch) ]
-  | Ast.S_while body -> [ Loop (lower_block me body) ]
+    [ A_branch (lower_block me then_branch, lower_block me else_branch) ]
+  | Ast.S_while body -> [ A_loop (lower_block me body) ]
   | Ast.S_throw expr ->
     let instrs, source = lower_value me expr in
-    List.map (fun i -> Instr i) instrs @ [ Instr (Throw { source }) ]
+    instrs_to_acode instrs @ [ A_instr (Throw { source }, stmt.s_span) ]
   | Ast.S_try (body, catches) ->
     let lowered_body = lower_block me body in
     let handlers =
       List.map
         (fun (c : Ast.catch_clause) ->
-          let catch_type = type_id me.e pos c.cc_type in
-          let catch_var = declare_var me pos c.cc_var in
-          { catch_type; catch_var; handler_body = lower_block me c.cc_body })
+          let a_catch_type = type_id me.e pos c.cc_type in
+          let a_catch_var = declare_var me pos c.cc_var in
+          { a_catch_type; a_catch_var; a_handler_body = lower_block me c.cc_body })
         catches
     in
-    [ Try (lowered_body, handlers) ]
+    [ A_try (lowered_body, handlers) ]
 
-and lower_block me stmts = Seq (List.concat_map (lower_stmt me) stmts)
+and lower_block me stmts = A_seq (List.concat_map (lower_stmt me) stmts)
 
 let lower_body env cls_name (m : Ast.meth_decl) =
   let arity = List.length m.m_params in
@@ -466,7 +529,9 @@ let lower_body env cls_name (m : Ast.meth_decl) =
       m.m_params
   in
   Builder.set_formals env.b meth formals;
-  Builder.set_body env.b meth (lower_block me m.m_body)
+  let code, spans = strip_spans (lower_block me m.m_body) in
+  Builder.set_body env.b meth code;
+  Builder.set_instr_spans env.b meth spans
 
 let program (decls : Ast.program) : Program.t =
   let classes = class_table decls in

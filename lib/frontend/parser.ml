@@ -1,14 +1,23 @@
 type state = {
-  toks : (Token.t * Srcloc.pos) array;
+  toks : (Token.t * Srcloc.pos * Srcloc.pos) array;
   mutable cursor : int;
+  mutable last_end : Srcloc.pos;
+      (* position just past the last consumed token: the right edge of
+         any span closed now *)
 }
 
-let peek st = fst st.toks.(st.cursor)
-let peek2 st = if st.cursor + 1 < Array.length st.toks then fst st.toks.(st.cursor + 1) else Token.Eof
-let pos st = snd st.toks.(st.cursor)
+let tok_of (t, _, _) = t
+let peek st = tok_of st.toks.(st.cursor)
+let peek2 st = if st.cursor + 1 < Array.length st.toks then tok_of st.toks.(st.cursor + 1) else Token.Eof
+let pos st = let _, p, _ = st.toks.(st.cursor) in p
 
 let advance st =
+  (let _, _, stop = st.toks.(st.cursor) in
+   st.last_end <- stop);
   if st.cursor + 1 < Array.length st.toks then st.cursor <- st.cursor + 1
+
+(* Span from [left] to the end of the last consumed token. *)
+let close st left = Srcloc.span left st.last_end
 
 let expect st tok =
   if peek st = tok then advance st
@@ -43,7 +52,7 @@ let rec parse_expr st =
     let ty = expect_ident st in
     expect st Token.Rparen;
     let operand = parse_expr st in
-    { Ast.e = Ast.E_cast (ty, operand); e_pos = at }
+    { Ast.e = Ast.E_cast (ty, operand); e_pos = at; e_span = close st at }
   | _ ->
     let head = parse_primary st in
     parse_postfix st head
@@ -53,38 +62,47 @@ and parse_primary st =
   match peek st with
   | Token.Kw_this ->
     advance st;
-    { Ast.e = Ast.E_this; e_pos = at }
+    { Ast.e = Ast.E_this; e_pos = at; e_span = close st at }
   | Token.Kw_null ->
     advance st;
-    { Ast.e = Ast.E_null; e_pos = at }
+    { Ast.e = Ast.E_null; e_pos = at; e_span = close st at }
   | Token.Kw_new ->
     advance st;
     let cls = expect_ident st in
     let args =
       if peek st = Token.Lparen then Some (parse_args st) else None
     in
-    { Ast.e = Ast.E_new (cls, args); e_pos = at }
+    { Ast.e = Ast.E_new (cls, args); e_pos = at; e_span = close st at }
   | Token.Ident name ->
     advance st;
     if peek st = Token.Coloncolon then begin
       advance st;
       let member = expect_ident st in
       if peek st = Token.Lparen then
-        { Ast.e = Ast.E_scall (name, member, parse_args st); e_pos = at }
-      else { Ast.e = Ast.E_sfield (name, member); e_pos = at }
+        let args = parse_args st in
+        { Ast.e = Ast.E_scall (name, member, args); e_pos = at;
+          e_span = close st at }
+      else
+        { Ast.e = Ast.E_sfield (name, member); e_pos = at;
+          e_span = close st at }
     end
-    else { Ast.e = Ast.E_var name; e_pos = at }
+    else { Ast.e = Ast.E_var name; e_pos = at; e_span = close st at }
   | t -> Srcloc.error at "expected expression but found %s" (Token.to_string t)
 
 and parse_postfix st head =
   if peek st = Token.Dot then begin
     let at = pos st in
+    let left = head.Ast.e_span.Srcloc.left in
     advance st;
     let member = expect_ident st in
     let node =
       if peek st = Token.Lparen then
-        { Ast.e = Ast.E_vcall (head, member, parse_args st); Ast.e_pos = at }
-      else { Ast.e = Ast.E_load (head, member); Ast.e_pos = at }
+        let args = parse_args st in
+        { Ast.e = Ast.E_vcall (head, member, args); Ast.e_pos = at;
+          Ast.e_span = close st left }
+      else
+        { Ast.e = Ast.E_load (head, member); Ast.e_pos = at;
+          Ast.e_span = close st left }
     in
     parse_postfix st node
   end
@@ -124,12 +142,12 @@ and parse_stmt st =
     let name = expect_ident st in
     let init = if accept st Token.Eq then Some (parse_expr st) else None in
     expect st Token.Semi;
-    { Ast.s = Ast.S_decl (name, init); s_pos = at }
+    { Ast.s = Ast.S_decl (name, init); s_pos = at; s_span = close st at }
   | Token.Kw_return ->
     advance st;
     let value = if peek st = Token.Semi then None else Some (parse_expr st) in
     expect st Token.Semi;
-    { Ast.s = Ast.S_return value; s_pos = at }
+    { Ast.s = Ast.S_return value; s_pos = at; s_span = close st at }
   | Token.Kw_if ->
     advance st;
     expect st Token.Lparen;
@@ -137,19 +155,20 @@ and parse_stmt st =
     expect st Token.Rparen;
     let then_branch = parse_block st in
     let else_branch = if accept st Token.Kw_else then parse_block st else [] in
-    { Ast.s = Ast.S_if (then_branch, else_branch); s_pos = at }
+    { Ast.s = Ast.S_if (then_branch, else_branch); s_pos = at;
+      s_span = close st at }
   | Token.Kw_while ->
     advance st;
     expect st Token.Lparen;
     expect st Token.Star;
     expect st Token.Rparen;
     let body = parse_block st in
-    { Ast.s = Ast.S_while body; s_pos = at }
+    { Ast.s = Ast.S_while body; s_pos = at; s_span = close st at }
   | Token.Kw_throw ->
     advance st;
     let value = parse_expr st in
     expect st Token.Semi;
-    { Ast.s = Ast.S_throw value; s_pos = at }
+    { Ast.s = Ast.S_throw value; s_pos = at; s_span = close st at }
   | Token.Kw_try ->
     advance st;
     let body = parse_block st in
@@ -168,25 +187,26 @@ and parse_stmt st =
     let handlers = catches [] in
     if handlers = [] then
       Srcloc.error at "try block needs at least one catch clause";
-    { Ast.s = Ast.S_try (body, handlers); s_pos = at }
+    { Ast.s = Ast.S_try (body, handlers); s_pos = at; s_span = close st at }
   | _ ->
     let lhs = parse_expr st in
     if accept st Token.Eq then begin
       let rhs = parse_expr st in
       expect st Token.Semi;
+      let s_span = close st at in
       match lhs.Ast.e with
-      | Ast.E_var name -> { Ast.s = Ast.S_assign (name, rhs); s_pos = at }
+      | Ast.E_var name -> { Ast.s = Ast.S_assign (name, rhs); s_pos = at; s_span }
       | Ast.E_load (base, field) ->
-        { Ast.s = Ast.S_store (base, field, rhs); s_pos = at }
+        { Ast.s = Ast.S_store (base, field, rhs); s_pos = at; s_span }
       | Ast.E_sfield (cls, field) ->
-        { Ast.s = Ast.S_sstore (cls, field, rhs); s_pos = at }
+        { Ast.s = Ast.S_sstore (cls, field, rhs); s_pos = at; s_span }
       | _ -> Srcloc.error at "invalid assignment target"
     end
     else begin
       expect st Token.Semi;
       match lhs.Ast.e with
       | Ast.E_vcall _ | Ast.E_scall _ | Ast.E_new (_, Some _) ->
-        { Ast.s = Ast.S_expr lhs; s_pos = at }
+        { Ast.s = Ast.S_expr lhs; s_pos = at; s_span = close st at }
       | _ -> Srcloc.error at "expression statement must be a call"
     end
 
@@ -221,6 +241,9 @@ let parse_meth st ~in_interface =
   let name = expect_ident st in
   let params = parse_params st in
   let ret_ty = parse_opt_type_annot st in
+  (* The declaration header only — bodies would drown diagnostics that
+     point at "this method". *)
+  let m_span = close st at in
   if in_interface then begin
     if static then Srcloc.error at "interfaces cannot declare static methods";
     expect st Token.Semi;
@@ -232,6 +255,7 @@ let parse_meth st ~in_interface =
       m_ret_ty = ret_ty;
       m_body = [];
       m_pos = at;
+      m_span;
     }
   end
   else
@@ -244,6 +268,7 @@ let parse_meth st ~in_interface =
       m_ret_ty = ret_ty;
       m_body = body;
       m_pos = at;
+      m_span;
     }
 
 let parse_field st ~static =
@@ -319,7 +344,13 @@ let parse_class st =
   }
 
 let parse_string ~file src =
-  let st = { toks = Array.of_list (Lexer.tokenize ~file src); cursor = 0 } in
+  let st =
+    {
+      toks = Array.of_list (Lexer.tokenize ~file src);
+      cursor = 0;
+      last_end = Srcloc.dummy;
+    }
+  in
   let rec loop acc =
     if peek st = Token.Eof then List.rev acc else loop (parse_class st :: acc)
   in

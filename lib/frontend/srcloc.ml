@@ -1,17 +1,8 @@
-(** Source positions and frontend errors. *)
+(** Source positions and frontend errors.
 
-type pos = {
-  file : string;
-  line : int;  (** 1-based *)
-  col : int;  (** 1-based *)
-}
+    The definitions live in {!Pta_ir.Srcloc} so the IR's span side
+    tables can reference them; this module re-exports everything (the
+    [Error] exception included) under the historical
+    [Pta_frontend.Srcloc] name. *)
 
-let dummy = { file = "<none>"; line = 0; col = 0 }
-let pp_pos ppf p = Format.fprintf ppf "%s:%d:%d" p.file p.line p.col
-
-exception Error of pos * string
-
-let error pos fmt = Format.kasprintf (fun msg -> raise (Error (pos, msg))) fmt
-
-let pp_error ppf (pos, msg) =
-  Format.fprintf ppf "%a: error: %s" pp_pos pos msg
+include Pta_ir.Srcloc

@@ -117,6 +117,15 @@ module Program = struct
     entries : Meth_id.t list;
     object_type : Type_id.t;
     type_by_name : (string, Type_id.t) Hashtbl.t;
+    (* Source-span side tables, populated by the frontend's lowering
+       pass and absent ([None] / [[||]]) for programs built directly
+       through the Builder (workload generators, tests). *)
+    meth_spans : Srcloc.span option array;
+    heap_spans : Srcloc.span option array;
+    invo_spans : Srcloc.span option array;
+    instr_span_tab : Srcloc.span array array;
+        (* per method, aligned with [instr_list body]; [[||]] when the
+           method has no recorded spans *)
   }
 
   let type_info p id = p.types.(Type_id.to_int id)
@@ -178,6 +187,15 @@ module Program = struct
   let invo_name p id =
     let ii = invo_info p id in
     Printf.sprintf "%s[call@%s]" (meth_qualified_name p ii.invo_owner) ii.invo_label
+
+  let meth_span p id = p.meth_spans.(Meth_id.to_int id)
+  let heap_span p id = p.heap_spans.(Heap_id.to_int id)
+  let invo_span p id = p.invo_spans.(Invo_id.to_int id)
+  let instr_spans p id = p.instr_span_tab.(Meth_id.to_int id)
+
+  let instr_span p id i =
+    let spans = instr_spans p id in
+    if i >= 0 && i < Array.length spans then Some spans.(i) else None
 end
 
 module Builder = struct
@@ -190,6 +208,8 @@ module Builder = struct
     mutable pm_formals : Var_id.t array;
     mutable pm_ret : Var_id.t option;
     mutable pm_body : code;
+    pm_span : Srcloc.span option;
+    mutable pm_instr_spans : Srcloc.span array;
   }
 
   type pending_type = {
@@ -211,6 +231,8 @@ module Builder = struct
     mutable entry_list : Meth_id.t list;
     sig_table : (string * int, Sig_id.t) Hashtbl.t;
     name_table : (string, Type_id.t) Hashtbl.t;
+    heap_spans : Srcloc.span option Vec.t;
+    invo_spans : Srcloc.span option Vec.t;
   }
 
   let create () =
@@ -225,6 +247,8 @@ module Builder = struct
       entry_list = [];
       sig_table = Hashtbl.create 64;
       name_table = Hashtbl.create 64;
+      heap_spans = Vec.create ();
+      invo_spans = Vec.create ();
     }
 
   let add_type b ~name ~kind ~superclass ~interfaces =
@@ -260,7 +284,7 @@ module Builder = struct
   let add_var b ~owner ~name =
     Var_id.of_int (Vec.push b.vars { var_name = name; var_owner = owner })
 
-  let add_meth b ~owner ~name ~arity ~static =
+  let add_meth ?span b ~owner ~name ~arity ~static =
     let s = intern_sig b ~name ~arity in
     let id = Meth_id.of_int (Vec.length b.meths) in
     let this = if static then None else Some (add_var b ~owner:id ~name:"this") in
@@ -275,6 +299,8 @@ module Builder = struct
           pm_formals = [||];
           pm_ret = None;
           pm_body = Seq [];
+          pm_span = span;
+          pm_instr_spans = [||];
         }
     in
     let ti = Vec.get b.types (Type_id.to_int owner) in
@@ -297,14 +323,26 @@ module Builder = struct
       pm.pm_ret <- Some v;
       v
 
-  let add_heap b ~owner ~label ~ty =
+  let add_heap ?span b ~owner ~label ~ty =
+    let (_ : int) = Vec.push b.heap_spans span in
     Heap_id.of_int
       (Vec.push b.heaps { heap_label = label; heap_type = ty; heap_owner = owner })
 
-  let add_invo b ~owner ~label =
+  let add_invo ?span b ~owner ~label =
+    let (_ : int) = Vec.push b.invo_spans span in
     Invo_id.of_int (Vec.push b.invos { invo_label = label; invo_owner = owner })
 
   let set_body b m code = (pending b m).pm_body <- code
+
+  let set_instr_spans b m spans =
+    let pm = pending b m in
+    let n = fold_instrs (fun acc _ -> acc + 1) 0 pm.pm_body in
+    if Array.length spans <> n then
+      invalid_arg
+        (Printf.sprintf
+           "Builder.set_instr_spans: %d spans for %d instructions in %s"
+           (Array.length spans) n pm.pm_name);
+    pm.pm_instr_spans <- spans
   let add_entry b m = b.entry_list <- m :: b.entry_list
   let this_var b m = (pending b m).pm_this
   let ret_var b m = (pending b m).pm_ret
@@ -410,5 +448,10 @@ module Builder = struct
       entries = List.rev b.entry_list;
       object_type;
       type_by_name = Hashtbl.copy b.name_table;
+      meth_spans = Array.map (fun pm -> pm.pm_span) (Vec.to_array b.meths);
+      heap_spans = Vec.to_array b.heap_spans;
+      invo_spans = Vec.to_array b.invo_spans;
+      instr_span_tab =
+        Array.map (fun pm -> pm.pm_instr_spans) (Vec.to_array b.meths);
     }
 end

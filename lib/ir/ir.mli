@@ -162,6 +162,30 @@ module Program : sig
   val var_qualified_name : t -> Var_id.t -> string
   val heap_name : t -> Heap_id.t -> string
   val invo_name : t -> Invo_id.t -> string
+
+  (** {2 Source locations}
+
+      Optional side tables mapping IR entities back to source spans.
+      Programs built by the frontend carry them; synthetic programs
+      (workload generators, hand-built tests) simply report [None]. *)
+
+  val meth_span : t -> Meth_id.t -> Srcloc.span option
+  (** Span of the method's declaration header. *)
+
+  val heap_span : t -> Heap_id.t -> Srcloc.span option
+  (** Span of the [new] expression for this allocation site. *)
+
+  val invo_span : t -> Invo_id.t -> Srcloc.span option
+  (** Span of the call expression for this invocation site. *)
+
+  val instr_spans : t -> Meth_id.t -> Srcloc.span array
+  (** Per-instruction spans for a method body, aligned positionally with
+      {!instr_list} / {!fold_instrs} order.  Empty when the method body
+      carries no span information. *)
+
+  val instr_span : t -> Meth_id.t -> int -> Srcloc.span option
+  (** [instr_span p m i] is the span of the [i]-th instruction of [m]
+      (in {!instr_list} order), if recorded. *)
 end
 
 (** Mutable program-construction API used by the frontend's lowering pass,
@@ -183,6 +207,7 @@ module Builder : sig
   val intern_sig : t -> name:string -> arity:int -> Sig_id.t
 
   val add_meth :
+    ?span:Srcloc.span ->
     t ->
     owner:Type_id.t ->
     name:string ->
@@ -191,14 +216,31 @@ module Builder : sig
     Meth_id.t
   (** Declares the method on [owner] and creates its [this] variable
       (unless static).  Formals, return variable and body are attached
-      afterwards. *)
+      afterwards.  [span] is the declaration header's source extent. *)
 
   val add_var : t -> owner:Meth_id.t -> name:string -> Var_id.t
   val set_formals : t -> Meth_id.t -> Var_id.t list -> unit
   val ensure_ret_var : t -> Meth_id.t -> Var_id.t
-  val add_heap : t -> owner:Meth_id.t -> label:string -> ty:Type_id.t -> Heap_id.t
-  val add_invo : t -> owner:Meth_id.t -> label:string -> Invo_id.t
+
+  val add_heap :
+    ?span:Srcloc.span ->
+    t ->
+    owner:Meth_id.t ->
+    label:string ->
+    ty:Type_id.t ->
+    Heap_id.t
+
+  val add_invo :
+    ?span:Srcloc.span -> t -> owner:Meth_id.t -> label:string -> Invo_id.t
+
   val set_body : t -> Meth_id.t -> code -> unit
+
+  val set_instr_spans : t -> Meth_id.t -> Srcloc.span array -> unit
+  (** Records per-instruction spans for a method, aligned with
+      {!instr_list} order of the body set by {!set_body} — call it after
+      {!set_body}.  @raise Invalid_argument if the array length does not
+      match the body's instruction count. *)
+
   val add_entry : t -> Meth_id.t -> unit
   val this_var : t -> Meth_id.t -> Var_id.t option
   val ret_var : t -> Meth_id.t -> Var_id.t option

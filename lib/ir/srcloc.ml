@@ -1,0 +1,43 @@
+(** Source positions, spans and frontend errors.
+
+    Lives in [pta_ir] (not the frontend) so the IR's side tables can map
+    entities back to source spans without a dependency cycle; the
+    frontend re-exports this module unchanged as
+    [Pta_frontend.Srcloc]. *)
+
+type pos = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+}
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+let pp_pos ppf p = Format.fprintf ppf "%s:%d:%d" p.file p.line p.col
+
+(** A half-open source region: [left] is the first character, [right]
+    the position just past the last one (so a one-character token at
+    line 1 col 5 spans 1:5..1:6). *)
+type span = {
+  left : pos;
+  right : pos;
+}
+
+let dummy_span = { left = dummy; right = dummy }
+let is_dummy_span s = s.left.line = 0
+let span left right = { left; right }
+let span_of_pos p = { left = p; right = p }
+
+let pp_span ppf s =
+  if s.left.line = s.right.line then
+    Format.fprintf ppf "%s:%d:%d-%d" s.left.file s.left.line s.left.col
+      s.right.col
+  else
+    Format.fprintf ppf "%s:%d:%d-%d:%d" s.left.file s.left.line s.left.col
+      s.right.line s.right.col
+
+exception Error of pos * string
+
+let error pos fmt = Format.kasprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+let pp_error ppf (pos, msg) =
+  Format.fprintf ppf "%a: error: %s" pp_pos pos msg

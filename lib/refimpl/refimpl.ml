@@ -392,6 +392,21 @@ let run ?observer ?budget ?trace program (strategy : Strategy.t) =
   List.iter
     (fun m -> ignore (Relation.add reach [| Meth_id.to_int m; initial |]))
     (Program.entries program);
+  (* Lint before evaluating: a rule set with a hard error (range
+     violation, arity mismatch) would fail mid-fixpoint with a much less
+     helpful message.  [Never_fires] findings are legitimate here — a
+     program without casts or throws leaves those EDB relations empty. *)
+  (match
+     List.filter
+       (fun e -> Engine.lint_is_hard e.Engine.lint_kind)
+       (Engine.lint rules)
+   with
+  | [] -> ()
+  | hard ->
+    invalid_arg
+      ("Refimpl: rule program fails lint:\n"
+      ^ String.concat "\n"
+          (List.map (fun e -> "  " ^ e.Engine.lint_message) hard)));
   Engine.run ?observer ?budget ?trace rules;
   { vpt; cg; reach; throwpt; ctx_store; hctx_store }
 

@@ -1,0 +1,74 @@
+(* Schema check for `pointsto check --format sarif`: the document must be
+   valid JSON with the SARIF 2.1.0 skeleton — a version string, exactly
+   one run, a tool driver declaring at least one rule, and every result
+   referencing a declared rule with a physical location.  Byte-level
+   determinism across runs is checked separately in the dune rules. *)
+
+module Json = Pta_obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> fail "usage: check_sarif FILE"
+  in
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let json =
+    match Json.of_string contents with
+    | Ok json -> json
+    | Error msg -> fail "%s: not valid JSON: %s" path msg
+  in
+  (match Option.bind (Json.member "version" json) Json.to_str with
+  | Some "2.1.0" -> ()
+  | Some v -> fail "%s: version is %S, expected \"2.1.0\"" path v
+  | None -> fail "%s: missing \"version\"" path);
+  let run =
+    match Option.bind (Json.member "runs" json) Json.to_list with
+    | Some [ run ] -> run
+    | Some runs -> fail "%s: expected one run, found %d" path (List.length runs)
+    | None -> fail "%s: missing \"runs\"" path
+  in
+  let rules =
+    match
+      Option.bind (Json.member "tool" run) (Json.member "driver")
+      |> Fun.flip Option.bind (Json.member "rules")
+      |> Fun.flip Option.bind Json.to_list
+    with
+    | Some [] -> fail "%s: driver declares no rules" path
+    | Some rules -> rules
+    | None -> fail "%s: missing tool.driver.rules" path
+  in
+  let rule_ids =
+    List.filter_map (fun r -> Option.bind (Json.member "id" r) Json.to_str) rules
+  in
+  let results =
+    match Option.bind (Json.member "results" run) Json.to_list with
+    | Some results -> results
+    | None -> fail "%s: missing \"results\"" path
+  in
+  List.iteri
+    (fun i result ->
+      (match Option.bind (Json.member "ruleId" result) Json.to_str with
+      | Some id when List.mem id rule_ids -> ()
+      | Some id -> fail "%s: result %d references undeclared rule %S" path i id
+      | None -> fail "%s: result %d lacks a ruleId" path i);
+      match Option.bind (Json.member "locations" result) Json.to_list with
+      | Some (loc :: _) ->
+        if
+          Json.member "physicalLocation" loc
+          |> Fun.flip Option.bind (Json.member "artifactLocation")
+          |> Fun.flip Option.bind (Json.member "uri")
+          |> Fun.flip Option.bind Json.to_str
+          = None
+        then fail "%s: result %d lacks a physical location URI" path i
+      | _ -> fail "%s: result %d has no locations" path i)
+    results;
+  Printf.printf "SARIF schema ok: %d rule(s), %d result(s)\n"
+    (List.length rule_ids) (List.length results)

@@ -168,6 +168,132 @@ let repeated_var_test () =
   Alcotest.(check bool) "1" true (Relation.mem diag [| 1 |]);
   Alcotest.(check bool) "3" true (Relation.mem diag [| 3 |])
 
+(* ------------------------------------------------------------------ *)
+(* Linter                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lint_kinds rules = List.map (fun e -> e.Engine.lint_kind) (Engine.lint rules)
+
+let lint_tests =
+  [
+    Alcotest.test_case "well-formed rules lint clean" `Quick (fun () ->
+        let edge = Relation.create ~name:"edge" ~arity:2 in
+        let path = Relation.create ~name:"path" ~arity:2 in
+        ignore (Relation.add edge [| 1; 2 |]);
+        let rules =
+          [
+            rule "base" ~n_vars:2
+              [ { hrel = path; hargs = [| Hv 0; Hv 1 |] } ]
+              [ { rel = edge; args = [| V 0; V 1 |] } ];
+            rule "step" ~n_vars:3
+              [ { hrel = path; hargs = [| Hv 0; Hv 2 |] } ]
+              [
+                { rel = path; args = [| V 0; V 1 |] };
+                { rel = edge; args = [| V 1; V 2 |] };
+              ];
+          ]
+        in
+        Alcotest.(check int) "no findings" 0 (List.length (Engine.lint rules)));
+    Alcotest.test_case "unbound head variable rejected" `Quick (fun () ->
+        let edge = Relation.create ~name:"edge" ~arity:2 in
+        let out = Relation.create ~name:"out" ~arity:2 in
+        ignore (Relation.add edge [| 1; 2 |]);
+        let rules =
+          [
+            (* head uses V 2 but the body binds only V 0 and V 1 *)
+            rule "broken" ~n_vars:3
+              [ { hrel = out; hargs = [| Hv 0; Hv 2 |] } ]
+              [ { rel = edge; args = [| V 0; V 1 |] } ];
+          ]
+        in
+        match Engine.lint rules with
+        | [ e ] ->
+          Alcotest.(check bool)
+            "kind" true
+            (e.Engine.lint_kind = Engine.Unbound_head_var);
+          Alcotest.(check bool) "hard" true (Engine.lint_is_hard e.Engine.lint_kind);
+          Alcotest.(check string) "rule named" "broken" e.Engine.lint_rule;
+          (* The message pinpoints the variable and the relation. *)
+          let contains s sub =
+            let n = String.length sub and h = String.length s in
+            let rec at i = i + n <= h && (String.sub s i n = sub || at (i + 1)) in
+            n = 0 || at 0
+          in
+          Alcotest.(check bool)
+            "names the variable" true
+            (contains e.Engine.lint_message "variable 2");
+          Alcotest.(check bool)
+            "names the relation" true
+            (contains e.Engine.lint_message "out")
+        | es -> Alcotest.failf "expected one error, got %d" (List.length es));
+    Alcotest.test_case "arity mismatch rejected on both sides" `Quick (fun () ->
+        let bin = Relation.create ~name:"bin" ~arity:2 in
+        let un = Relation.create ~name:"un" ~arity:1 in
+        ignore (Relation.add bin [| 1; 2 |]);
+        let rules =
+          [
+            rule "bad-body" ~n_vars:1
+              [ { hrel = un; hargs = [| Hv 0 |] } ]
+              [ { rel = bin; args = [| V 0 |] } ];
+            rule "bad-head" ~n_vars:2
+              [ { hrel = un; hargs = [| Hv 0; Hv 1 |] } ]
+              [ { rel = bin; args = [| V 0; V 1 |] } ];
+          ]
+        in
+        Alcotest.(check bool)
+          "both flagged as Bad_arity" true
+          (lint_kinds rules = [ Engine.Bad_arity; Engine.Bad_arity ]));
+    Alcotest.test_case "variable out of range rejected" `Quick (fun () ->
+        let un = Relation.create ~name:"unr" ~arity:1 in
+        ignore (Relation.add un [| 1 |]);
+        let rules =
+          [
+            rule "oob" ~n_vars:1
+              [ { hrel = un; hargs = [| Hv 0 |] } ]
+              [ { rel = un; args = [| V 5 |] } ];
+          ]
+        in
+        Alcotest.(check bool)
+          "flagged" true
+          (List.mem Engine.Var_out_of_range (lint_kinds rules)));
+    Alcotest.test_case "never-fires is informational" `Quick (fun () ->
+        let empty_edb = Relation.create ~name:"empty_edb" ~arity:1 in
+        let out = Relation.create ~name:"outn" ~arity:1 in
+        let rules =
+          [
+            rule "dead" ~n_vars:1
+              [ { hrel = out; hargs = [| Hv 0 |] } ]
+              [ { rel = empty_edb; args = [| V 0 |] } ];
+          ]
+        in
+        (match lint_kinds rules with
+        | [ Engine.Never_fires ] -> ()
+        | ks -> Alcotest.failf "expected [Never_fires], got %d finding(s)" (List.length ks));
+        Alcotest.(check bool)
+          "soft" false
+          (Engine.lint_is_hard Engine.Never_fires);
+        (* Feeding the EDB clears the finding. *)
+        ignore (Relation.add empty_edb [| 1 |]);
+        Alcotest.(check int) "clean once fed" 0 (List.length (Engine.lint rules)));
+    Alcotest.test_case "derived-but-empty body is not never-fires" `Quick
+      (fun () ->
+        let a = Relation.create ~name:"a_rel" ~arity:1 in
+        let b = Relation.create ~name:"b_rel" ~arity:1 in
+        ignore (Relation.add a [| 1 |]);
+        let rules =
+          [
+            rule "derive-b" ~n_vars:1
+              [ { hrel = b; hargs = [| Hv 0 |] } ]
+              [ { rel = a; args = [| V 0 |] } ];
+            (* b is empty now but derivable, so reading it is fine *)
+            rule "use-b" ~n_vars:1
+              [ { hrel = a; hargs = [| Hv 0 |] } ]
+              [ { rel = b; args = [| V 0 |] } ];
+          ]
+        in
+        Alcotest.(check int) "no findings" 0 (List.length (Engine.lint rules)));
+  ]
+
 let tests =
   relation_tests
   @ [
@@ -177,3 +303,4 @@ let tests =
       Alcotest.test_case "multi-head rules" `Quick multi_head_test;
       Alcotest.test_case "repeated variables unify" `Quick repeated_var_test;
     ]
+  @ lint_tests

@@ -101,6 +101,23 @@ let ref_facts r =
   in
   (vpt, cg, reach, throws)
 
+(* Checker verdicts must agree across engines too.  Witness [w_detail]
+   (provenance chains) is deliberately excluded: it is a solver-only
+   enrichment. *)
+let diag_key (d : Pta_checkers.Diagnostic.t) =
+  let span_str = function
+    | None -> "-"
+    | Some sp -> Format.asprintf "%a" Pta_ir.Srcloc.pp_span sp
+  in
+  Printf.sprintf "%s|%s|%s|%s|%s" d.code
+    (Pta_checkers.Diagnostic.severity_to_string d.severity)
+    (span_str d.span) d.message
+    (String.concat ";"
+       (List.map
+          (fun (w : Pta_checkers.Diagnostic.witness) ->
+            w.w_message ^ "@" ^ span_str w.w_span)
+          d.witnesses))
+
 let diff_msg label a b =
   let missing = S.diff b a and extra = S.diff a b in
   Printf.sprintf "%s: solver-only=[%s] ref-only=[%s]" label
@@ -129,7 +146,18 @@ let check_program ~name src strategies =
         true (S.equal s_reach r_reach);
       Alcotest.(check bool)
         (diff_msg (ok_label "throws") s_throws r_throws)
-        true (S.equal s_throws r_throws))
+        true (S.equal s_throws r_throws);
+      let s_diags =
+        List.map diag_key
+          (Pta_checkers.Checkers.run (Pta_checkers.Results.of_solver solver))
+      in
+      let r_diags =
+        List.map diag_key
+          (Pta_checkers.Checkers.run
+             (Pta_checkers.Results.of_refimpl program reference))
+      in
+      Alcotest.(check (list string)) (ok_label "checker diagnostics") s_diags
+        r_diags)
     strategies
 
 let all_strategies = List.map fst Pta_context.Strategies.all

@@ -10,7 +10,7 @@ let token = Alcotest.testable (fun ppf t -> Format.pp_print_string ppf (Token.to
 (* Lexer                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let toks src = List.map fst (Lexer.tokenize ~file:"<t>" src)
+let toks src = List.map (fun (t, _, _) -> t) (Lexer.tokenize ~file:"<t>" src)
 
 let lexer_tests =
   [
@@ -33,9 +33,11 @@ let lexer_tests =
     Alcotest.test_case "positions track lines and columns" `Quick (fun () ->
         let all = Lexer.tokenize ~file:"<t>" "ab\n  cd" in
         match all with
-        | [ (_, p1); (_, p2); _ ] ->
+        | [ (_, p1, q1); (_, p2, q2); _ ] ->
           Alcotest.(check (pair int int)) "ab" (1, 1) (p1.Srcloc.line, p1.Srcloc.col);
-          Alcotest.(check (pair int int)) "cd" (2, 3) (p2.Srcloc.line, p2.Srcloc.col)
+          Alcotest.(check (pair int int)) "ab end" (1, 3) (q1.Srcloc.line, q1.Srcloc.col);
+          Alcotest.(check (pair int int)) "cd" (2, 3) (p2.Srcloc.line, p2.Srcloc.col);
+          Alcotest.(check (pair int int)) "cd end" (2, 5) (q2.Srcloc.line, q2.Srcloc.col)
         | _ -> Alcotest.fail "expected three tokens");
     Alcotest.test_case "invalid character reported" `Quick (fun () ->
         match toks "a ? b" with

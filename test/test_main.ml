@@ -11,6 +11,7 @@ let () =
       ("smoke", Test_smoke.tests);
       ("solver", Test_solver_more.tests);
       ("clients", Test_clients.tests);
+      ("checkers", Test_checkers.tests);
       ("differential", Test_differential.tests);
       ("soundness", Test_soundness.tests);
       ("precision", Test_precision.tests);
