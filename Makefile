@@ -1,0 +1,29 @@
+# Convenience targets; everything here is a thin wrapper over dune.
+
+.PHONY: all build test bench bench-compare bench-accept
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full benchmark grid.  Writes table1.csv, table1_stats.json, and a
+# fresh schema-v2 BENCH_table1.json snapshot into the repository root.
+bench:
+	dune exec bench/main.exe -- table1
+
+# Gate the current tree against the committed baseline snapshot.
+# Exits non-zero on a regression (time beyond +15%, peak heap beyond
+# +10%, a new timeout, or a missing cell); the per-cell delta table
+# lands in BENCH_delta.md.
+bench-compare:
+	dune exec bench/main.exe -- --baseline BENCH_table1.json --compare \
+	  --delta-md BENCH_delta.md
+
+# Re-bless the committed baseline after an intentional performance
+# change: rerun the grid, then review and commit BENCH_table1.json.
+bench-accept: bench
+	@echo "BENCH_table1.json regenerated; review the diff and commit it."

@@ -11,7 +11,15 @@
 
    With no argument, runs table1 + figure3 + summary (sharing analysis
    runs).  PTA_BENCH_TIMEOUT (seconds, default 90) is the per-analysis
-   cutoff; timeouts print as "-" like the paper's dashes. *)
+   cutoff; timeouts print as "-" like the paper's dashes.
+
+   Regression-harness mode: `--baseline FILE --compare` re-runs the
+   grid (optionally restricted with `--benchmarks a,b,c`), diffs it
+   against the committed snapshot, prints a per-cell delta report, and
+   exits non-zero if any cell breaches the noise thresholds
+   (`--time-tol` / `--heap-tol`, percent).  `--delta-md FILE` writes
+   the same report as a Markdown table.  PTA_BENCH_HANDICAP multiplies
+   every recorded time — a test hook for exercising the gate. *)
 
 module Ir = Pta_ir.Ir
 module Metrics = Pta_clients.Metrics
@@ -25,11 +33,23 @@ module Driver = Pta_driver.Driver
 module Json = Pta_obs.Json
 module Run_stats = Pta_obs.Run_stats
 module Trace = Pta_obs.Trace
+module Snapshot = Pta_report.Bench_snapshot
 
 let timeout_s =
   match Sys.getenv_opt "PTA_BENCH_TIMEOUT" with
   | Some s -> float_of_string s
   | None -> 90.
+
+(* Test hook: multiplies every recorded cell time so the regression gate
+   can be exercised without actually slowing the solver down. *)
+let handicap =
+  match Sys.getenv_opt "PTA_BENCH_HANDICAP" with
+  | Some s -> float_of_string s
+  | None -> 1.
+
+(* The benchmark subset under test; `--benchmarks` narrows it. *)
+let selected_profiles = ref Profile.dacapo
+let profiles () = !selected_profiles
 
 (* Table-1 column order and the per-group partition used for marking the
    best time (the paper's bold entries; we use a trailing '*'). *)
@@ -45,7 +65,7 @@ let analyses = List.concat analysis_groups
 
 type outcome =
   | Done of Metrics.t * float * Run_stats.t * Trace.stat list
-      (* metrics, median elapsed seconds, counters and trace profile of
+      (* metrics, best (min-of-3) elapsed seconds, counters and trace profile of
          the first run *)
   | Timed_out of Pta_obs.Budget.abort
 
@@ -57,10 +77,12 @@ let run_one profile analysis_name =
   | Some o -> o
   | None ->
     let program = Workloads.program profile in
-    (* Median of three timed runs, as in the paper; the analysis is
-       deterministic, so metrics and counters are collected once (on the
-       first run — the recorder's non-time fields are identical across
-       runs either way). *)
+    (* Minimum of three timed runs.  The analysis is deterministic, so
+       scheduler/VM interference can only ADD time — the minimum is the
+       least-noisy estimate of the true cost, and it is what the
+       regression gate compares against a committed baseline.  (Metrics
+       and counters are collected once, on the first run — the
+       recorder's non-time fields are identical across runs.) *)
     (* The first (instrumented) run also carries a small trace sink —
        aggregates are exact regardless of the tiny ring, and they feed
        the per-cell hot-spot summary in table1_stats.json.  Timed runs
@@ -70,6 +92,12 @@ let run_one profile analysis_name =
         ~config:(Solver.Config.make ~timeout_s ?trace ())
         ~collect_stats:collect program ~analysis:analysis_name
     in
+    (* Compact before the instrumented run: the peak-heap figure must
+       reflect this cell's live set, not heap grown (and never returned)
+       by whichever cells happened to run earlier in the process —
+       without this, per-cell memory numbers depend on grid order and
+       drift 30%+ between a `table1` process and a `--compare` one. *)
+    Gc.compact ();
     let trace = Trace.create ~limit:4096 () in
     let outcome =
       match run_once ~collect:true ~trace () with
@@ -82,14 +110,12 @@ let run_one profile analysis_name =
         in
         let t2 = time (run_once ~collect:false ()) in
         let t3 = time (run_once ~collect:false ()) in
-        let median =
-          match List.sort compare [ r1.Driver.wall_time_s; t2; t3 ] with
-          | [ _; m; _ ] -> m
-          | _ -> r1.Driver.wall_time_s
+        let best =
+          min r1.Driver.wall_time_s (min t2 t3) *. handicap
         in
         Done
           ( Metrics.compute r1.Driver.solver,
-            median,
+            best,
             Option.get r1.Driver.stats,
             Trace.profile trace )
     in
@@ -146,6 +172,47 @@ let cell_stats_json profile_name analysis_name = function
         ("iterations", Json.Int abort.Pta_obs.Budget.iterations);
         ("nodes", Json.Int abort.Pta_obs.Budget.nodes);
       ]
+
+(* The schema-v2 snapshot of the current grid: per-cell best (min-of-3) time,
+   iterations, supergraph nodes and the instrumented run's GC profile —
+   timeout cells carry the solver's abort payload (elapsed, iterations,
+   nodes at abort) instead of just a dash. *)
+let current_snapshot () =
+  let cells =
+    List.concat_map
+      (fun profile ->
+        List.map
+          (fun a ->
+            match run_one profile a with
+            | Done (_, s, stats, _) ->
+              {
+                Snapshot.benchmark = profile.Profile.name;
+                analysis = a;
+                timed_out = false;
+                time_s = s;
+                iterations = stats.Run_stats.iterations;
+                nodes = Some stats.Run_stats.n_nodes;
+                memory = stats.Run_stats.memory;
+              }
+            | Timed_out abort ->
+              {
+                Snapshot.benchmark = profile.Profile.name;
+                analysis = a;
+                timed_out = true;
+                time_s = abort.Pta_obs.Budget.elapsed_s;
+                iterations = abort.Pta_obs.Budget.iterations;
+                nodes = Some abort.Pta_obs.Budget.nodes;
+                memory = None;
+              })
+          analyses)
+      (profiles ())
+  in
+  {
+    Snapshot.schema_version = Snapshot.current_schema_version;
+    timeout_s;
+    pointsto = Some (Pta_version.Version.to_json ());
+    cells;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -233,7 +300,7 @@ let cmd_table1 () =
       let headline, rendered = table1_block profile in
       print_endline headline;
       print_endline rendered)
-    Profile.dacapo;
+    (profiles ());
   (* Also emit machine-readable CSV next to the textual table. *)
   let rows = ref [] in
   List.iter
@@ -261,7 +328,7 @@ let cmd_table1 () =
               [ profile.Profile.name; a; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-" ]
               :: !rows)
         analyses)
-    Profile.dacapo;
+    (profiles ());
   let csv =
     Table.csv
       ~headers:
@@ -291,56 +358,18 @@ let cmd_table1 () =
           (fun a ->
             cell_stats_json profile.Profile.name a (run_one profile a))
           analyses)
-      Profile.dacapo
+      (profiles ())
   in
   let oc = open_out "table1_stats.json" in
   output_string oc (Json.to_string (Json.List stats));
   output_char oc '\n';
   close_out oc;
   print_endline "[table1_stats.json written]";
-  (* The committed perf snapshot: just enough per cell to diff run-time
-     regressions across revisions (schema documented in EXPERIMENTS.md). *)
-  let cells =
-    List.concat_map
-      (fun profile ->
-        List.map
-          (fun a ->
-            let common =
-              [
-                ("benchmark", Json.String profile.Profile.name);
-                ("analysis", Json.String a);
-              ]
-            in
-            match run_one profile a with
-            | Done (_, s, stats, _) ->
-              Json.Obj
-                (common
-                @ [
-                    ("timed_out", Json.Bool false);
-                    ("time_s", Json.Float s);
-                    ("iterations", Json.Int stats.Run_stats.iterations);
-                  ])
-            | Timed_out abort ->
-              Json.Obj
-                (common
-                @ [
-                    ("timed_out", Json.Bool true);
-                    ("time_s", Json.Float abort.Pta_obs.Budget.elapsed_s);
-                    ("iterations", Json.Int abort.Pta_obs.Budget.iterations);
-                  ]))
-          analyses)
-      Profile.dacapo
-  in
-  let snapshot =
-    Json.Obj
-      [
-        ("schema_version", Json.Int 1);
-        ("timeout_s", Json.Float timeout_s);
-        ("cells", Json.List cells);
-      ]
-  in
+  (* The committed perf snapshot: just enough per cell to diff run-time,
+     iteration and memory regressions across revisions (schema v2,
+     documented in EXPERIMENTS.md). *)
   let oc = open_out "BENCH_table1.json" in
-  output_string oc (Json.to_string snapshot);
+  output_string oc (Json.to_string (Snapshot.to_json (current_snapshot ())));
   output_char oc '\n';
   close_out oc;
   print_endline "[BENCH_table1.json written]\n"
@@ -390,7 +419,7 @@ let cmd_figure3 () =
         (Scatter.render
            ~title:(Printf.sprintf "--- %s ---" profile.Profile.name)
            ~x_label:"may-fail casts" ~y_label:"time (s)" points))
-    Profile.dacapo
+    (profiles ())
 
 (* ------------------------------------------------------------------ *)
 (* Summary: the paper's headline ratios                                *)
@@ -414,7 +443,7 @@ let ratio_over_benchmarks f num den =
         | r when r > 0. && Float.is_finite r -> Some r
         | _ -> None)
       | _ -> None)
-    Profile.dacapo
+    (profiles ())
 
 let time_ratio num den =
   geomean (ratio_over_benchmarks (fun (_, s1) (_, s2) -> s1 /. s2) num den)
@@ -482,7 +511,7 @@ let cmd_summary () =
             match run_one profile a with
             | Done (m, _, _, _) -> acc + m.Metrics.may_fail_casts
             | Timed_out _ -> acc)
-          0 Profile.dacapo
+          0 (profiles ())
       in
       line "  %-10s %6d" a total)
     analyses
@@ -720,31 +749,164 @@ let cmd_micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Regression gate: --baseline FILE --compare                          *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let cmd_compare ~baseline_file ~time_tol ~heap_tol ~delta_md () =
+  (* Fail early on an unreadable/unparseable baseline, but do NOT
+     retain the parsed document across the measured grid: the cells'
+     GC profile is a deterministic function of the process's allocation
+     history, and holding a parsed JSON tree live while they run shifts
+     their heap figures measurably relative to the `table1` process
+     that blessed the baseline.  Parse, drop, measure, re-parse. *)
+  (match Snapshot.of_string (read_file baseline_file) with
+  | Ok (_ : Snapshot.t) -> ()
+  | Error e ->
+    Printf.eprintf "cannot load baseline %s: %s\n" baseline_file e;
+    exit 2
+  | exception Sys_error e ->
+    Printf.eprintf "cannot load baseline %s: %s\n" baseline_file e;
+    exit 2);
+  let current = current_snapshot () in
+  let baseline =
+    match Snapshot.of_string (read_file baseline_file) with
+    | Ok b -> b
+    | Error e ->
+      Printf.eprintf "cannot load baseline %s: %s\n" baseline_file e;
+      exit 2
+  in
+  if baseline.Snapshot.timeout_s <> timeout_s then
+    Printf.eprintf
+      "[bench] warning: baseline timeout %.0fs != current %.0fs; timeout \
+       cells may not be comparable\n\
+       %!"
+      baseline.Snapshot.timeout_s timeout_s;
+  (* Gate only over the selected benchmark subset. *)
+  let names = List.map (fun p -> p.Profile.name) (profiles ()) in
+  let baseline =
+    {
+      baseline with
+      Snapshot.cells =
+        List.filter
+          (fun c -> List.mem c.Snapshot.benchmark names)
+          baseline.Snapshot.cells;
+    }
+  in
+  let thresholds =
+    {
+      Snapshot.default_thresholds with
+      Snapshot.time_tol_pct = time_tol;
+      heap_tol_pct = heap_tol;
+    }
+  in
+  let report = Snapshot.compare ~thresholds ~baseline ~current () in
+  Printf.printf "=== Regression report (vs %s) ===\n" baseline_file;
+  Format.printf "%a%!" Snapshot.pp_report report;
+  (match delta_md with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Snapshot.to_markdown report);
+    close_out oc;
+    Printf.printf "[%s written]\n%!" path);
+  if Snapshot.has_regression report then exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  Printf.eprintf
+    "usage: bench [table1|figure3|summary|ablation|scaling|futurework|micro|all]*\n\
+    \       bench --baseline FILE --compare [--time-tol PCT] [--heap-tol PCT]\n\
+    \             [--benchmarks a,b,c] [--delta-md FILE]\n";
+  exit 2
 
 let () =
-  let cmds = List.tl (Array.to_list Sys.argv) in
-  let cmds = if cmds = [] then [ "all" ] else cmds in
-  List.iter
-    (fun cmd ->
-      match cmd with
-      | "table1" -> cmd_table1 ()
-      | "figure3" -> cmd_figure3 ()
-      | "summary" -> cmd_summary ()
-      | "micro" -> cmd_micro ()
-      | "ablation" -> cmd_ablation ()
-      | "scaling" -> cmd_scaling ()
-      | "futurework" -> cmd_futurework ()
-      | "all" ->
-        cmd_table1 ();
-        cmd_figure3 ();
-        cmd_summary ();
-        cmd_ablation ();
-        cmd_futurework ();
-        cmd_scaling ();
-        cmd_micro ()
-      | other ->
-        Printf.eprintf
-          "unknown command %S (expected table1 | figure3 | summary | ablation | scaling | futurework | micro | all)\n"
-          other;
-        exit 2)
-    cmds
+  let baseline = ref None in
+  let compare_mode = ref false in
+  let time_tol = ref Snapshot.default_thresholds.Snapshot.time_tol_pct in
+  let heap_tol = ref Snapshot.default_thresholds.Snapshot.heap_tol_pct in
+  let delta_md = ref None in
+  let cmds = ref [] in
+  let float_arg v =
+    match float_of_string_opt v with Some f -> f | None -> usage ()
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: v :: rest ->
+      baseline := Some v;
+      parse rest
+    | "--compare" :: rest ->
+      compare_mode := true;
+      parse rest
+    | "--time-tol" :: v :: rest ->
+      time_tol := float_arg v;
+      parse rest
+    | "--heap-tol" :: v :: rest ->
+      heap_tol := float_arg v;
+      parse rest
+    | "--delta-md" :: v :: rest ->
+      delta_md := Some v;
+      parse rest
+    | "--benchmarks" :: v :: rest ->
+      selected_profiles :=
+        List.map
+          (fun name ->
+            match Profile.by_name name with
+            | Some p -> p
+            | None ->
+              Printf.eprintf "unknown benchmark %S\n" name;
+              exit 2)
+          (String.split_on_char ',' v);
+      parse rest
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+      Printf.eprintf "unknown flag %S\n" flag;
+      usage ()
+    | cmd :: rest ->
+      cmds := cmd :: !cmds;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !compare_mode then begin
+    match !baseline with
+    | None ->
+      Printf.eprintf "--compare requires --baseline FILE\n";
+      usage ()
+    | Some baseline_file ->
+      if !cmds <> [] then usage ();
+      cmd_compare ~baseline_file ~time_tol:!time_tol ~heap_tol:!heap_tol
+        ~delta_md:!delta_md ()
+  end
+  else begin
+    let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in
+    List.iter
+      (fun cmd ->
+        match cmd with
+        | "table1" -> cmd_table1 ()
+        | "figure3" -> cmd_figure3 ()
+        | "summary" -> cmd_summary ()
+        | "micro" -> cmd_micro ()
+        | "ablation" -> cmd_ablation ()
+        | "scaling" -> cmd_scaling ()
+        | "futurework" -> cmd_futurework ()
+        | "all" ->
+          cmd_table1 ();
+          cmd_figure3 ();
+          cmd_summary ();
+          cmd_ablation ();
+          cmd_futurework ();
+          cmd_scaling ();
+          cmd_micro ()
+        | other ->
+          Printf.eprintf
+            "unknown command %S (expected table1 | figure3 | summary | \
+             ablation | scaling | futurework | micro | all)\n"
+            other;
+          exit 2)
+      cmds
+  end

@@ -10,6 +10,8 @@
      dump-ir    — parse, lower and pretty-print the IR
      gen        — emit a synthetic benchmark's MJ source
      strategies — list available analyses
+     metrics    — run one analysis, dump the metric registry as OpenMetrics
+     version    — print the build stamp (commit, OCaml version, profile)
 
    All subcommands share the exit-code contract enforced by
    [Pta_driver.Driver]: 1 = MJ parse/semantic error, 2 = unknown
@@ -26,6 +28,8 @@ module Observer = Pta_obs.Observer
 module Json = Pta_obs.Json
 module Run_stats = Pta_obs.Run_stats
 module Trace = Pta_obs.Trace
+module Registry = Pta_metrics.Registry
+module Version = Pta_version.Version
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -109,9 +113,15 @@ let progress_observer () =
         (String.make 24 ' '))
     ()
 
-let config_of ?timeout_s ?trace ~progress () =
+let config_of ?timeout_s ?trace ?metrics ~progress () =
   let observer = if progress then progress_observer () else Observer.null in
-  Solver.Config.make ?timeout_s ~observer ?trace ()
+  Solver.Config.make ?timeout_s ~observer ?trace ?metrics ()
+
+(* Stats collection implies a live metric registry, so [--stats-json]
+   documents carry the [memory] and [metrics] blocks. *)
+let metrics_for ~collect_stats ~analysis =
+  if collect_stats then Registry.create ~labels:[ ("analysis", analysis) ] ()
+  else Registry.null
 
 let sources_of files = List.map (fun f -> Driver.File f) files
 
@@ -149,13 +159,21 @@ let emit_trace trace_file trace =
     (fun path -> write_output path (Json.to_string (Trace.to_chrome_json trace)))
     trace_file
 
+(* Every machine-readable stats document carries the build stamp, so a
+   recorded number can be traced back to the binary that produced it. *)
+let stamp_build = function
+  | Json.Obj fields -> Json.Obj (fields @ [ ("pointsto", Version.to_json ()) ])
+  | j -> j
+
+let stats_doc stats = stamp_build (Run_stats.to_json stats)
+
 let emit_stats ~ppf ~stats_json ~profile (r : Driver.run) =
   match r.Driver.stats with
   | None -> ()
   | Some stats ->
     if profile then Format.fprintf ppf "%a@." Run_stats.pp stats;
     Option.iter
-      (fun path -> write_output path (Json.to_string (Run_stats.to_json stats)))
+      (fun path -> write_output path (Json.to_string (stats_doc stats)))
       stats_json
 
 (* ------------------------------------------------------------------ *)
@@ -204,15 +222,16 @@ let analyze_cmd =
   let run files analysis no_stdlib timeout_s stats_json trace_file progress
       profile =
     let trace = trace_sink trace_file in
-    let config = config_of ?timeout_s ~trace ~progress () in
+    let collect_stats = stats_json <> None || profile in
+    let metrics = metrics_for ~collect_stats ~analysis in
+    let config = config_of ?timeout_s ~trace ~metrics ~progress () in
     let ppf =
       report_ppf
         ~machine_on_stdout:(stdout_dest stats_json || stdout_dest trace_file)
     in
     let _program, r =
       handle
-        (Driver.load_and_run ~stdlib:(not no_stdlib) ~config
-           ~collect_stats:(stats_json <> None || profile)
+        (Driver.load_and_run ~stdlib:(not no_stdlib) ~config ~collect_stats
            ~analysis (sources_of files))
     in
     let metrics = Metrics.compute r.Driver.solver in
@@ -261,14 +280,15 @@ let compare_cmd =
         let (_ : Pta_context.Strategy.t) =
           handle (Driver.strategy_of_name program name)
         in
-        let config = config_of ?timeout_s ~trace ~progress () in
+        let metrics = metrics_for ~collect_stats ~analysis:name in
+        let config = config_of ?timeout_s ~trace ~metrics ~progress () in
         match Driver.run ~config ~collect_stats program ~analysis:name with
         | Ok r ->
           let m = Metrics.compute r.Driver.solver in
           (match r.Driver.stats with
           | Some stats ->
             if profile then Format.fprintf ppf "%a@." Run_stats.pp stats;
-            all_stats := Run_stats.to_json stats :: !all_stats
+            all_stats := stats_doc stats :: !all_stats
           | None -> ());
           Pta_report.Table.add_row table
             [
@@ -738,6 +758,73 @@ let strategies_cmd =
     (Cmd.info "strategies" ~doc ~exits:common_exits)
     Term.(const run $ const ())
 
+let metrics_cmd =
+  let output_arg =
+    let doc =
+      "Write the OpenMetrics dump to $(docv) instead of stdout ($(b,-) also \
+       means stdout)."
+    in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let datalog_arg =
+    let doc =
+      "Meter the reference Datalog implementation (per-rule fact counters, \
+       round counter, per-relation sizes) instead of the native solver."
+    in
+    Arg.(value & flag & info [ "datalog" ] ~doc)
+  in
+  let run files analysis no_stdlib timeout_s output datalog =
+    let metrics = Registry.create ~labels:[ ("analysis", analysis) ] () in
+    (if datalog then begin
+       let program =
+         handle
+           (Driver.load_program ~stdlib:(not no_stdlib) ~metrics
+              (sources_of files))
+       in
+       let strategy = handle (Driver.strategy_of_name program analysis) in
+       let budget = Pta_obs.Budget.of_seconds_opt timeout_s in
+       match Pta_refimpl.Refimpl.run ~budget ~metrics program strategy with
+       | (_ : Pta_refimpl.Refimpl.t) -> ()
+       | exception Pta_obs.Budget.Exhausted abort ->
+         Driver.report_and_exit (Driver.Timed_out { analysis; abort })
+     end
+     else
+       let config = config_of ?timeout_s ~metrics ~progress:false () in
+       ignore
+         (handle
+            (Driver.load_and_run ~stdlib:(not no_stdlib) ~config ~analysis
+               (sources_of files))));
+    write_output output (Registry.to_openmetrics metrics)
+  in
+  let doc =
+    "Run one analysis with a live metric registry and dump it in \
+     OpenMetrics text format (solver counters and histograms, per-phase GC \
+     gauges; per-rule Datalog fact counters with $(b,--datalog)).  The \
+     dump is deterministic: no wall-clock values are recorded, so two runs \
+     on the same input are byte-identical."
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc ~exits:common_exits)
+    Term.(
+      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ output_arg $ datalog_arg)
+
+let version_cmd =
+  let json_arg =
+    let doc = "Emit the stamp as a JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run json =
+    if json then print_endline (Json.to_string (Version.to_json ()))
+    else print_endline (Version.to_string ())
+  in
+  let doc =
+    "Print the build stamp: semantic version, git commit, OCaml compiler \
+     version, and dune profile.  The same stamp is embedded in \
+     $(b,--stats-json) documents and benchmark snapshots."
+  in
+  Cmd.v (Cmd.info "version" ~doc) Term.(const run $ json_arg)
+
 let main_cmd =
   let doc = "Hybrid context-sensitive points-to analysis for MJ programs" in
   let info = Cmd.info "pointsto" ~version:"1.0.0" ~doc ~exits:common_exits in
@@ -745,7 +832,7 @@ let main_cmd =
     [
       analyze_cmd; compare_cmd; check_cmd; profile_cmd; query_cmd; why_cmd;
       casts_cmd; exceptions_cmd; callgraph_cmd; stats_cmd; dump_ir_cmd;
-      decompile_cmd; gen_cmd; strategies_cmd;
+      decompile_cmd; gen_cmd; strategies_cmd; metrics_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -72,6 +72,7 @@ val run :
   ?observer:Pta_obs.Observer.t ->
   ?budget:Pta_obs.Budget.t ->
   ?trace:Pta_obs.Trace.t ->
+  ?metrics:Pta_metrics.Registry.t ->
   rule list ->
   unit
 (** Evaluate to fixpoint, mutating the relations appearing in the rules.
@@ -92,5 +93,11 @@ val run :
     aggregates behind {!Pta_obs.Trace.profile} are exact; the engine is
     deterministic, so firing and delta counts are identical across
     identical runs.
+
+    With a live [metrics] registry, the engine maintains a
+    [pta_datalog_rounds_total] counter, per-rule
+    [pta_datalog_facts_total{rule=...}] derived-fact counters, and — at
+    fixpoint — [pta_datalog_relation_facts{relation=...}] cardinality
+    gauges.  All deterministic, same as the trace aggregates.
 
     @raise Pta_obs.Budget.Exhausted when the budget runs out. *)

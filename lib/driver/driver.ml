@@ -3,6 +3,9 @@ module Strategies = Pta_context.Strategies
 module Observer = Pta_obs.Observer
 module Recorder = Pta_obs.Recorder
 module Run_stats = Pta_obs.Run_stats
+module Memstats = Pta_obs.Memstats
+module Clock = Pta_obs.Clock
+module Registry = Pta_metrics.Registry
 
 type source =
   | File of string
@@ -47,7 +50,33 @@ let is_frontend_error exn =
   let sink = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
   Pta_frontend.Frontend.report sink exn
 
-let load_program ?(stdlib = true) sources =
+(* Per-phase GC deltas land in the registry as gauges: one value per
+   run, labelled by phase, all deterministic for a deterministic
+   program (word counts, not wall time). *)
+let record_memory metrics ~phase (d : Memstats.delta) =
+  if not (Registry.is_null metrics) then begin
+    let g name help v =
+      Registry.set
+        (Registry.gauge metrics ~help ~labels:[ ("phase", phase) ] name)
+        v
+    in
+    let gi name help v = g name help (float_of_int v) in
+    g "pta_gc_minor_allocated_words" "Words allocated in the minor heap"
+      d.Memstats.minor_allocated_words;
+    g "pta_gc_major_allocated_words" "Words allocated in the major heap"
+      d.Memstats.major_allocated_words;
+    g "pta_gc_promoted_words" "Words promoted minor-to-major"
+      d.Memstats.promoted_delta_words;
+    gi "pta_gc_minor_collections" "Minor collections"
+      d.Memstats.minor_collections_delta;
+    gi "pta_gc_major_collections" "Major collection cycles"
+      d.Memstats.major_collections_delta;
+    gi "pta_gc_compactions" "Heap compactions" d.Memstats.compactions_delta;
+    gi "pta_gc_peak_heap_words" "Peak major-heap size (Gc.alarm-sampled)"
+      d.Memstats.peak_heap_words
+  end
+
+let load_program ?(stdlib = true) ?(metrics = Registry.null) sources =
   match
     let named =
       (if stdlib then [ (Pta_mjdk.Mjdk.file_name, Pta_mjdk.Mjdk.source) ]
@@ -58,16 +87,34 @@ let load_program ?(stdlib = true) sources =
             | Literal { name; contents } -> (name, contents))
           sources
     in
-    Pta_frontend.Frontend.program_of_sources named
+    if Registry.is_null metrics then
+      Pta_frontend.Frontend.program_of_sources named
+    else begin
+      (* Same pipeline as [Frontend.program_of_sources], with a GC
+         tracker around each phase. *)
+      let decls, parse_mem =
+        Memstats.tracked (fun () ->
+            List.concat_map
+              (fun (file, contents) ->
+                Pta_frontend.Frontend.parse ~file contents)
+              named)
+      in
+      record_memory metrics ~phase:"parse" parse_mem;
+      let program, lower_mem =
+        Memstats.tracked (fun () -> Pta_frontend.Lower.program decls)
+      in
+      record_memory metrics ~phase:"lower" lower_mem;
+      program
+    end
   with
   | program -> Ok program
   | exception exn when is_frontend_error exn -> Error (Frontend_error exn)
 
-let load_files ?stdlib paths =
-  load_program ?stdlib (List.map (fun p -> File p) paths)
+let load_files ?stdlib ?metrics paths =
+  load_program ?stdlib ?metrics (List.map (fun p -> File p) paths)
 
-let load_string ?stdlib ?(name = "<string>") contents =
-  load_program ?stdlib [ Literal { name; contents } ]
+let load_string ?stdlib ?metrics ?(name = "<string>") contents =
+  load_program ?stdlib ?metrics [ Literal { name; contents } ]
 
 (* ------------------------------------------------------------------ *)
 (* Running                                                             *)
@@ -125,10 +172,20 @@ let run ?(config = Solver.Config.default) ?(collect_stats = false) program
             Observer.tee config.Solver.Config.observer (Recorder.observer r);
         }
     in
-    let t0 = Unix.gettimeofday () in
+    let metrics = config.Solver.Config.metrics in
+    (* GC tracking is on whenever someone will read the result: a stats
+       bundle or a live registry. *)
+    let tracker =
+      if collect_stats || not (Registry.is_null metrics) then
+        Some (Memstats.start_tracking ())
+      else None
+    in
+    let clock = Clock.create () in
     match Solver.solve ~config program strategy with
     | solver ->
-      let wall_time_s = Unix.gettimeofday () -. t0 in
+      let wall_time_s = Clock.elapsed_s clock in
+      let memory = Option.map Memstats.finish tracker in
+      Option.iter (record_memory metrics ~phase:"solve") memory;
       emit_gauges config.Solver.Config.trace program solver;
       let stats =
         Option.map
@@ -136,14 +193,21 @@ let run ?(config = Solver.Config.default) ?(collect_stats = false) program
             Run_stats.make ~analysis ~wall_time_s
               ~sensitive_vpt_size:(Solver.sensitive_vpt_size solver)
               ~n_ctxs:(Solver.n_ctxs solver) ~n_hctxs:(Solver.n_hctxs solver)
-              ~n_hobjs:(Solver.n_hobjs solver) r)
+              ~n_hobjs:(Solver.n_hobjs solver) ?memory
+              ?metrics:
+                (if Registry.is_null metrics then None
+                 else Some (Registry.to_json metrics))
+              r)
           recorder
       in
       Ok { solver; strategy; wall_time_s; stats }
-    | exception Solver.Timeout abort -> Error (Timed_out { analysis; abort }))
+    | exception Solver.Timeout abort ->
+      Option.iter (fun t -> ignore (Memstats.finish t)) tracker;
+      Error (Timed_out { analysis; abort }))
 
 let load_and_run ?stdlib ?config ?collect_stats ~analysis sources =
-  Result.bind (load_program ?stdlib sources) (fun program ->
+  let metrics = Option.map (fun c -> c.Solver.Config.metrics) config in
+  Result.bind (load_program ?stdlib ?metrics sources) (fun program ->
       Result.map
         (fun r -> (program, r))
         (run ?config ?collect_stats program ~analysis))

@@ -31,16 +31,30 @@ val report_and_exit : error -> 'a
 (** {1 Loading} *)
 
 val load_program :
-  ?stdlib:bool -> source list -> (Pta_ir.Ir.Program.t, error) result
+  ?stdlib:bool ->
+  ?metrics:Pta_metrics.Registry.t ->
+  source list ->
+  (Pta_ir.Ir.Program.t, error) result
 (** Parse, link (with the mini-JDK unless [~stdlib:false]) and lower.
     Never raises on bad input: lexical, syntax and semantic failures
-    come back as [Error (Frontend_error _)]. *)
+    come back as [Error (Frontend_error _)].
+
+    A live [metrics] registry receives per-phase GC gauges
+    ([pta_gc_*{phase="parse"|"lower"}]: allocated/promoted words,
+    collection counts, alarm-sampled peak heap). *)
 
 val load_files :
-  ?stdlib:bool -> string list -> (Pta_ir.Ir.Program.t, error) result
+  ?stdlib:bool ->
+  ?metrics:Pta_metrics.Registry.t ->
+  string list ->
+  (Pta_ir.Ir.Program.t, error) result
 
 val load_string :
-  ?stdlib:bool -> ?name:string -> string -> (Pta_ir.Ir.Program.t, error) result
+  ?stdlib:bool ->
+  ?metrics:Pta_metrics.Registry.t ->
+  ?name:string ->
+  string ->
+  (Pta_ir.Ir.Program.t, error) result
 
 (** {1 Running} *)
 
@@ -69,7 +83,12 @@ val run :
     If [config] carries a live {!Pta_obs.Trace.t}, the four Table-1
     precision gauges are sampled into it at fixpoint as
     ["gauge"]-category counters: ["contexts"], ["avg objs per var"],
-    ["reachable methods"] and ["call-graph edges"]. *)
+    ["reachable methods"] and ["call-graph edges"].
+
+    If [config] carries a live {!Pta_metrics.Registry.t}, the solve
+    phase runs under a GC tracker whose delta lands in the registry
+    ([pta_gc_*{phase="solve"}]) and in [stats.memory]; the registry's
+    JSON export is embedded as [stats.metrics]. *)
 
 val load_and_run :
   ?stdlib:bool ->

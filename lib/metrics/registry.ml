@@ -1,0 +1,308 @@
+module Json = Pta_obs.Json
+
+type labels = (string * string) list
+
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  h_bounds : float array;  (* strictly increasing upper bounds *)
+  h_counts : int array;  (* per-bucket (non-cumulative); last = +Inf *)
+  mutable h_sum : float;
+}
+
+type series =
+  | S_counter of counter
+  | S_gauge of gauge
+  | S_histogram of histogram
+
+type kind = Counter | Gauge | Histogram
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+type family = {
+  f_help : string;
+  f_kind : kind;
+  f_series : (labels, series) Hashtbl.t;
+}
+
+type t = {
+  base : labels;
+  families : (string, family) Hashtbl.t;
+}
+
+let null = { base = []; families = Hashtbl.create 1 }
+let is_null t = t == null
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       s
+
+let check_name what s =
+  if not (valid_name s) then
+    invalid_arg (Printf.sprintf "Registry: invalid %s %S" what s)
+
+let normalize_labels base labels =
+  let all = base @ labels in
+  List.iter (fun (k, _) -> check_name "label name" k) all;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) all in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.equal a b then
+        invalid_arg (Printf.sprintf "Registry: duplicate label %S" a)
+      else dup rest
+    | _ -> ()
+  in
+  dup sorted;
+  sorted
+
+let create ?(labels = []) () =
+  { base = normalize_labels [] labels; families = Hashtbl.create 32 }
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let family t ~kind ~help name =
+  check_name "metric name" name;
+  match Hashtbl.find_opt t.families name with
+  | Some f ->
+    if f.f_kind <> kind then
+      invalid_arg
+        (Printf.sprintf "Registry: %s registered as %s, requested as %s" name
+           (kind_name f.f_kind) (kind_name kind));
+    f
+  | None ->
+    let f = { f_help = help; f_kind = kind; f_series = Hashtbl.create 4 } in
+    Hashtbl.add t.families name f;
+    f
+
+let dummy_counter = { c_value = 0 }
+let dummy_gauge = { g_value = 0. }
+let dummy_histogram = { h_bounds = [||]; h_counts = [| 0 |]; h_sum = 0. }
+
+let counter t ?(help = "") ?(labels = []) name =
+  if t == null then dummy_counter
+  else begin
+    let f = family t ~kind:Counter ~help name in
+    let labels = normalize_labels t.base labels in
+    match Hashtbl.find_opt f.f_series labels with
+    | Some (S_counter c) -> c
+    | Some _ -> assert false
+    | None ->
+      let c = { c_value = 0 } in
+      Hashtbl.add f.f_series labels (S_counter c);
+      c
+  end
+
+let gauge t ?(help = "") ?(labels = []) name =
+  if t == null then dummy_gauge
+  else begin
+    let f = family t ~kind:Gauge ~help name in
+    let labels = normalize_labels t.base labels in
+    match Hashtbl.find_opt f.f_series labels with
+    | Some (S_gauge g) -> g
+    | Some _ -> assert false
+    | None ->
+      let g = { g_value = 0. } in
+      Hashtbl.add f.f_series labels (S_gauge g);
+      g
+  end
+
+let histogram t ?(help = "") ?(labels = []) ~buckets name =
+  if t == null then dummy_histogram
+  else begin
+    let bounds = Array.of_list buckets in
+    if Array.length bounds = 0 then
+      invalid_arg "Registry: histogram needs at least one bucket";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && bounds.(i - 1) >= b then
+          invalid_arg "Registry: histogram buckets must be strictly increasing")
+      bounds;
+    let f = family t ~kind:Histogram ~help name in
+    let labels = normalize_labels t.base labels in
+    match Hashtbl.find_opt f.f_series labels with
+    | Some (S_histogram h) ->
+      if h.h_bounds <> bounds then
+        invalid_arg
+          (Printf.sprintf "Registry: %s re-registered with different buckets"
+             name);
+      h
+    | Some _ -> assert false
+    | None ->
+      let h =
+        {
+          h_bounds = bounds;
+          h_counts = Array.make (Array.length bounds + 1) 0;
+          h_sum = 0.;
+        }
+      in
+      Hashtbl.add f.f_series labels (S_histogram h);
+      h
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Updates (hot paths: no allocation, no search)                       *)
+(* ------------------------------------------------------------------ *)
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Registry.add: counters are monotone";
+  c.c_value <- c.c_value + n
+
+let counter_value c = c.c_value
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let observe h v =
+  let n = Array.length h.h_bounds in
+  let i = ref 0 in
+  while !i < n && v > h.h_bounds.(!i) do
+    i := !i + 1
+  done;
+  h.h_counts.(!i) <- h.h_counts.(!i) + 1;
+  h.h_sum <- h.h_sum +. v
+
+let observe_int h v = observe h (float_of_int v)
+let histogram_count h = Array.fold_left ( + ) 0 h.h_counts
+let histogram_sum h = h.h_sum
+
+(* Power-of-two bucket ladder: 1, 2, 4, ..., 2^(n-1). *)
+let pow2_buckets n = List.init (max 1 n) (fun i -> float_of_int (1 lsl i))
+
+(* ------------------------------------------------------------------ *)
+(* Exposition                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Decimal-point-preserving float rendering, same discipline as the JSON
+   printer: byte-stable and round-trippable. *)
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.17g" x
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+(* Labels with an extra pair spliced in (still sorted). *)
+let with_label labels k v =
+  List.sort (fun (a, _) (b, _) -> compare a b) ((k, v) :: labels)
+
+let sorted_families t =
+  Hashtbl.fold (fun name f acc -> (name, f) :: acc) t.families []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sorted_series f =
+  Hashtbl.fold (fun labels s acc -> (labels, s) :: acc) f.f_series []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_openmetrics t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, f) ->
+      if f.f_help <> "" then line "# HELP %s %s" name f.f_help;
+      line "# TYPE %s %s" name (kind_name f.f_kind);
+      List.iter
+        (fun (labels, s) ->
+          match s with
+          | S_counter c ->
+            line "%s%s %d" name (render_labels labels) c.c_value
+          | S_gauge g ->
+            line "%s%s %s" name (render_labels labels) (float_repr g.g_value)
+          | S_histogram h ->
+            let cum = ref 0 in
+            Array.iteri
+              (fun i n ->
+                cum := !cum + n;
+                let le =
+                  if i < Array.length h.h_bounds then float_repr h.h_bounds.(i)
+                  else "+Inf"
+                in
+                line "%s_bucket%s %d" name
+                  (render_labels (with_label labels "le" le))
+                  !cum)
+              h.h_counts;
+            line "%s_sum%s %s" name (render_labels labels) (float_repr h.h_sum);
+            line "%s_count%s %d" name (render_labels labels) !cum)
+        (sorted_series f))
+    (sorted_families t);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let to_json t =
+  let series_json labels s =
+    let labels_json =
+      ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels))
+    in
+    match s with
+    | S_counter c -> Json.Obj [ labels_json; ("value", Json.Int c.c_value) ]
+    | S_gauge g -> Json.Obj [ labels_json; ("value", Json.Float g.g_value) ]
+    | S_histogram h ->
+      let cum = ref 0 in
+      let buckets =
+        List.mapi
+          (fun i n ->
+            cum := !cum + n;
+            let le =
+              if i < Array.length h.h_bounds then Json.Float h.h_bounds.(i)
+              else Json.String "+Inf"
+            in
+            Json.Obj [ ("le", le); ("count", Json.Int !cum) ])
+          (Array.to_list h.h_counts)
+      in
+      Json.Obj
+        [
+          labels_json;
+          ("buckets", Json.List buckets);
+          ("sum", Json.Float h.h_sum);
+          ("count", Json.Int !cum);
+        ]
+  in
+  Json.Obj
+    (List.map
+       (fun (name, f) ->
+         ( name,
+           Json.Obj
+             [
+               ("kind", Json.String (kind_name f.f_kind));
+               ("help", Json.String f.f_help);
+               ( "series",
+                 Json.List
+                   (List.map
+                      (fun (labels, s) -> series_json labels s)
+                      (sorted_series f)) );
+             ] ))
+       (sorted_families t))

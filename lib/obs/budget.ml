@@ -8,8 +8,8 @@ exception Exhausted of abort
 
 type t = {
   timeout_s : float option;
-  mutable deadline : float;  (* infinity = no deadline *)
-  mutable started_at : float;
+  mutable deadline : float;  (* vs the clock's elapsed_s; infinity = none *)
+  mutable clock : Clock.t;
   mutable ticks : int;
   mutable cancelled : bool;
   mutable probe : unit -> int;
@@ -23,7 +23,7 @@ let make timeout_s =
   {
     timeout_s;
     deadline = infinity;
-    started_at = Unix.gettimeofday ();
+    clock = Clock.create ();
     ticks = 0;
     cancelled = false;
     probe = (fun () -> 0);
@@ -34,14 +34,13 @@ let of_seconds s = make (Some s)
 let of_seconds_opt = make
 
 let start b ~probe =
-  b.started_at <- Unix.gettimeofday ();
-  b.deadline <-
-    (match b.timeout_s with Some s -> b.started_at +. s | None -> infinity);
+  b.clock <- Clock.create ();
+  b.deadline <- (match b.timeout_s with Some s -> s | None -> infinity);
   b.ticks <- 0;
   b.cancelled <- false;
   b.probe <- probe
 
-let elapsed_s b = Unix.gettimeofday () -. b.started_at
+let elapsed_s b = Clock.elapsed_s b.clock
 let iterations b = b.ticks
 
 let abort_info b =
@@ -53,13 +52,16 @@ let tick b =
   if b.cancelled then exhaust b;
   let n = b.ticks + 1 in
   b.ticks <- n;
-  if b.deadline < infinity && n land mask = 0 && Unix.gettimeofday () > b.deadline
+  if
+    b.deadline < infinity && n land mask = 0
+    && Clock.elapsed_s b.clock > b.deadline
   then exhaust b
 
 let check b =
   if b.cancelled then exhaust b;
   b.ticks <- b.ticks + 1;
-  if b.deadline < infinity && Unix.gettimeofday () > b.deadline then exhaust b
+  if b.deadline < infinity && Clock.elapsed_s b.clock > b.deadline then
+    exhaust b
 
 let cancel b = b.cancelled <- true
 let is_limited b = b.timeout_s <> None

@@ -71,7 +71,7 @@ let delta t d = if t != null then t.on_delta d
 let phase t name f =
   if t == null then f ()
   else begin
-    let t0 = Unix.gettimeofday () in
-    let finally () = t.on_phase name (Unix.gettimeofday () -. t0) in
+    let clock = Clock.create () in
+    let finally () = t.on_phase name (Clock.elapsed_s clock) in
     Fun.protect ~finally f
   end

@@ -12,10 +12,12 @@ type t = {
   delta_total : int;
   max_delta : int;
   phases : (string * float) list;
+  memory : Memstats.delta option;
+  metrics : Json.t option;
 }
 
 let make ~analysis ~wall_time_s ~sensitive_vpt_size ~n_ctxs ~n_hctxs ~n_hobjs
-    rec_ =
+    ?memory ?metrics rec_ =
   {
     analysis;
     wall_time_s;
@@ -30,11 +32,14 @@ let make ~analysis ~wall_time_s ~sensitive_vpt_size ~n_ctxs ~n_hctxs ~n_hobjs
     delta_total = Recorder.delta_total rec_;
     max_delta = Recorder.max_delta rec_;
     phases = Recorder.phases rec_;
+    memory;
+    metrics;
   }
 
 let to_json t =
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
   Json.Obj
-    [
+    ([
       ("analysis", Json.String t.analysis);
       ("wall_time_s", Json.Float t.wall_time_s);
       ("iterations", Json.Int t.iterations);
@@ -49,6 +54,8 @@ let to_json t =
       ("max_delta", Json.Int t.max_delta);
       ("phases", Json.Obj (List.map (fun (n, s) -> (n, Json.Float s)) t.phases));
     ]
+    @ opt "memory" Memstats.to_json t.memory
+    @ opt "metrics" Fun.id t.metrics)
 
 let of_json json =
   let ( let* ) r f = Result.bind r f in
@@ -79,6 +86,14 @@ let of_json json =
         | None -> Error (Printf.sprintf "stats JSON: phase %S not a number" name))
       (Ok []) members
   in
+  (* [memory] and [metrics] are optional: stats documents written before
+     they existed must keep parsing. *)
+  let* memory =
+    match Json.member "memory" json with
+    | None -> Ok None
+    | Some j -> Result.map Option.some (Memstats.of_json j)
+  in
+  let metrics = Json.member "metrics" json in
   Ok
     {
       analysis;
@@ -94,6 +109,8 @@ let of_json json =
       delta_total;
       max_delta;
       phases = List.rev phases;
+      memory;
+      metrics;
     }
 
 let pp ppf t =
@@ -113,4 +130,13 @@ let pp ppf t =
   List.iter
     (fun (name, s) -> line "  %-22s %12.3f@," (Printf.sprintf "[%s] (s)" name) s)
     t.phases;
+  (match t.memory with
+  | None -> ()
+  | Some m ->
+    line "  %-22s %12.0f@," "minor alloc (words)"
+      m.Memstats.minor_allocated_words;
+    line "  %-22s %12.0f@," "major alloc (words)"
+      m.Memstats.major_allocated_words;
+    line "  %-22s %12d@," "peak heap (words)" m.Memstats.peak_heap_words;
+    line "  %-22s %12d@," "major collections" m.Memstats.major_collections_delta);
   line "@]"

@@ -23,6 +23,11 @@ type t = {
   delta_total : int;
   max_delta : int;
   phases : (string * float) list;  (** seconds per phase, stable order *)
+  memory : Memstats.delta option;
+      (** GC/memory profile for the run, when tracking was enabled *)
+  metrics : Json.t option;
+      (** metric-registry export ({!Pta_metrics.Registry.to_json} shape);
+          held opaquely to keep [pta_obs] at the bottom of the stack *)
 }
 
 val make :
@@ -32,9 +37,13 @@ val make :
   n_ctxs:int ->
   n_hctxs:int ->
   n_hobjs:int ->
+  ?memory:Memstats.delta ->
+  ?metrics:Json.t ->
   Recorder.t ->
   t
-(** Assemble from a recorder plus the engine's final readings. *)
+(** Assemble from a recorder plus the engine's final readings.
+    [memory] and [metrics] are omitted from the JSON when absent, so
+    pre-existing stats documents keep their shape. *)
 
 val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result

@@ -23,8 +23,7 @@ type t = {
   mutable len : int;
   limit : int;  (* ring capacity ceiling; [buf] grows up to it *)
   mutable dropped : int;
-  epoch : float;
-  mutable last_us : float;  (* monotone clamp *)
+  clock : Clock.t;  (* per-sink epoch, monotone-clamped *)
   open_spans : (string * string * float) Stack.t;  (* cat, name, t0 *)
   aggs : (string * string, agg) Hashtbl.t;
 }
@@ -38,8 +37,7 @@ let null =
     len = 0;
     limit = 0;
     dropped = 0;
-    epoch = 0.;
-    last_us = 0.;
+    clock = Clock.create ();
     open_spans = Stack.create ();
     aggs = Hashtbl.create 1;
   }
@@ -56,19 +54,12 @@ let create ?(limit = default_limit) () =
     len = 0;
     limit;
     dropped = 0;
-    epoch = Unix.gettimeofday ();
-    last_us = 0.;
+    clock = Clock.create ();
     open_spans = Stack.create ();
     aggs = Hashtbl.create 64;
   }
 
-let now_us t =
-  let us = (Unix.gettimeofday () -. t.epoch) *. 1e6 in
-  if us > t.last_us then begin
-    t.last_us <- us;
-    us
-  end
-  else t.last_us
+let now_us t = Clock.now_us t.clock
 
 let push t ev =
   let cap = Array.length t.buf in

@@ -182,7 +182,7 @@ let build_edb program =
     subtype,
     (throw_in, call_scope, catches, escapes_scope, scope_parent, root_scope) )
 
-let run ?observer ?budget ?trace program (strategy : Strategy.t) =
+let run ?observer ?budget ?trace ?metrics program (strategy : Strategy.t) =
   let ( alloc,
         move,
         cast,
@@ -407,7 +407,7 @@ let run ?observer ?budget ?trace program (strategy : Strategy.t) =
       ("Refimpl: rule program fails lint:\n"
       ^ String.concat "\n"
           (List.map (fun e -> "  " ^ e.Engine.lint_message) hard)));
-  Engine.run ?observer ?budget ?trace rules;
+  Engine.run ?observer ?budget ?trace ?metrics rules;
   { vpt; cg; reach; throwpt; ctx_store; hctx_store }
 
 let fold_var_points_to t f acc =

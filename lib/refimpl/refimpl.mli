@@ -13,6 +13,7 @@ val run :
   ?observer:Pta_obs.Observer.t ->
   ?budget:Pta_obs.Budget.t ->
   ?trace:Pta_obs.Trace.t ->
+  ?metrics:Pta_metrics.Registry.t ->
   Pta_ir.Ir.Program.t ->
   Pta_context.Strategy.t ->
   t

@@ -1,0 +1,86 @@
+(** Codec and comparator for the committed benchmark snapshot
+    ([BENCH_table1.json]).
+
+    Schema v2 (written by {!to_json}) extends v1 with per-cell [nodes]
+    (the solver's supergraph size — also recorded for timeout cells,
+    from the abort payload), a [memory] block (the
+    {!Pta_obs.Memstats.delta} of the instrumented run), and a top-level
+    [pointsto] build stamp.  {!of_json} reads both versions; v1 cells
+    simply come back with [nodes = None] and [memory = None], so a
+    regression gate against an old baseline still checks time and
+    iterations. *)
+
+module Json := Pta_obs.Json
+
+val current_schema_version : int
+(** The version {!to_json} writes: 2. *)
+
+type cell = {
+  benchmark : string;
+  analysis : string;
+  timed_out : bool;
+  time_s : float;  (** median wall time, or elapsed-at-abort for timeouts *)
+  iterations : int;
+  nodes : int option;  (** v2: supergraph nodes (also at abort) *)
+  memory : Pta_obs.Memstats.delta option;  (** v2: instrumented-run GC profile *)
+}
+
+type t = {
+  schema_version : int;  (** of the document as read; {!to_json} rewrites *)
+  timeout_s : float;
+  pointsto : Json.t option;  (** v2: build stamp, held opaquely *)
+  cells : cell list;
+}
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+(** {1 Regression comparison} *)
+
+type thresholds = {
+  time_tol_pct : float;  (** flag cells slower by more than this *)
+  heap_tol_pct : float;  (** flag cells with a fatter peak heap *)
+  min_time_s : float;
+      (** baseline cells faster than this skip the relative-time check
+          (sub-noise-floor timings) *)
+}
+
+val default_thresholds : thresholds
+(** +15% time, +10% peak heap, 0.5s floor. *)
+
+type verdict =
+  | Time_regression of { base_s : float; cur_s : float; pct : float }
+  | Heap_regression of { base_w : int; cur_w : int; pct : float }
+  | New_timeout  (** finished in the baseline, times out now *)
+  | Fixed_timeout  (** the reverse: an improvement, never a failure *)
+  | Missing_cell  (** in the baseline but absent from the current run *)
+  | New_cell  (** in the current run but absent from the baseline *)
+
+val verdict_is_regression : verdict -> bool
+(** [Time_regression], [Heap_regression], [New_timeout] and
+    [Missing_cell] fail the gate; the rest are informational. *)
+
+type delta = {
+  d_benchmark : string;
+  d_analysis : string;
+  d_base : cell option;
+  d_cur : cell option;
+  verdicts : verdict list;  (** empty = within thresholds *)
+}
+
+type report = {
+  thresholds : thresholds;
+  deltas : delta list;  (** baseline order, then new cells *)
+}
+
+val compare : ?thresholds:thresholds -> baseline:t -> current:t -> unit -> report
+val regressions : report -> delta list
+val has_regression : report -> bool
+
+val to_markdown : report -> string
+(** Full per-cell delta table (time, iterations, peak heap, status). *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Terminal-friendly summary: one line per cell, regressions recapped
+    last. *)

@@ -6,6 +6,7 @@ module Strategy = Pta_context.Strategy
 module Observer = Pta_obs.Observer
 module Budget = Pta_obs.Budget
 module Trace = Pta_obs.Trace
+module Registry = Pta_metrics.Registry
 open Ir
 
 type hobj = int
@@ -41,6 +42,37 @@ type store_trigger = { st_field : Field_id.t; st_source : int }
 
 type node_id = int
 
+(* Metric handles resolved once at solver construction; the fixpoint
+   loop touches them through a single [Registry.is_null] gate, so an
+   unmetered run pays one physical-equality check per iteration. *)
+type meters = {
+  m_reg : Registry.t;
+  prop_move : Registry.counter;
+  prop_vcall : Registry.counter;
+  prop_load : Registry.counter;
+  prop_store : Registry.counter;
+  worklist_depth : Registry.histogram;
+}
+
+let make_meters reg =
+  let prop kind =
+    Registry.counter reg
+      ~help:"Objects propagated through supergraph edges, by edge kind"
+      ~labels:[ ("kind", kind) ]
+      "pta_solver_propagated_total"
+  in
+  {
+    m_reg = reg;
+    prop_move = prop "move";
+    prop_vcall = prop "vcall";
+    prop_load = prop "load";
+    prop_store = prop "store";
+    worklist_depth =
+      Registry.histogram reg
+        ~help:"Node-worklist depth sampled at each fixpoint iteration"
+        ~buckets:(Registry.pow2_buckets 18) "pta_solver_worklist_depth";
+  }
+
 type node_kind =
   | Var_node of Var_id.t * Ctx.id
   | Fld_node of hobj * Field_id.t
@@ -68,6 +100,7 @@ type t = {
          [Observer.null]; an unobserved run pays nothing *)
   trace : Trace.t;
       (* span sink under the same null-guard discipline as [obs] *)
+  meters : meters;
   mutable solved : bool;
       (* set once the worklists drain; false on a budget abort, so
          clients can refuse to walk a partially-populated supergraph *)
@@ -483,6 +516,13 @@ let process_node st nid =
   if not (Intset.is_empty delta) then begin
     if st.obs != Observer.null then
       Observer.delta st.obs (Intset.cardinal delta);
+    if not (Registry.is_null st.meters.m_reg) then begin
+      let card = Intset.cardinal delta in
+      if n.succs <> [] then Registry.add st.meters.prop_move card;
+      if n.vcalls <> [] then Registry.add st.meters.prop_vcall card;
+      if n.loads <> [] then Registry.add st.meters.prop_load card;
+      if n.stores <> [] then Registry.add st.meters.prop_store card
+    end;
     n.all <- Intset.union n.all delta;
     if Trace.is_null st.trace then begin
       List.iter
@@ -550,6 +590,7 @@ module Config = struct
     field_based : bool;
     observer : Observer.t;
     trace : Trace.t;
+    metrics : Registry.t;
   }
 
   let default =
@@ -558,16 +599,55 @@ module Config = struct
       field_based = false;
       observer = Observer.null;
       trace = Trace.null;
+      metrics = Registry.null;
     }
 
   let make ?timeout_s ?(field_based = false) ?(observer = Observer.null)
-      ?(trace = Trace.null) () =
-    { budget = Budget.of_seconds_opt timeout_s; field_based; observer; trace }
+      ?(trace = Trace.null) ?(metrics = Registry.null) () =
+    {
+      budget = Budget.of_seconds_opt timeout_s;
+      field_based;
+      observer;
+      trace;
+      metrics;
+    }
 end
 
 type outcome =
   | Complete of t
   | Aborted of t * Budget.abort
+
+(* Final sizes recorded once the worklists drain (or the budget trips):
+   the points-to set size distribution over variable nodes, plus engine
+   size gauges.  All deterministic for a deterministic program, so a
+   metered run's exposition is byte-stable. *)
+let record_final_metrics st =
+  let reg = st.meters.m_reg in
+  if not (Registry.is_null reg) then begin
+    let pts =
+      Registry.histogram reg
+        ~help:"Points-to set sizes over variable nodes at fixpoint"
+        ~buckets:(Registry.pow2_buckets 14) "pta_solver_pts_size"
+    in
+    let vpt = ref 0 in
+    Hashtbl.iter
+      (fun _ nid ->
+        let c = Intset.cardinal (Vec.get st.nodes nid).all in
+        vpt := !vpt + c;
+        Registry.observe_int pts c)
+      st.var_nodes;
+    let g name help v =
+      Registry.set (Registry.gauge reg ~help name) (float_of_int v)
+    in
+    g "pta_solver_contexts" "Method contexts interned" (Ctx.size st.ctx_store);
+    g "pta_solver_heap_contexts" "Heap contexts interned"
+      (Ctx.size st.hctx_store);
+    g "pta_solver_hobjs" "Abstract heap objects interned"
+      (Vec.length st.hobj_heaps);
+    g "pta_solver_nodes" "Supergraph nodes" (Vec.length st.nodes);
+    g "pta_solver_sensitive_vpt_size"
+      "Paper metric: total context-sensitive var points-to size" !vpt
+  end
 
 let solve_outcome ?(config = Config.default) program strategy =
   let obs = config.Config.observer in
@@ -583,6 +663,7 @@ let solve_outcome ?(config = Config.default) program strategy =
         field_based = config.Config.field_based;
         obs;
         trace;
+        meters = make_meters config.Config.metrics;
         solved = false;
         ctx_store = Ctx.create_store ();
         hctx_store = Ctx.create_store ();
@@ -627,6 +708,9 @@ let solve_outcome ?(config = Config.default) program strategy =
       else if not (Queue.is_empty st.node_queue) then begin
         Budget.tick budget;
         Observer.iteration obs;
+        if not (Registry.is_null st.meters.m_reg) then
+          Registry.observe_int st.meters.worklist_depth
+            (Queue.length st.node_queue);
         process_node st (Queue.pop st.node_queue);
         loop ()
       end
@@ -636,8 +720,11 @@ let solve_outcome ?(config = Config.default) program strategy =
   match fixpoint () with
   | () ->
     st.solved <- true;
+    record_final_metrics st;
     Complete st
-  | exception Budget.Exhausted abort -> Aborted (st, abort)
+  | exception Budget.Exhausted abort ->
+    record_final_metrics st;
+    Aborted (st, abort)
 
 let solve ?config program strategy =
   match solve_outcome ?config program strategy with
@@ -654,6 +741,7 @@ let run ?timeout_s ?(field_based = false) program strategy =
         field_based;
         observer = Observer.null;
         trace = Trace.null;
+        metrics = Registry.null;
       }
     program strategy
 

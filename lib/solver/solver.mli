@@ -54,16 +54,28 @@ module Config : sig
             propagation batch, a ["solver"]-category complete span named
             by edge kind ([move]/[load]/[store]/[vcall]/[scall]) whose
             [delta] is the number of objects pushed through that kind. *)
+    metrics : Pta_metrics.Registry.t;
+        (** metric registry; {!Pta_metrics.Registry.null} costs one
+            physical-equality check per fixpoint iteration.  A live
+            registry receives [pta_solver_propagated_total{kind=...}]
+            counters, the [pta_solver_worklist_depth] histogram sampled
+            each iteration, and — at fixpoint or abort — the
+            [pta_solver_pts_size] histogram plus size gauges
+            ([pta_solver_contexts], [pta_solver_heap_contexts],
+            [pta_solver_hobjs], [pta_solver_nodes],
+            [pta_solver_sensitive_vpt_size]). *)
   }
 
   val default : t
-  (** Unlimited budget, field-sensitive, no observer, no trace. *)
+  (** Unlimited budget, field-sensitive, no observer, no trace, no
+      metrics. *)
 
   val make :
     ?timeout_s:float ->
     ?field_based:bool ->
     ?observer:Pta_obs.Observer.t ->
     ?trace:Pta_obs.Trace.t ->
+    ?metrics:Pta_metrics.Registry.t ->
     unit ->
     t
 end

@@ -1,0 +1,19 @@
+module Json = Pta_obs.Json
+
+let semver = "1.0.0"
+let commit = Build_info.commit
+let profile = Build_info.profile
+let ocaml = Sys.ocaml_version
+
+let to_json () =
+  Json.Obj
+    [
+      ("version", Json.String semver);
+      ("commit", Json.String commit);
+      ("ocaml", Json.String ocaml);
+      ("profile", Json.String profile);
+    ]
+
+let to_string () =
+  Printf.sprintf "pointsto %s (commit %s, ocaml %s, %s profile)" semver commit
+    ocaml profile

@@ -1,0 +1,20 @@
+(** Build identity: semantic version plus the git commit, OCaml compiler
+    version, and dune profile the binary was built with.  Stamped into
+    [--stats-json] documents and benchmark snapshots so a recorded number
+    can always be traced back to the build that produced it. *)
+
+val semver : string
+
+(** Short git commit hash, or ["unknown"] outside a checkout. *)
+val commit : string
+
+(** Dune build profile (["release"], ["dev"], ...). *)
+val profile : string
+
+val ocaml : string
+
+(** [{"version"; "commit"; "ocaml"; "profile"}] — the stamp embedded in
+    snapshots and stats documents. *)
+val to_json : unit -> Pta_obs.Json.t
+
+val to_string : unit -> string

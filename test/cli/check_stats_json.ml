@@ -53,4 +53,35 @@ let () =
         | Some _ -> ()
         | None -> fail "%s: phase %S is not a number" path name)
       phases);
+  (* --stats-json implies a live metric registry, so the document must
+     carry the GC profile, the metrics export, and the build stamp. *)
+  (match Json.to_obj (get "memory") with
+  | None -> fail "%s: key \"memory\" is not an object" path
+  | Some fields ->
+    List.iter
+      (fun name ->
+        match Option.bind (List.assoc_opt name fields) Json.to_float with
+        | Some _ -> ()
+        | None -> fail "%s: memory.%s missing or not a number" path name)
+      [
+        "minor_allocated_words"; "major_allocated_words"; "peak_heap_words";
+        "major_collections";
+      ]);
+  (match Json.to_obj (get "metrics") with
+  | None -> fail "%s: key \"metrics\" is not an object" path
+  | Some families ->
+    List.iter
+      (fun name ->
+        if not (List.mem_assoc name families) then
+          fail "%s: metrics lacks the %S family" path name)
+      [ "pta_gc_peak_heap_words"; "pta_solver_nodes"; "pta_solver_pts_size" ]);
+  (match Json.to_obj (get "pointsto") with
+  | None -> fail "%s: key \"pointsto\" is not an object" path
+  | Some stamp ->
+    List.iter
+      (fun name ->
+        match Option.bind (List.assoc_opt name stamp) Json.to_str with
+        | Some _ -> ()
+        | None -> fail "%s: pointsto.%s missing or not a string" path name)
+      [ "version"; "commit"; "ocaml"; "profile" ]);
   print_endline "stats JSON schema ok"

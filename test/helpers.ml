@@ -4,6 +4,11 @@ module Ir = Pta_ir.Ir
 
 let program src = Pta_frontend.Frontend.program_of_string ~file:"<test>" src
 
+let contains_substring s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
 let run ?(strategy = "1obj") src =
   let p = program src in
   let factory =

@@ -20,6 +20,7 @@ let () =
       ("workloads", Test_workloads.tests);
       ("report", Test_report.tests);
       ("obs", Test_obs.tests);
+      ("metrics", Test_metrics.tests);
       ("trace", Test_trace.tests);
       ("stats", Test_stats.tests);
       ("provenance", Test_provenance.tests);

@@ -1,0 +1,359 @@
+(** Tests for the pta_metrics registry and the bench snapshot codec:
+    exposition determinism, null-registry transparency of the solver,
+    histogram bucket semantics, v1/v2 snapshot round-tripping, and the
+    regression comparator's verdicts. *)
+
+module Registry = Pta_metrics.Registry
+module Snapshot = Pta_report.Bench_snapshot
+module Solver = Pta_solver.Solver
+module Memstats = Pta_obs.Memstats
+module Json = Pta_obs.Json
+module Metrics = Pta_clients.Metrics
+
+let tiny_program () =
+  Pta_workloads.Workloads.program
+    (Option.get (Pta_workloads.Profile.by_name "tiny"))
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The same sequence of updates must expose byte-identically, whatever
+   order families and label sets were registered in. *)
+let exposition_deterministic_test () =
+  let build order_flipped =
+    let r = Registry.create ~labels:[ ("benchmark", "tiny") ] () in
+    let reg_counter k =
+      Registry.counter r ~help:"Edges walked" ~labels:[ ("kind", k) ]
+        "pta_test_edges_total"
+    in
+    let kinds = [ "move"; "load"; "store" ] in
+    let kinds = if order_flipped then List.rev kinds else kinds in
+    List.iter (fun k -> Registry.add (reg_counter k) 7) kinds;
+    let g = Registry.gauge r ~help:"Nodes" "pta_test_nodes" in
+    Registry.set g 42.;
+    let h =
+      Registry.histogram r ~buckets:(Registry.pow2_buckets 4) "pta_test_sizes"
+    in
+    List.iter (Registry.observe_int h) [ 1; 2; 3; 9; 100 ];
+    Registry.to_openmetrics r
+  in
+  let a = build false and b = build true in
+  Alcotest.(check string) "byte-identical" a b;
+  Alcotest.(check bool)
+    "terminated by EOF" true
+    (String.length a > 6
+    && String.equal (String.sub a (String.length a - 6) 6) "# EOF\n")
+
+(* JSON exposition must be deterministic too (it lands in --stats-json
+   and bench snapshots). *)
+let json_deterministic_test () =
+  let build () =
+    let r = Registry.create () in
+    Registry.incr (Registry.counter r "pta_test_total");
+    Registry.set (Registry.gauge r "pta_test_gauge") 3.5;
+    Json.to_string (Registry.to_json r)
+  in
+  Alcotest.(check string) "same JSON" (build ()) (build ())
+
+(* The null registry hands out dummy handles: updates are dead stores,
+   exposition is empty, and no family is ever created. *)
+let null_registry_test () =
+  let r = Registry.null in
+  Alcotest.(check bool) "is_null" true (Registry.is_null r);
+  let c = Registry.counter r "pta_test_total" in
+  Registry.incr c;
+  Registry.add c 10;
+  let g = Registry.gauge r "pta_test_gauge" in
+  Registry.set g 1.;
+  let h = Registry.histogram r ~buckets:[ 1.; 2. ] "pta_test_h" in
+  Registry.observe h 1.5;
+  Alcotest.(check string) "empty exposition" "# EOF\n" (Registry.to_openmetrics r);
+  Alcotest.(check bool)
+    "live registry is not null" false
+    (Registry.is_null (Registry.create ()))
+
+(* Running the solver with a live registry must not change what it
+   computes, and the instrumented gauges must agree with the solver's
+   own numbers. *)
+let solver_transparent_test () =
+  let program = tiny_program () in
+  let factory = Option.get (Pta_context.Strategies.by_name "S-2obj+H") in
+  let bare = Solver.solve program (factory program) in
+  let r = Registry.create () in
+  let config = Solver.Config.make ~metrics:r () in
+  let metered = Solver.solve ~config program (factory program) in
+  Alcotest.(check bool)
+    "identical metric bundles" true
+    (Metrics.compute bare = Metrics.compute metered);
+  let gauge name =
+    int_of_float (Registry.gauge_value (Registry.gauge r name))
+  in
+  Alcotest.(check int)
+    "nodes gauge matches" (Solver.n_nodes metered) (gauge "pta_solver_nodes");
+  Alcotest.(check bool)
+    "propagation counters populated" true
+    (Registry.counter_value
+       (Registry.counter r ~labels:[ ("kind", "move") ]
+          "pta_solver_propagated_total")
+     > 0)
+
+(* The Datalog engine's counters: rounds tick, every rule has a fact
+   counter, and the per-relation gauges agree with the engine's final
+   fact counts — all deterministic across two runs. *)
+let datalog_metrics_test () =
+  let program = tiny_program () in
+  let factory = Option.get (Pta_context.Strategies.by_name "1obj") in
+  let run () =
+    let r = Registry.create () in
+    let (_ : Pta_refimpl.Refimpl.t) =
+      Pta_refimpl.Refimpl.run ~metrics:r program (factory program)
+    in
+    r
+  in
+  let r = run () in
+  Alcotest.(check bool)
+    "rounds ticked" true
+    (Registry.counter_value (Registry.counter r "pta_datalog_rounds_total") > 0);
+  Alcotest.(check bool)
+    "vcall rule derived facts" true
+    (Registry.counter_value
+       (Registry.counter r ~labels:[ ("rule", "vcall") ]
+          "pta_datalog_facts_total")
+     > 0);
+  Alcotest.(check bool)
+    "relation gauge populated" true
+    (Registry.gauge_value
+       (Registry.gauge r ~labels:[ ("relation", "VarPointsTo") ]
+          "pta_datalog_relation_facts")
+     > 0.);
+  Alcotest.(check string)
+    "deterministic" (Registry.to_openmetrics r)
+    (Registry.to_openmetrics (run ()))
+
+(* le semantics: a value equal to a bucket's upper bound lands in that
+   bucket, one past it lands in the next, and values beyond the last
+   bound land in the implicit +Inf bucket. *)
+let histogram_buckets_test () =
+  let r = Registry.create () in
+  let h = Registry.histogram r ~buckets:[ 1.; 2.; 4. ] "pta_test_h" in
+  List.iter (Registry.observe_int h) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "count" 5 (Registry.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 15. (Registry.histogram_sum h);
+  let text = Registry.to_openmetrics r in
+  let expect line =
+    Alcotest.(check bool)
+      (Printf.sprintf "exposition has %S" line)
+      true
+      (List.mem line (String.split_on_char '\n' text))
+  in
+  (* Cumulative: le=1 -> 1, le=2 -> 2, le=4 -> 4, le=+Inf -> 5. *)
+  expect "pta_test_h_bucket{le=\"1.0\"} 1";
+  expect "pta_test_h_bucket{le=\"2.0\"} 2";
+  expect "pta_test_h_bucket{le=\"4.0\"} 4";
+  expect "pta_test_h_bucket{le=\"+Inf\"} 5";
+  expect "pta_test_h_count 5"
+
+let pow2_buckets_test () =
+  Alcotest.(check (list (float 1e-9)))
+    "ladder" [ 1.; 2.; 4.; 8. ] (Registry.pow2_buckets 4)
+
+(* Misuse must fail loudly at registration/update time. *)
+let registry_validation_test () =
+  let r = Registry.create () in
+  let (_ : Registry.counter) = Registry.counter r "pta_test_total" in
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument
+       "Registry: pta_test_total registered as counter, requested as gauge")
+    (fun () -> ignore (Registry.gauge r "pta_test_total"));
+  Alcotest.check_raises "bad name"
+    (Invalid_argument "Registry: invalid metric name \"9bad\"") (fun () ->
+      ignore (Registry.counter r "9bad"));
+  Alcotest.check_raises "empty buckets"
+    (Invalid_argument "Registry: histogram needs at least one bucket")
+    (fun () -> ignore (Registry.histogram r ~buckets:[] "pta_test_h"));
+  let c = Registry.counter r "pta_test_mono_total" in
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Registry.add: counters are monotone") (fun () ->
+      Registry.add c (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Bench snapshot codec                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mem : Memstats.delta =
+  {
+    Memstats.minor_allocated_words = 1000.;
+    promoted_delta_words = 100.;
+    major_allocated_words = 500.;
+    minor_collections_delta = 2;
+    major_collections_delta = 1;
+    compactions_delta = 0;
+    heap_words_after = 4096;
+    peak_heap_words = 8192;
+  }
+
+let cell ?(timed_out = false) ?(time_s = 1.0) ?(iterations = 100) ?nodes
+    ?memory benchmark analysis =
+  { Snapshot.benchmark; analysis; timed_out; time_s; iterations; nodes; memory }
+
+let snap ?pointsto cells =
+  {
+    Snapshot.schema_version = Snapshot.current_schema_version;
+    timeout_s = 60.;
+    pointsto;
+    cells;
+  }
+
+let v2_roundtrip_test () =
+  let t =
+    snap
+      ~pointsto:(Json.Obj [ ("commit", Json.String "abc123") ])
+      [
+        cell ~nodes:1234 ~memory:mem "antlr" "2obj+H";
+        cell ~timed_out:true ~time_s:60.2 ~iterations:999 "bloat" "2obj+H";
+      ]
+  in
+  match Snapshot.of_string (Json.to_string (Snapshot.to_json t)) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+    Alcotest.(check int) "schema v2" 2 t'.Snapshot.schema_version;
+    Alcotest.(check bool) "stamp survives" true (t'.Snapshot.pointsto <> None);
+    (match t'.Snapshot.cells with
+    | [ c1; c2 ] ->
+      Alcotest.(check (option int)) "nodes" (Some 1234) c1.Snapshot.nodes;
+      Alcotest.(check bool) "memory survives" true (c1.Snapshot.memory = Some mem);
+      Alcotest.(check bool) "timeout cell" true c2.Snapshot.timed_out;
+      Alcotest.(check int) "abort iterations" 999 c2.Snapshot.iterations
+    | _ -> Alcotest.fail "wrong cell count")
+
+(* A v1 document (no nodes/memory/pointsto) must still load, with the
+   v2-only fields absent — an old baseline keeps gating on time. *)
+let v1_compat_test () =
+  let v1 =
+    {|{"schema_version": 1, "timeout_s": 60.0, "cells": [
+        {"benchmark": "antlr", "analysis": "insens", "timed_out": false,
+         "time_s": 0.5, "iterations": 42}]}|}
+  in
+  match Snapshot.of_string v1 with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    Alcotest.(check int) "schema v1" 1 t.Snapshot.schema_version;
+    Alcotest.(check bool) "no stamp" true (t.Snapshot.pointsto = None);
+    let c = List.hd t.Snapshot.cells in
+    Alcotest.(check (option int)) "no nodes" None c.Snapshot.nodes;
+    Alcotest.(check bool) "no memory" true (c.Snapshot.memory = None)
+
+let unsupported_schema_test () =
+  match Snapshot.of_string {|{"schema_version": 99, "timeout_s": 1, "cells": []}|} with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e ->
+    Alcotest.(check bool)
+      "names the version" true
+      (Helpers.contains_substring e "99")
+
+(* ------------------------------------------------------------------ *)
+(* Regression comparator                                               *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cells base cur =
+  Snapshot.compare ~baseline:(snap base) ~current:(snap cur) ()
+
+let regression_verdicts_test () =
+  (* +30% time with a 15% tolerance: flagged. *)
+  let r =
+    compare_cells [ cell ~time_s:1.0 "a" "x" ] [ cell ~time_s:1.3 "a" "x" ]
+  in
+  Alcotest.(check bool) "time regression" true (Snapshot.has_regression r);
+  (* +10% is inside the default 15% tolerance. *)
+  let r =
+    compare_cells [ cell ~time_s:1.0 "a" "x" ] [ cell ~time_s:1.1 "a" "x" ]
+  in
+  Alcotest.(check bool) "within tolerance" false (Snapshot.has_regression r);
+  (* Getting faster is never a regression. *)
+  let r =
+    compare_cells [ cell ~time_s:1.0 "a" "x" ] [ cell ~time_s:0.4 "a" "x" ]
+  in
+  Alcotest.(check bool) "speedup ok" false (Snapshot.has_regression r);
+  (* Sub-floor baseline cells skip the relative-time check entirely. *)
+  let r =
+    compare_cells
+      [ cell ~time_s:0.01 "a" "x" ]
+      [ cell ~time_s:0.04 "a" "x" ]
+  in
+  Alcotest.(check bool) "noise floor" false (Snapshot.has_regression r)
+
+let heap_verdict_test () =
+  let base = cell ~memory:mem "a" "x" in
+  let fat =
+    cell ~memory:{ mem with Memstats.peak_heap_words = 16384 } "a" "x"
+  in
+  let r = compare_cells [ base ] [ fat ] in
+  Alcotest.(check bool) "heap regression" true (Snapshot.has_regression r);
+  (* Against a v1 baseline (no memory) there is nothing to gate on. *)
+  let r = compare_cells [ cell "a" "x" ] [ fat ] in
+  Alcotest.(check bool) "v1 baseline skips heap" false (Snapshot.has_regression r)
+
+let timeout_verdicts_test () =
+  let fine = cell "a" "x" and dead = cell ~timed_out:true "a" "x" in
+  let r = compare_cells [ fine ] [ dead ] in
+  Alcotest.(check bool) "new timeout fails" true (Snapshot.has_regression r);
+  let r = compare_cells [ dead ] [ fine ] in
+  Alcotest.(check bool) "fixed timeout passes" false (Snapshot.has_regression r);
+  let r = compare_cells [ dead ] [ dead ] in
+  Alcotest.(check bool) "both timed out" false (Snapshot.has_regression r)
+
+let cell_presence_test () =
+  let r = compare_cells [ cell "a" "x" ] [] in
+  Alcotest.(check bool) "missing cell fails" true (Snapshot.has_regression r);
+  let r = compare_cells [] [ cell "a" "x" ] in
+  Alcotest.(check bool) "new cell passes" false (Snapshot.has_regression r);
+  Alcotest.(check int) "new cell reported" 1 (List.length r.Snapshot.deltas)
+
+let custom_thresholds_test () =
+  let thresholds =
+    { Snapshot.default_thresholds with Snapshot.time_tol_pct = 50. }
+  in
+  let r =
+    Snapshot.compare ~thresholds
+      ~baseline:(snap [ cell ~time_s:1.0 "a" "x" ])
+      ~current:(snap [ cell ~time_s:1.3 "a" "x" ])
+      ()
+  in
+  Alcotest.(check bool) "loosened gate passes" false (Snapshot.has_regression r)
+
+let markdown_report_test () =
+  let r =
+    compare_cells [ cell ~time_s:1.0 "a" "x" ] [ cell ~time_s:2.0 "a" "x" ]
+  in
+  let md = Snapshot.to_markdown r in
+  Alcotest.(check bool)
+    "names the cell" true
+    (Helpers.contains_substring md "| a | x |");
+  Alcotest.(check bool)
+    "counts regressions" true
+    (Helpers.contains_substring md "1 regression(s)")
+
+let tests =
+  [
+    Alcotest.test_case "exposition deterministic" `Quick
+      exposition_deterministic_test;
+    Alcotest.test_case "json deterministic" `Quick json_deterministic_test;
+    Alcotest.test_case "null registry" `Quick null_registry_test;
+    Alcotest.test_case "solver transparent under metrics" `Quick
+      solver_transparent_test;
+    Alcotest.test_case "datalog engine counters" `Quick datalog_metrics_test;
+    Alcotest.test_case "histogram buckets (le)" `Quick histogram_buckets_test;
+    Alcotest.test_case "pow2 buckets" `Quick pow2_buckets_test;
+    Alcotest.test_case "registry validation" `Quick registry_validation_test;
+    Alcotest.test_case "snapshot v2 round-trip" `Quick v2_roundtrip_test;
+    Alcotest.test_case "snapshot v1 compat" `Quick v1_compat_test;
+    Alcotest.test_case "unsupported schema" `Quick unsupported_schema_test;
+    Alcotest.test_case "time regression verdicts" `Quick
+      regression_verdicts_test;
+    Alcotest.test_case "heap regression verdict" `Quick heap_verdict_test;
+    Alcotest.test_case "timeout verdicts" `Quick timeout_verdicts_test;
+    Alcotest.test_case "missing / new cells" `Quick cell_presence_test;
+    Alcotest.test_case "custom thresholds" `Quick custom_thresholds_test;
+    Alcotest.test_case "markdown report" `Quick markdown_report_test;
+  ]
