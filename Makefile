@@ -1,6 +1,7 @@
 # Convenience targets; everything here is a thin wrapper over dune.
 
-.PHONY: all build test bench bench-compare bench-accept
+.PHONY: all build test bench bench-compare bench-accept bench-prop \
+	bench-prop-compare bench-prop-accept
 
 all: build
 
@@ -27,3 +28,19 @@ bench-compare:
 # change: rerun the grid, then review and commit BENCH_table1.json.
 bench-accept: bench
 	@echo "BENCH_table1.json regenerated; review the diff and commit it."
+
+# Propagation micro-benchmark: the cycle-heavy `cyclic` profile across a
+# small analysis spread, isolating the solver's propagation core.
+# Writes a fresh BENCH_prop.json snapshot into the repository root.
+bench-prop:
+	dune exec bench/main.exe -- propbench
+
+# Gate the propagation core against its committed baseline.
+bench-prop-compare:
+	dune exec bench/main.exe -- --baseline BENCH_prop.json --compare \
+	  --benchmarks cyclic --analyses insens,1call,1obj,S-2obj+H \
+	  --delta-md BENCH_prop_delta.md
+
+# Re-bless the propagation baseline after an intentional change.
+bench-prop-accept: bench-prop
+	@echo "BENCH_prop.json regenerated; review the diff and commit it."

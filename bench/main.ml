@@ -63,6 +63,11 @@ let analysis_groups =
 
 let analyses = List.concat analysis_groups
 
+(* The analysis subset snapshotted by [current_snapshot] and gated by
+   `--compare`; `--analyses` (or the `propbench` command) narrows it.
+   Defaults to the Table-1 twelve. *)
+let selected_analyses = ref analyses
+
 type outcome =
   | Done of Metrics.t * float * Run_stats.t * Trace.stat list
       (* metrics, best (min-of-3) elapsed seconds, counters and trace profile of
@@ -204,7 +209,7 @@ let current_snapshot () =
                 nodes = Some abort.Pta_obs.Budget.nodes;
                 memory = None;
               })
-          analyses)
+          !selected_analyses)
       (profiles ())
   in
   {
@@ -373,6 +378,50 @@ let cmd_table1 () =
   output_char oc '\n';
   close_out oc;
   print_endline "[BENCH_table1.json written]\n"
+
+(* ------------------------------------------------------------------ *)
+(* Propagation micro-benchmark                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The `cyclic` stress profile — deep copy chains, local copy cycles and
+   static mutual-recursion rings — isolates the solver's propagation
+   core (online cycle elimination + topological worklist ordering) from
+   context-machinery cost.  Snapshotted to BENCH_prop.json so the CI
+   perf gate catches regressions in exactly that code path, which the
+   DaCapo-profile grid exercises only weakly. *)
+let prop_analyses = [ "insens"; "1call"; "1obj"; "S-2obj+H" ]
+
+let select_prop_grid () =
+  selected_profiles := [ Option.get (Profile.by_name "cyclic") ];
+  selected_analyses := prop_analyses
+
+let cmd_propbench () =
+  select_prop_grid ();
+  print_endline "=== Propagation micro-benchmark (cyclic profile) ===\n";
+  let t = Table.create ~headers:[ "analysis"; "time (s)"; "iterations"; "nodes" ] in
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun a ->
+          match run_one profile a with
+          | Done (_, s, stats, _) ->
+            Table.add_row t
+              [
+                a;
+                Printf.sprintf "%.2f" s;
+                fmt_int stats.Run_stats.iterations;
+                fmt_int stats.Run_stats.n_nodes;
+              ]
+          | Timed_out _ -> Table.add_row t [ a; "-"; "-"; "-" ])
+        !selected_analyses)
+    (profiles ());
+  print_string (Table.render t);
+  print_newline ();
+  let oc = open_out "BENCH_prop.json" in
+  output_string oc (Json.to_string (Snapshot.to_json (current_snapshot ())));
+  output_char oc '\n';
+  close_out oc;
+  print_endline "[BENCH_prop.json written]\n"
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3                                                            *)
@@ -681,6 +730,7 @@ let cmd_micro () =
     go Intset.empty n
   in
   let s1 = random_set 1L 10_000 and s2 = random_set 2L 10_000 in
+  let s3 = random_set 4L 10_000 in
   let tiny = Option.get (Profile.by_name "tiny") in
   let tiny_program = Workloads.program tiny in
   let mjdk_src = Pta_mjdk.Mjdk.source in
@@ -691,6 +741,10 @@ let cmd_micro () =
           (Staged.stage (fun () -> ignore (Intset.union s1 s2)));
         Test.make ~name:"intset-add-1k"
           (Staged.stage (fun () -> ignore (random_set 3L 1_000)));
+        (* The solver's delta computation: one fused traversal vs the
+           two diffs it replaced. *)
+        Test.make ~name:"intset-diff2-10k"
+          (Staged.stage (fun () -> ignore (Intset.diff2 s1 s2 s3)));
         Test.make ~name:"parse-mjdk"
           (Staged.stage (fun () ->
                ignore (Pta_frontend.Frontend.parse ~file:"<mjdk>" mjdk_src)));
@@ -787,14 +841,16 @@ let cmd_compare ~baseline_file ~time_tol ~heap_tol ~delta_md () =
        cells may not be comparable\n\
        %!"
       baseline.Snapshot.timeout_s timeout_s;
-  (* Gate only over the selected benchmark subset. *)
+  (* Gate only over the selected benchmark x analysis subset. *)
   let names = List.map (fun p -> p.Profile.name) (profiles ()) in
   let baseline =
     {
       baseline with
       Snapshot.cells =
         List.filter
-          (fun c -> List.mem c.Snapshot.benchmark names)
+          (fun c ->
+            List.mem c.Snapshot.benchmark names
+            && List.mem c.Snapshot.analysis !selected_analyses)
           baseline.Snapshot.cells;
     }
   in
@@ -821,9 +877,10 @@ let cmd_compare ~baseline_file ~time_tol ~heap_tol ~delta_md () =
 
 let usage () =
   Printf.eprintf
-    "usage: bench [table1|figure3|summary|ablation|scaling|futurework|micro|all]*\n\
+    "usage: bench \
+     [table1|propbench|figure3|summary|ablation|scaling|futurework|micro|all]*\n\
     \       bench --baseline FILE --compare [--time-tol PCT] [--heap-tol PCT]\n\
-    \             [--benchmarks a,b,c] [--delta-md FILE]\n";
+    \             [--benchmarks a,b,c] [--analyses x,y,z] [--delta-md FILE]\n";
   exit 2
 
 let () =
@@ -864,6 +921,17 @@ let () =
               exit 2)
           (String.split_on_char ',' v);
       parse rest
+    | "--analyses" :: v :: rest ->
+      selected_analyses :=
+        List.map
+          (fun name ->
+            match Strategies.by_name name with
+            | Some _ -> name
+            | None ->
+              Printf.eprintf "unknown analysis %S\n" name;
+              exit 2)
+          (String.split_on_char ',' v);
+      parse rest
     | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
       Printf.eprintf "unknown flag %S\n" flag;
       usage ()
@@ -888,6 +956,7 @@ let () =
       (fun cmd ->
         match cmd with
         | "table1" -> cmd_table1 ()
+        | "propbench" -> cmd_propbench ()
         | "figure3" -> cmd_figure3 ()
         | "summary" -> cmd_summary ()
         | "micro" -> cmd_micro ()
@@ -904,8 +973,8 @@ let () =
           cmd_micro ()
         | other ->
           Printf.eprintf
-            "unknown command %S (expected table1 | figure3 | summary | \
-             ablation | scaling | futurework | micro | all)\n"
+            "unknown command %S (expected table1 | propbench | figure3 | \
+             summary | ablation | scaling | futurework | micro | all)\n"
             other;
           exit 2)
       cmds

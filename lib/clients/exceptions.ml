@@ -20,7 +20,10 @@ let per_meth_heapsets solver =
         let existing =
           Option.value ~default:Intset.empty (Meth_id.Tbl.find_opt acc meth)
         in
-        Meth_id.Tbl.replace acc meth (Intset.union existing heaps)
+        (* Contexts of one method mostly rethrow the same objects; the
+           fused growth test skips the table write when nothing is new. *)
+        let merged, grew = Intset.union_stats existing heaps in
+        if grew then Meth_id.Tbl.replace acc meth merged
       end);
   acc
 

@@ -52,8 +52,13 @@ let explain solver ~var ~heap =
       if Heap_id.equal (Solver.hobj_heap solver h) heap then hobjs := h :: !hobjs
     done;
     (* Reverse adjacency restricted to nodes containing some such hobj,
-       tracking which hobj travels each edge (any one works). *)
+       tracking which hobj travels each edge (any one works).  The walk
+       runs over canonical node ids — unified copy-cycle members share
+       state, so one class is one BFS vertex — except that the target
+       keeps its original id so the reported step names the variable the
+       caller asked about, not an arbitrary cycle member. *)
     let n = Solver.n_nodes solver in
+    let canon nid = Solver.canonical_node solver nid in
     let holds nid =
       List.exists
         (fun h -> Intset.mem h (Solver.node_points_to solver nid))
@@ -61,12 +66,15 @@ let explain solver ~var ~heap =
     in
     let preds = Array.make n [] in
     for src = 0 to n - 1 do
-      if holds src then
+      if canon src = src && holds src then
         List.iter
           (fun h ->
             if Intset.mem h (Solver.node_points_to solver src) then
               List.iter
-                (fun dst -> if holds dst then preds.(dst) <- src :: preds.(dst))
+                (fun dst ->
+                  let dst = canon dst in
+                  if dst <> src && holds dst then
+                    preds.(dst) <- src :: preds.(dst))
                 (Solver.node_succs_passing solver src h))
           !hobjs
     done;
@@ -75,7 +83,8 @@ let explain solver ~var ~heap =
     in
     match targets with
     | [] -> None
-    | target :: _ ->
+    | target0 :: _ ->
+      let target = canon target0 in
       (* BFS backwards to the furthest reachable origin (a node with no
          unvisited predecessor). *)
       let visited = Array.make n false in
@@ -104,6 +113,7 @@ let explain solver ~var ~heap =
       Some
         (List.mapi
            (fun i nid ->
+             let nid = if nid = target then target0 else nid in
              { description = describe_node solver nid; is_origin = i = 0 })
            nodes)
   end

@@ -118,6 +118,44 @@ let rec union s t =
         else Branch (q, n, tl, union s tr)
       else join p s q t
 
+(* [union_stats s t] is [union s t] paired with whether the result is a
+   strict superset of [s] — i.e. whether [t] contributed any element.
+   The no-growth path always returns [s] itself (physically), so callers
+   that would otherwise follow a [union] with [cardinal]/[equal] get the
+   answer for free and keep maximal structural sharing. *)
+let rec union_stats s t =
+  if s == t then (s, false)
+  else
+    match (s, t) with
+    | u, Empty -> (u, false)
+    | Empty, u -> (u, true)  (* canonical: a non-Empty [u] is non-empty *)
+    | u, Leaf i -> if mem i u then (u, false) else (add i u, true)
+    | Leaf i, u -> (
+      match u with
+      | Leaf j when i = j -> (s, false)
+      | _ -> (add i u, true))
+    | Branch (p, m, sl, sr), Branch (q, n, tl, tr) ->
+      if m = n && p = q then begin
+        let l, gl = union_stats sl tl in
+        let r, gr = union_stats sr tr in
+        if l == sl && r == sr then (s, gl || gr)
+        else (Branch (p, m, l, r), gl || gr)
+      end
+      else if m > n && match_prefix q p m then
+        if zero_bit q m then
+          let l, g = union_stats sl t in
+          ((if l == sl then s else Branch (p, m, l, sr)), g)
+        else
+          let r, g = union_stats sr t in
+          ((if r == sr then s else Branch (p, m, sl, r)), g)
+      else if m < n && match_prefix p q n then
+        (* [t] spans strictly more prefix bits than [s], so [t] holds
+           elements outside [s]'s span: the union always grows. *)
+        ( (if zero_bit p n then Branch (q, n, union s tl, tr)
+           else Branch (q, n, tl, union s tr)),
+          true )
+      else (join p s q t, true)
+
 let rec inter s t =
   if s == t then s
   else
@@ -156,6 +194,50 @@ let rec diff s t =
       else if m < n && match_prefix p q n then
         diff s (if zero_bit p n then tl else tr)
       else s
+
+(* The half of [t] relevant to each child of a Branch with prefix [p] and
+   branching bit [m]: elements of [t] under (p, m) split by bit [m].
+   Returns subtrees of [t] — no elements are copied. *)
+let rec split_under p m t =
+  match t with
+  | Empty -> (Empty, Empty)
+  | Leaf i ->
+    if not (match_prefix i p m) then (Empty, Empty)
+    else if zero_bit i m then (t, Empty)
+    else (Empty, t)
+  | Branch (q, n, tl, tr) ->
+    if n > m then
+      (* [t] spans wider: the whole (p, m) range lies inside one child of
+         [t]; descend that child. *)
+      if match_prefix p q n then
+        split_under p m (if zero_bit p n then tl else tr)
+      else (Empty, Empty)
+    else if n = m && q = p then (tl, tr)
+    else if
+      (* [n <= m], prefixes disagreeing at or above [m] never overlap. *)
+      match_prefix q p m
+    then if zero_bit q m then (t, Empty) else (Empty, t)
+    else (Empty, Empty)
+
+(* [diff2 s a b] = [diff (diff s a) b] in one pass over [s], without
+   materializing the intermediate tree — the solver's delta path
+   ([fresh = incoming \ all \ pending]) runs through here. *)
+let rec diff2 s a b =
+  if s == a || s == b then Empty
+  else
+    match s with
+    | Empty -> Empty
+    | Leaf i -> if mem i a || mem i b then Empty else s
+    | Branch (p, m, sl, sr) -> (
+      match (a, b) with
+      | Empty, Empty -> s
+      | Empty, t | t, Empty -> diff s t
+      | _ ->
+        let al, ar = split_under p m a in
+        let bl, br = split_under p m b in
+        let l = diff2 sl al bl in
+        let r = diff2 sr ar br in
+        if l == sl && r == sr then s else branch p m l r)
 
 let rec cardinal = function
   | Empty -> 0

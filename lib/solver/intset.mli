@@ -15,10 +15,30 @@ val mem : int -> t -> bool
 val add : int -> t -> t
 val remove : int -> t -> t
 val union : t -> t -> t
+
+val union_stats : t -> t -> t * bool
+(** [union_stats s t] is [(union s t, grew)] where [grew] reports
+    whether the union is a strict superset of [s] (i.e. [t] is not a
+    subset of [s]).  When [grew] is [false], the returned set is [s]
+    itself (physical equality), so callers need no follow-up
+    [cardinal]/[equal] comparison to detect growth. *)
+
 val inter : t -> t -> t
 val diff : t -> t -> t
+
+val diff2 : t -> t -> t -> t
+(** [diff2 s a b] is [diff (diff s a) b] computed in one fused pass over
+    [s], never materializing the intermediate set — the solver's
+    difference-propagation path ([incoming \ all \ pending]). *)
+
 val cardinal : t -> int
+
+(** Physical-equality short-circuits apply at every recursion step, not
+    just the root: shared subtrees are never descended. *)
 val subset : t -> t -> bool
+
+(** Same short-circuit discipline as {!subset}; canonical structure
+    makes this a pure structural comparison with sharing cut-offs. *)
 val equal : t -> t -> bool
 val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a

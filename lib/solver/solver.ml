@@ -43,18 +43,22 @@ type store_trigger = { st_field : Field_id.t; st_source : int }
 type node_id = int
 
 (* Metric handles resolved once at solver construction; the fixpoint
-   loop touches them through a single [Registry.is_null] gate, so an
-   unmetered run pays one physical-equality check per iteration. *)
+   loop gates every touch on the precomputed [m_live], so an unmetered
+   run pays one boolean load per iteration. *)
 type meters = {
   m_reg : Registry.t;
+  m_live : bool;  (* [not (Registry.is_null m_reg)], hoisted *)
   prop_move : Registry.counter;
   prop_vcall : Registry.counter;
   prop_load : Registry.counter;
   prop_store : Registry.counter;
   worklist_depth : Registry.histogram;
+  sccs_collapsed : Registry.counter;
+  nodes_unified : Registry.counter;
+  redundant_visits : Registry.counter;
 }
 
-let make_meters reg =
+let make_live_meters reg =
   let prop kind =
     Registry.counter reg
       ~help:"Objects propagated through supergraph edges, by edge kind"
@@ -63,6 +67,7 @@ let make_meters reg =
   in
   {
     m_reg = reg;
+    m_live = not (Registry.is_null reg);
     prop_move = prop "move";
     prop_vcall = prop "vcall";
     prop_load = prop "load";
@@ -71,7 +76,29 @@ let make_meters reg =
       Registry.histogram reg
         ~help:"Node-worklist depth sampled at each fixpoint iteration"
         ~buckets:(Registry.pow2_buckets 18) "pta_solver_worklist_depth";
+    sccs_collapsed =
+      Registry.counter reg
+        ~help:"Copy-edge strongly connected components collapsed online"
+        "pta_solver_sccs_collapsed_total";
+    nodes_unified =
+      Registry.counter reg
+        ~help:"Supergraph nodes absorbed into an SCC representative"
+        "pta_solver_nodes_unified_total";
+    redundant_visits =
+      Registry.counter reg
+        ~help:
+          "Stale worklist entries skipped because their node was already \
+           drained (or unified away) by an earlier visit"
+        "pta_solver_redundant_visits_avoided_total";
   }
+
+(* Shared by every unmetered solve: building it once at module init means
+   the null path performs no registration calls (and so no bucket-ladder
+   or handle allocation) per solver construction. *)
+let null_meters = make_live_meters Registry.null
+
+let make_meters reg =
+  if Registry.is_null reg then null_meters else make_live_meters reg
 
 type node_kind =
   | Var_node of Var_id.t * Ctx.id
@@ -84,6 +111,9 @@ type node = {
   mutable all : Intset.t;
   mutable pending : Intset.t;  (* invariant: disjoint from [all] *)
   mutable queued : bool;
+  mutable prio : int;
+      (* pseudo-topological position in the copy subgraph (sources low);
+         0 until the first reprioritization pass *)
   mutable succs : edge list;
   mutable vcalls : vcall_site list;
   mutable loads : load_trigger list;
@@ -119,9 +149,16 @@ type t = {
   throw_nodes : (int * int, int) Hashtbl.t;
       (* (meth, ctx) -> node holding the exceptions escaping the method:
          ThrowPointsTo(meth, ctx) *)
-  edge_seen : (int * int * int, unit) Hashtbl.t;  (* (src, dst, filter) *)
+  edge_seen : (int * int * int, unit) Hashtbl.t;
+      (* (src, dst, filter), keyed by ids canonical at insertion time *)
+  (* cycle elimination: copy-edge SCCs collapse onto one shared [node]
+     record; [unify] maps any node id to its class's canonical id *)
+  unify : Unify.t;
+  mutable copy_edges_since_scc : int;
+  mutable copy_edges_total : int;
+  mutable scc_threshold : int;
   (* worklists *)
-  node_queue : int Queue.t;
+  pq : Pqueue.t;
   meth_queue : (Meth_id.t * Ctx.id) Queue.t;
   (* facts *)
   reachable : (int * int, unit) Hashtbl.t;  (* (meth, ctx) *)
@@ -174,16 +211,21 @@ let intern_hobj st heap hctx =
 
 let fresh_node st =
   Observer.node st.obs;
-  Vec.push st.nodes
-    {
-      all = Intset.empty;
-      pending = Intset.empty;
-      queued = false;
-      succs = [];
-      vcalls = [];
-      loads = [];
-      stores = [];
-    }
+  let nid =
+    Vec.push st.nodes
+      {
+        all = Intset.empty;
+        pending = Intset.empty;
+        queued = false;
+        prio = 0;
+        succs = [];
+        vcalls = [];
+        loads = [];
+        stores = [];
+      }
+  in
+  Unify.ensure st.unify (nid + 1);
+  nid
 
 let var_node st var ctx =
   let key = (Var_id.to_int var, ctx) in
@@ -231,14 +273,18 @@ let throw_node st meth ctx =
 (* Difference propagation                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Unified nodes share one [node] record (every member's slot in
+   [st.nodes] aliases it), so a stale id reaching here still lands on
+   the merged state; [Unify.find] is only needed where the {e id} itself
+   is semantic (edge keys, SCC traversal, introspection). *)
 let push st nid set =
   let n = Vec.get st.nodes nid in
-  let fresh = Intset.diff (Intset.diff set n.all) n.pending in
+  let fresh = Intset.diff2 set n.all n.pending in
   if not (Intset.is_empty fresh) then begin
     n.pending <- Intset.union n.pending fresh;
     if not n.queued then begin
       n.queued <- true;
-      Queue.add nid st.node_queue
+      Pqueue.push st.pq ~prio:n.prio nid
     end
   end
 
@@ -262,11 +308,21 @@ let attach_edge st ~src ~dst ~filter =
   Observer.edge st.obs;
   let n = Vec.get st.nodes src in
   n.succs <- { dst; filter } :: n.succs;
+  if filter == None then begin
+    st.copy_edges_since_scc <- st.copy_edges_since_scc + 1;
+    st.copy_edges_total <- st.copy_edges_total + 1
+  end;
   let existing = Intset.union n.all n.pending in
   if not (Intset.is_empty existing) then
     push st dst (filter_set st existing filter)
 
 let add_edge st ~src ~dst ~filter =
+  (* Canonical ids make the self-loop check see through unification and
+     keep the dedup table from growing one entry per alias.  Keys are
+     canonical only as of insertion time — a later collapse can let a
+     duplicate through — but propagation is idempotent, so a rare
+     duplicate edge costs a little work, never correctness. *)
+  let src = Unify.find st.unify src and dst = Unify.find st.unify dst in
   if src <> dst || filter <> None then begin
     let fkey =
       match filter with
@@ -285,6 +341,171 @@ let add_edge st ~src ~dst ~filter =
       attach_edge st ~src ~dst ~filter
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Online cycle elimination and reprioritization                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Lazy SCC detection in the Nuutila/Pearce tradition, amortized: rather
+   than probing on every edge insertion (LCD-style), we run one iterative
+   Tarjan pass over the copy (filter=None) subgraph whenever enough new
+   copy edges have accumulated — the threshold doubles with the graph, so
+   total detection work is O(E log E).  Each multi-node SCC collapses
+   onto one shared record: members provably converge to the same set at
+   fixpoint, so the class thereafter propagates once instead of churning
+   the worklist around the cycle.
+
+   The same pass recomputes a pseudo-topological order of the condensed
+   copy DAG (Tarjan completion order reversed: sources first) and rebuilds
+   the priority queue, so deltas flow source→sink. *)
+let collapse_and_reprioritize st =
+  let n = Vec.length st.nodes in
+  let unify = st.unify in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp_of = Array.make n (-1) in
+  let stack = ref [] in
+  let next = ref 0 in
+  let n_comps = ref 0 in
+  let sccs = ref [] in
+  (* Copy successors of a canonical node, canonicalized; self-loops are
+     irrelevant to both SCCs and order. *)
+  let copy_succs v =
+    List.filter_map
+      (fun e ->
+        match e.filter with
+        | None ->
+          let w = Unify.find unify e.dst in
+          if w = v then None else Some w
+        | Some _ -> None)
+      (Vec.get st.nodes v).succs
+  in
+  let strongconnect v =
+    index.(v) <- !next;
+    lowlink.(v) <- !next;
+    incr next;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    (* Explicit work stack: (node, unexplored successors). *)
+    let work = ref [ (v, copy_succs v) ] in
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | (v, succs) :: rest -> (
+        match succs with
+        | w :: ws ->
+          work := (v, ws) :: rest;
+          if index.(w) = -1 then begin
+            index.(w) <- !next;
+            lowlink.(w) <- !next;
+            incr next;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            work := (w, copy_succs w) :: !work
+          end
+          else if on_stack.(w) then
+            lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+          work := rest;
+          if lowlink.(v) = index.(v) then begin
+            (* v roots an SCC: pop members, stamp completion index. *)
+            let members = ref [] in
+            let continue_pop = ref true in
+            while !continue_pop do
+              match !stack with
+              | w :: tl ->
+                stack := tl;
+                on_stack.(w) <- false;
+                comp_of.(w) <- !n_comps;
+                members := w :: !members;
+                if w = v then continue_pop := false
+              | [] -> assert false
+            done;
+            incr n_comps;
+            (match !members with
+            | _ :: _ :: _ -> sccs := !members :: !sccs
+            | _ -> ())
+          end;
+          (match rest with
+          | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+          | [] -> ()))
+    done
+  in
+  for v = 0 to n - 1 do
+    if Unify.find unify v = v && index.(v) = -1 then strongconnect v
+  done;
+  (* Merge each multi-node SCC onto its smallest member. *)
+  List.iter
+    (fun members ->
+      let rep = List.fold_left min max_int members in
+      List.iter (fun o -> ignore (Unify.union unify rep o)) members;
+      (* The merged set state: what every member already propagated stays
+         in [all]; anything only some member had (or had pending) must
+         flow through the merged successor list, so it lands in
+         [pending].  Idempotent for downstream nodes (push diffs against
+         their state). *)
+      let inter_all =
+        List.fold_left
+          (fun acc o -> Intset.inter acc (Vec.get st.nodes o).all)
+          (Vec.get st.nodes rep).all members
+      in
+      let union_reach =
+        List.fold_left
+          (fun acc o ->
+            let r = Vec.get st.nodes o in
+            Intset.union acc (Intset.union r.all r.pending))
+          Intset.empty members
+      in
+      let pending = Intset.diff union_reach inter_all in
+      let merge_lists f =
+        List.fold_left (fun acc o -> List.rev_append (f (Vec.get st.nodes o)) acc)
+          [] members
+      in
+      let succs =
+        (* Drop intra-class copy edges — the collapse replaces them. *)
+        List.filter
+          (fun e -> not (e.filter == None && Unify.find unify e.dst = rep))
+          (merge_lists (fun r -> r.succs))
+      in
+      let merged =
+        {
+          all = inter_all;
+          pending;
+          queued = not (Intset.is_empty pending);
+          prio = 0;
+          succs;
+          vcalls = merge_lists (fun r -> r.vcalls);
+          loads = merge_lists (fun r -> r.loads);
+          stores = merge_lists (fun r -> r.stores);
+        }
+      in
+      List.iter (fun o -> Vec.set st.nodes o merged) members;
+      Registry.incr st.meters.sccs_collapsed;
+      Registry.add st.meters.nodes_unified (List.length members - 1))
+    !sccs;
+  (* Canonicalize every alias slot (members of classes merged in earlier
+     passes must alias the newest record too), assign pseudo-topological
+     priorities, and rebuild the queue with exactly one entry per queued
+     class. *)
+  let entries_before = Pqueue.length st.pq in
+  Pqueue.clear st.pq;
+  let nc = !n_comps in
+  for i = 0 to n - 1 do
+    let r = Unify.find unify i in
+    if r <> i then Vec.set st.nodes i (Vec.get st.nodes r)
+    else begin
+      let node = Vec.get st.nodes i in
+      node.prio <- nc - 1 - comp_of.(i);
+      if node.queued then Pqueue.push st.pq ~prio:node.prio i
+    end
+  done;
+  (* Entries not re-created were duplicates of a now-unified class (or
+     already drained): visits the collapse saved us. *)
+  let dropped = entries_before - Pqueue.length st.pq in
+  if dropped > 0 then Registry.add st.meters.redundant_visits dropped;
+  st.copy_edges_since_scc <- 0;
+  st.scc_threshold <- max 512 st.copy_edges_total
 
 (* ------------------------------------------------------------------ *)
 (* Reachability and call wiring                                        *)
@@ -677,7 +898,11 @@ let solve_outcome ?(config = Config.default) program strategy =
         static_fld_nodes = Hashtbl.create 64;
         throw_nodes = Hashtbl.create 1024;
         edge_seen = Hashtbl.create 4096;
-        node_queue = Queue.create ();
+        unify = Unify.create ~capacity:4096 ();
+        copy_edges_since_scc = 0;
+        copy_edges_total = 0;
+        scc_threshold = 512;
+        pq = Pqueue.create ();
         meth_queue = Queue.create ();
         reachable = Hashtbl.create 1024;
         call_edges = Hashtbl.create 4096;
@@ -697,6 +922,7 @@ let solve_outcome ?(config = Config.default) program strategy =
   let fixpoint () =
     Observer.phase obs "fixpoint" @@ fun () ->
     Trace.span trace ~cat:"phase" "fixpoint" @@ fun () ->
+    let metered = st.meters.m_live in
     let rec loop () =
       if not (Queue.is_empty st.meth_queue) then begin
         Budget.tick budget;
@@ -705,13 +931,18 @@ let solve_outcome ?(config = Config.default) program strategy =
         process_method st meth ctx;
         loop ()
       end
-      else if not (Queue.is_empty st.node_queue) then begin
+      else if not (Pqueue.is_empty st.pq) then begin
         Budget.tick budget;
         Observer.iteration obs;
-        if not (Registry.is_null st.meters.m_reg) then
-          Registry.observe_int st.meters.worklist_depth
-            (Queue.length st.node_queue);
-        process_node st (Queue.pop st.node_queue);
+        if st.copy_edges_since_scc >= st.scc_threshold then
+          collapse_and_reprioritize st;
+        if not (Pqueue.is_empty st.pq) then begin
+          if metered then
+            Registry.observe_int st.meters.worklist_depth (Pqueue.length st.pq);
+          let nid = Pqueue.pop st.pq in
+          if (Vec.get st.nodes nid).queued then process_node st nid
+          else if metered then Registry.incr st.meters.redundant_visits
+        end;
         loop ()
       end
     in
@@ -805,6 +1036,7 @@ let n_call_edges_cs st = Hashtbl.length st.call_edges
 (* ------------------------------------------------------------------ *)
 
 let n_nodes st = Vec.length st.nodes
+let canonical_node st nid = Unify.find st.unify nid
 
 let node_kind_table st =
   let kinds = Array.make (Vec.length st.nodes) Scope_node in

@@ -56,14 +56,19 @@ module Config : sig
             [delta] is the number of objects pushed through that kind. *)
     metrics : Pta_metrics.Registry.t;
         (** metric registry; {!Pta_metrics.Registry.null} costs one
-            physical-equality check per fixpoint iteration.  A live
-            registry receives [pta_solver_propagated_total{kind=...}]
-            counters, the [pta_solver_worklist_depth] histogram sampled
-            each iteration, and — at fixpoint or abort — the
-            [pta_solver_pts_size] histogram plus size gauges
-            ([pta_solver_contexts], [pta_solver_heap_contexts],
-            [pta_solver_hobjs], [pta_solver_nodes],
-            [pta_solver_sensitive_vpt_size]). *)
+            boolean test per fixpoint iteration and registers nothing
+            (the null path shares one set of dummy handles built at
+            module initialization).  A live registry receives
+            [pta_solver_propagated_total{kind=...}] counters, the
+            [pta_solver_worklist_depth] histogram sampled each
+            iteration, the cycle-elimination counters
+            ([pta_solver_sccs_collapsed_total],
+            [pta_solver_nodes_unified_total],
+            [pta_solver_redundant_visits_avoided_total]), and — at
+            fixpoint or abort — the [pta_solver_pts_size] histogram
+            plus size gauges ([pta_solver_contexts],
+            [pta_solver_heap_contexts], [pta_solver_hobjs],
+            [pta_solver_nodes], [pta_solver_sensitive_vpt_size]). *)
   }
 
   val default : t
@@ -213,8 +218,17 @@ type node_kind =
 val n_nodes : t -> int
 val node_kind : t -> node_id -> node_kind
 val node_points_to : t -> node_id -> Intset.t
+
+val canonical_node : t -> node_id -> node_id
+(** The representative of [nid]'s copy-cycle equivalence class (itself
+    when never unified).  Unified nodes share points-to state and
+    successor lists; graph walkers should compare and index nodes by
+    canonical id, while {!node_kind} stays meaningful on original ids. *)
+
 val node_succs_passing : t -> node_id -> hobj -> node_id list
-(** Successor nodes whose connecting edge lets [hobj] through. *)
+(** Successor nodes whose connecting edge lets [hobj] through.  Returned
+    ids may be stale aliases of a unified class — canonicalize with
+    {!canonical_node} before using them as indices. *)
 
 val var_node_ids : t -> Pta_ir.Ir.Var_id.t -> node_id list
 (** All (var, context) nodes of a variable. *)

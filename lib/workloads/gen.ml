@@ -280,6 +280,34 @@ let emit_util st u =
   Emit.blank e
 
 
+(* ------------------------------------------------------------------ *)
+(* Copy-cycle farm                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ring g i = Printf.sprintf "R%d_%d" g i
+
+(* Static mutual-recursion rings: [R<g>_0::step -> R<g>_1::step -> ... ->
+   R<g>_0::step], each forwarding its argument and returning it.  At the
+   supergraph level this closes two copy cycles per ring — one through
+   the parameters, one through the returns — which is exactly the
+   structure the solver's online cycle elimination collapses.  Emission
+   draws nothing from the RNG, so profiles with [copy_cycles = 0]
+   generate byte-identical programs to before this knob existed. *)
+let emit_rings st =
+  let e = st.e in
+  let p = st.p in
+  let len = max 2 p.Profile.copy_cycle_len in
+  for g = 0 to p.Profile.copy_cycles - 1 do
+    for i = 0 to len - 1 do
+      Emit.block e "class %s" (ring g i) (fun () ->
+          Emit.block e "static method step(x)" (fun () ->
+              Emit.block e "if (*)" (fun () ->
+                  Emit.line e "return %s::step(x);" (ring g ((i + 1) mod len)));
+              Emit.line e "return x;"))
+    done;
+    Emit.blank e
+  done
+
 let catalog h = Printf.sprintf "Cat%d" h
 let globals h = Printf.sprintf "G%d" h
 
@@ -429,6 +457,9 @@ let unit_op st env _du =
       (2, `Catalog);
       (1, `Singleton);
       (2, `Guarded);
+      ((if p.Profile.copy_chain_depth > 0 then 4 else 0), `Copy_chain);
+      ((if p.Profile.copy_cycles > 0 then 5 else 0), `Copy_cycle);
+      ((if p.Profile.copy_cycles > 0 then 4 else 0), `Ring_pass);
     ]
     |> List.filter (fun (w, _) -> w > 0)
   in
@@ -582,6 +613,42 @@ let unit_op st env _du =
     let v = fresh st "o" in
     Emit.line e "var %s = (%s) %s.accUpd(%s);" v (cast_target st ph) recv payload;
     env.objs <- (v, ph) :: env.objs
+  | `Copy_chain ->
+    (* A straight local move chain: many nodes, one source — the shape
+       where propagation order (source before sink) pays. *)
+    let src, h = any_obj st env in
+    let prev = ref src in
+    for _ = 1 to p.Profile.copy_chain_depth do
+      let v = fresh st "q" in
+      Emit.line e "var %s = %s;" v !prev;
+      prev := v
+    done;
+    env.objs <- (!prev, h) :: env.objs
+  | `Copy_cycle ->
+    (* A local move cycle: a chain whose tail is copied back to its head
+       inside a loop.  Flow-insensitively that is a copy SCC over the
+       whole chain. *)
+    let src, h = any_obj st env in
+    let len = max 2 p.Profile.copy_cycle_len in
+    let names = List.init len (fun _ -> fresh st "z") in
+    let first = List.hd names in
+    Emit.line e "var %s = %s;" first src;
+    ignore
+      (List.fold_left
+         (fun prev v ->
+           Emit.line e "var %s = %s;" v prev;
+           v)
+         first (List.tl names));
+    let last = List.nth names (len - 1) in
+    Emit.block e "while (*)" (fun () -> Emit.line e "%s = %s;" first last);
+    env.objs <- (last, h) :: env.objs
+  | `Ring_pass ->
+    (* Send an object around a static recursion ring. *)
+    let src, h = any_obj st env in
+    let g = Rng.int st.rng p.Profile.copy_cycles in
+    let v = fresh st "o" in
+    Emit.line e "var %s = %s::step(%s);" v (ring g 0) src;
+    env.objs <- (v, h) :: env.objs
 
 let emit_helper st du j =
   let e = st.e in
@@ -693,6 +760,7 @@ let generate (p : Profile.t) =
   for u = 0 to p.Profile.util_classes - 1 do
     emit_util st u
   done;
+  if p.Profile.copy_cycles > 0 then emit_rings st;
   if p.Profile.listeners then emit_listeners st;
   for du = 0 to p.Profile.driver_units - 1 do
     emit_driver st du

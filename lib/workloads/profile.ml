@@ -29,6 +29,14 @@ type t = {
   wrappers : bool;  (** delegating wrapper subclass per family *)
   visitors : bool;
   listeners : bool;
+  copy_chain_depth : int;
+      (** length of straight local copy chains ([var b = a; var c = b;
+          ...]) the drivers emit; 0 disables them *)
+  copy_cycles : int;
+      (** static mutual-recursion rings (and matching local copy
+          cycles) — the workload knob that exercises the solver's
+          online cycle elimination; 0 disables *)
+  copy_cycle_len : int;  (** nodes per copy cycle / ring *)
 }
 
 let make ~name ~seed ?(hierarchies = 5) ?(subclasses = 4)
@@ -36,7 +44,8 @@ let make ~name ~seed ?(hierarchies = 5) ?(subclasses = 4)
     ?(factories_per_hierarchy = 3) ?(util_classes = 2) ?(util_chain_depth = 2)
     ?(driver_units = 8) ?(unit_ops = 14) ?(helper_meths = 3)
     ?(alloc_in_virtual = 0.25) ?(risky_cast = 0.3) ?(throw_density = 0.12)
-    ?(wrappers = false) ?(visitors = false) ?(listeners = false) () =
+    ?(wrappers = false) ?(visitors = false) ?(listeners = false)
+    ?(copy_chain_depth = 0) ?(copy_cycles = 0) ?(copy_cycle_len = 0) () =
   {
     name;
     seed;
@@ -57,6 +66,9 @@ let make ~name ~seed ?(hierarchies = 5) ?(subclasses = 4)
     wrappers;
     visitors;
     listeners;
+    copy_chain_depth;
+    copy_cycles;
+    copy_cycle_len;
   }
 
 (* The DaCapo 2006 profiles analyzed in the paper's Table 1. *)
@@ -117,8 +129,19 @@ let tiny =
     ~methods_per_class:3 ~driver_units:2 ~unit_ops:8 ~util_classes:1
     ~util_chain_depth:3 ()
 
+(* Deep copy chains, local copy cycles, and static mutual-recursion
+   rings: a stress profile for the solver's propagation core (cycle
+   elimination + topological worklist ordering).  Not part of the
+   paper's Table 1 set; used by the propagation micro-benchmark and the
+   cyclic differential test. *)
+let cyclic =
+  make ~name:"cyclic" ~seed:0xDA0C0DE_0C1L ~hierarchies:12 ~subclasses:6
+    ~methods_per_class:5 ~util_classes:3 ~util_chain_depth:5 ~driver_units:48
+    ~unit_ops:44 ~helper_meths:5 ~alloc_in_virtual:0.35 ~risky_cast:0.25
+    ~copy_chain_depth:20 ~copy_cycles:10 ~copy_cycle_len:12 ()
+
 let by_name name =
-  List.find_opt (fun p -> String.equal p.name name) (tiny :: dacapo)
+  List.find_opt (fun p -> String.equal p.name name) (tiny :: cyclic :: dacapo)
 
 (* Uniform scaling of a profile's size knobs, for scalability studies. *)
 let scale factor p =

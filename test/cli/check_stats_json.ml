@@ -74,7 +74,14 @@ let () =
       (fun name ->
         if not (List.mem_assoc name families) then
           fail "%s: metrics lacks the %S family" path name)
-      [ "pta_gc_peak_heap_words"; "pta_solver_nodes"; "pta_solver_pts_size" ]);
+      [
+        "pta_gc_peak_heap_words"; "pta_solver_nodes"; "pta_solver_pts_size";
+        (* cycle-elimination counters: registered eagerly, so present
+           (zero-valued) even when the program is too small to trigger a
+           collapse *)
+        "pta_solver_sccs_collapsed_total"; "pta_solver_nodes_unified_total";
+        "pta_solver_redundant_visits_avoided_total";
+      ]);
   (match Json.to_obj (get "pointsto") with
   | None -> fail "%s: key \"pointsto\" is not an object" path
   | Some stamp ->

@@ -315,6 +315,17 @@ let program_workload () =
   let profile = Option.get (Pta_workloads.Profile.by_name "tiny") in
   Pta_workloads.Workloads.source profile
 
+(* A shrunken [cyclic] profile: small enough for the Datalog reference,
+   but keeping the copy chains, local copy cycles and static
+   mutual-recursion rings that exercise the solver's online cycle
+   elimination — the path differential testing most needs to cover. *)
+let program_cyclic () =
+  let profile =
+    Pta_workloads.Profile.scale 0.2
+      (Option.get (Pta_workloads.Profile.by_name "cyclic"))
+  in
+  Pta_workloads.Workloads.source profile
+
 let tests =
   [
     Alcotest.test_case "inheritance program, all strategies" `Quick (fun () ->
@@ -332,4 +343,6 @@ let tests =
     Alcotest.test_case "tiny workload, key strategies" `Slow (fun () ->
         check_program ~name:"tiny-workload" (program_workload ())
           [ "insens"; "1call"; "1obj"; "SB-1obj"; "2obj+H"; "S-2obj+H"; "2type+H" ]);
+    Alcotest.test_case "cyclic workload, all strategies" `Slow (fun () ->
+        check_program ~name:"cyclic-workload" (program_cyclic ()) all_strategies);
   ]

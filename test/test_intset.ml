@@ -56,6 +56,20 @@ let qcheck_tests =
     prop "union idempotent" ints_arb (fun l ->
         let s = set_of_list l in
         Intset.equal (Intset.union s s) s);
+    prop "diff2 agrees with double diff" QCheck.(triple ints_arb ints_arb ints_arb)
+      (fun (s, a, b) ->
+        M.equal
+          (to_model (Intset.diff2 (set_of_list s) (set_of_list a) (set_of_list b)))
+          (M.diff (M.diff (model_of_list s) (model_of_list a)) (model_of_list b)));
+    prop "union_stats set agrees with union" QCheck.(pair ints_arb ints_arb)
+      (fun (a, b) ->
+        let u, _ = Intset.union_stats (set_of_list a) (set_of_list b) in
+        M.equal (to_model u) (M.union (model_of_list a) (model_of_list b)));
+    prop "union_stats growth flag = not (subset b a)"
+      QCheck.(pair ints_arb ints_arb)
+      (fun (a, b) ->
+        let _, grew = Intset.union_stats (set_of_list a) (set_of_list b) in
+        grew = not (M.subset (model_of_list b) (model_of_list a)));
     prop "filter even" ints_arb (fun l ->
         M.equal
           (to_model (Intset.filter (fun x -> x mod 2 = 0) (set_of_list l)))
@@ -84,6 +98,38 @@ let unit_tests =
         Alcotest.(check bool)
           "s union empty == s" true
           (Intset.union s Intset.empty == s));
+    Alcotest.test_case "union_stats no-growth path preserves sharing" `Quick
+      (fun () ->
+        let s = Intset.of_list [ 1; 2; 3; 1000; 65536 ] in
+        let sub = Intset.of_list [ 2; 1000 ] in
+        let u, grew = Intset.union_stats s sub in
+        Alcotest.(check bool) "no growth" false grew;
+        Alcotest.(check bool) "result is s itself" true (u == s);
+        let u2, grew2 = Intset.union_stats s (Intset.singleton 7) in
+        Alcotest.(check bool) "growth" true grew2;
+        Alcotest.(check bool) "result has 7" true (Intset.mem 7 u2));
+    Alcotest.test_case "diff2 sharing and fast paths" `Quick (fun () ->
+        let s = Intset.of_list [ 1; 5; 9; 4096 ] in
+        Alcotest.(check bool)
+          "disjoint subtrahends return s" true
+          (Intset.diff2 s (Intset.singleton 2) (Intset.singleton 6) == s);
+        Alcotest.(check bool)
+          "s \\ s \\ b is empty" true
+          (Intset.is_empty (Intset.diff2 s s (Intset.singleton 1)));
+        Alcotest.(check bool)
+          "s \\ a \\ s is empty" true
+          (Intset.is_empty (Intset.diff2 s (Intset.singleton 1) s)));
+    Alcotest.test_case "equal/subset short-circuit on shared subtrees" `Quick
+      (fun () ->
+        (* Two sets sharing a large subtree: [union] preserves sharing, so
+           [equal]/[subset] must cut off without descending it.  Observable
+           cheaply: physically equal sets answer immediately. *)
+        let big = Intset.of_list (List.init 500 (fun i -> i * 7)) in
+        let a = Intset.union big (Intset.singleton 999_999) in
+        let b = Intset.union big (Intset.singleton 999_999) in
+        Alcotest.(check bool) "equal" true (Intset.equal a b);
+        Alcotest.(check bool) "subset" true (Intset.subset big a);
+        Alcotest.(check bool) "self subset" true (Intset.subset a a));
     Alcotest.test_case "large and boundary values" `Quick (fun () ->
         let big = max_int / 2 in
         let s = Intset.of_list [ 0; 1; big; big - 1 ] in

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "hybridpta"
     [
       ("intset", Test_intset.tests);
+      ("unify", Test_unify.tests);
       ("containers", Test_containers.tests);
       ("frontend", Test_frontend.tests);
       ("hierarchy", Test_hierarchy.tests);

@@ -6,6 +6,7 @@
 module Registry = Pta_metrics.Registry
 module Snapshot = Pta_report.Bench_snapshot
 module Solver = Pta_solver.Solver
+module Intset = Pta_solver.Intset
 module Memstats = Pta_obs.Memstats
 module Json = Pta_obs.Json
 module Metrics = Pta_clients.Metrics
@@ -97,6 +98,88 @@ let solver_transparent_test () =
        (Registry.counter r ~labels:[ ("kind", "move") ]
           "pta_solver_propagated_total")
      > 0)
+
+(* The fixpoint loop must not touch meters when metrics are off: the
+   meter bundle is the module-level shared dummy and the worklist-depth
+   sampling is skipped, so a null-metered solve allocates exactly as
+   much as any other null-metered solve — and strictly less than a
+   live-metered one, which registers families and boxes histogram
+   samples.  (Regression test for the null path allocating per-solve
+   meter records / sampling the depth histogram unconditionally.) *)
+let null_metrics_allocation_test () =
+  let program = tiny_program () in
+  let factory = Option.get (Pta_context.Strategies.by_name "1obj") in
+  let strategy = factory program in
+  let measure config =
+    (* Warm-up run: populates program-side memo tables so the measured
+       run's allocation is purely the solver's. *)
+    ignore (Solver.solve ~config program strategy);
+    let before = Gc.allocated_bytes () in
+    ignore (Solver.solve ~config program strategy);
+    Gc.allocated_bytes () -. before
+  in
+  let null_explicit = measure (Solver.Config.make ~metrics:Registry.null ()) in
+  let null_default = measure Solver.Config.default in
+  let live = measure (Solver.Config.make ~metrics:(Registry.create ()) ()) in
+  Alcotest.(check (float 0.))
+    "null-metered solves allocate identically" null_explicit null_default;
+  Alcotest.(check bool)
+    (Printf.sprintf "null (%.0fB) allocates less than live (%.0fB)"
+       null_explicit live)
+    true
+    (null_explicit < live)
+
+(* On a cycle-heavy workload the online cycle elimination must actually
+   fire: SCCs collapsed, nodes unified, and stale queue entries dropped
+   — and the worklist-depth histogram is fed from the priority queue. *)
+let cycle_counters_test () =
+  let profile =
+    Pta_workloads.Profile.scale 0.2
+      (Option.get (Pta_workloads.Profile.by_name "cyclic"))
+  in
+  let src = Pta_workloads.Workloads.source profile in
+  let program = Pta_frontend.Frontend.program_of_string ~file:"cyclic" src in
+  let factory = Option.get (Pta_context.Strategies.by_name "insens") in
+  let r = Registry.create () in
+  let config = Solver.Config.make ~metrics:r () in
+  let solver = Solver.solve ~config program (factory program) in
+  let c name = Registry.counter_value (Registry.counter r name) in
+  Alcotest.(check bool)
+    "sccs collapsed" true (c "pta_solver_sccs_collapsed_total" > 0);
+  Alcotest.(check bool)
+    "nodes unified" true (c "pta_solver_nodes_unified_total" > 0);
+  Alcotest.(check bool)
+    "redundant visits avoided" true
+    (c "pta_solver_redundant_visits_avoided_total" > 0);
+  Alcotest.(check bool)
+    "more nodes than classes" true
+    (c "pta_solver_nodes_unified_total" > c "pta_solver_sccs_collapsed_total");
+  let depth =
+    Registry.histogram r ~buckets:(Registry.pow2_buckets 18)
+      "pta_solver_worklist_depth"
+  in
+  Alcotest.(check bool)
+    "worklist depth sampled" true
+    (Registry.histogram_count depth > 0);
+  (* Unified members answer queries through their canonical node. *)
+  let unified_pair = ref None in
+  (try
+     for i = 0 to Solver.n_nodes solver - 1 do
+       let r = Solver.canonical_node solver i in
+       if r <> i then begin
+         unified_pair := Some (i, r);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !unified_pair with
+  | None -> Alcotest.fail "no unified node found despite nonzero counters"
+  | Some (i, r) ->
+    Alcotest.(check bool)
+      "unified member shares its representative's points-to set" true
+      (Intset.equal
+         (Solver.node_points_to solver i)
+         (Solver.node_points_to solver r))
 
 (* The Datalog engine's counters: rounds tick, every rule has a fact
    counter, and the per-relation gauges agree with the engine's final
@@ -342,6 +425,10 @@ let tests =
     Alcotest.test_case "null registry" `Quick null_registry_test;
     Alcotest.test_case "solver transparent under metrics" `Quick
       solver_transparent_test;
+    Alcotest.test_case "null metrics allocate nothing extra" `Quick
+      null_metrics_allocation_test;
+    Alcotest.test_case "cycle-elimination counters fire" `Quick
+      cycle_counters_test;
     Alcotest.test_case "datalog engine counters" `Quick datalog_metrics_test;
     Alcotest.test_case "histogram buckets (le)" `Quick histogram_buckets_test;
     Alcotest.test_case "pow2 buckets" `Quick pow2_buckets_test;
