@@ -1,6 +1,7 @@
 (* Benchmark harness: regenerates the paper's evaluation.
 
-   - table1:  Table 1 — 10 DaCapo-profile benchmarks x 12 analyses,
+   - table1:  Table 1 — 10 DaCapo-profile benchmarks x 15 analyses
+              (the paper's 12 plus cut-shortcut and adaptive columns),
               4 precision metrics + time + context-sensitive
               var-points-to size, grouped as in the paper.
    - figure3: Figure 3 — per-benchmark ASCII scatter of running time (y)
@@ -59,6 +60,7 @@ let analysis_groups =
     [ "1obj"; "U-1obj"; "SA-1obj"; "SB-1obj" ];
     [ "2obj+H"; "U-2obj+H"; "S-2obj+H" ];
     [ "2type+H"; "U-2type+H"; "S-2type+H" ];
+    [ "CS"; "CS-2obj+H"; "AD-2obj+H" ];
   ]
 
 let analyses = List.concat analysis_groups
@@ -441,6 +443,9 @@ let figure3_keys =
     ("2type+H", 't');
     ("U-2type+H", 'Y');
     ("S-2type+H", 's');
+    ("CS", 'x');
+    ("CS-2obj+H", 'X');
+    ("AD-2obj+H", 'd');
   ]
 
 let cmd_figure3 () =
@@ -635,9 +640,12 @@ let cmd_ablation () =
 let cmd_futurework () =
   print_endline "=== Future work: adaptive constructors (paper Section 6) ===";
   print_endline
-    "(A-*: MergeStatic/Record inspect the incoming context's form)\n";
+    "(A-*: MergeStatic/Record inspect the incoming context's form;\n\
+    \ AD-*: per-callee depth dispatch on a hotness oracle;\n\
+    \ CS-*: cut-shortcut — trivial calls threaded through the caller)\n";
   let subjects =
-    [ "2obj+H"; "S-2obj+H"; "A-2obj+H"; "2type+H"; "S-2type+H"; "A-2type+H" ]
+    [ "2obj+H"; "S-2obj+H"; "A-2obj+H"; "AD-2obj+H"; "CS-2obj+H"; "2type+H";
+      "S-2type+H"; "A-2type+H" ]
   in
   List.iter
     (fun bench_name ->
@@ -752,7 +760,7 @@ let cmd_micro () =
            solver with instrumentation compiled in but switched off. *)
         Test.make ~name:"solver-1obj-tiny"
           (Staged.stage (fun () ->
-               ignore (Solver.solve tiny_program (Strategies.obj1 tiny_program))));
+               ignore (Solver.solve tiny_program (Strategies.get "1obj" tiny_program))));
         (* Same run with a live recorder, to expose the observer tax. *)
         Test.make ~name:"solver-1obj-tiny-recorded"
           (Staged.stage (fun () ->
@@ -764,7 +772,7 @@ let cmd_micro () =
                in
                ignore
                  (Solver.solve ~config tiny_program
-                    (Strategies.obj1 tiny_program))));
+                    (Strategies.get "1obj" tiny_program))));
         (* Same run with a live trace sink, to expose the tracer tax
            (compare against solver-1obj-tiny: the untraced run must not
            be measurably slower than before the tracer existed). *)
@@ -774,17 +782,17 @@ let cmd_micro () =
                let config = Solver.Config.make ~trace () in
                ignore
                  (Solver.solve ~config tiny_program
-                    (Strategies.obj1 tiny_program))));
+                    (Strategies.get "1obj" tiny_program))));
         Test.make ~name:"solver-S-2obj+H-tiny"
           (Staged.stage (fun () ->
                ignore
                  (Solver.solve tiny_program
-                    (Strategies.selective_obj2_heap tiny_program))));
+                    (Strategies.get "S-2obj+H" tiny_program))));
         Test.make ~name:"solver-U-2obj+H-tiny"
           (Staged.stage (fun () ->
                ignore
                  (Solver.solve tiny_program
-                    (Strategies.uniform_obj2_heap tiny_program))));
+                    (Strategies.get "U-2obj+H" tiny_program))));
       ]
   in
   let ols =

@@ -40,8 +40,16 @@ let files_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"MJ source files.")
 
 let analysis_arg =
-  let doc = "Context-sensitivity strategy (see $(b,pointsto strategies))." in
-  Arg.(value & opt string "S-2obj+H" & info [ "a"; "analysis" ] ~docv:"NAME" ~doc)
+  let doc =
+    "Context-sensitivity strategy: a preset name such as $(b,S-2obj+H) (see \
+     $(b,pointsto strategies) for the list) or a strategy-algebra expression \
+     such as $(b,selective(obj 2 1)), $(b,uniform(type 2 1)), \
+     $(b,cs(insens)) or $(b,adaptive(obj 2 1, obj 1, 3))."
+  in
+  Arg.(
+    value
+    & opt string "S-2obj+H"
+    & info [ "a"; "analysis"; "strategy" ] ~docv:"STRATEGY" ~doc)
 
 let no_stdlib_arg =
   let doc = "Do not link the bundled mini-JDK." in
@@ -743,17 +751,18 @@ let gen_cmd =
 let strategies_cmd =
   let run () =
     List.iter
-      (fun (name, factory) ->
-        (* A strategy's description does not depend on the program; use a
-           trivial one to materialize it. *)
-        let program =
-          Pta_frontend.Frontend.program_of_string "class Main { static method main() { } }"
-        in
-        let s = factory program in
-        Printf.printf "%-10s %s\n" name s.Pta_context.Strategy.description)
-      Strategies.all
+      (fun { Strategies.name; term; description } ->
+        Printf.printf "%-12s %-28s %s\n" name
+          (Pta_context.Algebra.to_string term)
+          description)
+      Strategies.presets
   in
-  let doc = "List available context-sensitivity strategies." in
+  let doc =
+    "List available context-sensitivity strategies.  Each preset is shown \
+     with its strategy-algebra expression; any such expression (or a \
+     variation of one) can be passed directly to $(b,--strategy) on the \
+     analysis subcommands."
+  in
   Cmd.v
     (Cmd.info "strategies" ~doc ~exits:common_exits)
     Term.(const run $ const ())

@@ -1,37 +1,39 @@
-(* Defining a new analysis in ~15 lines.
+(* Defining a new analysis with the strategy algebra.
 
    The entire analysis framework is parameterized by the paper's three
-   constructor functions.  Here we build a strategy the paper doesn't
-   evaluate: a selective hybrid of 2type+H that keeps an *invocation
-   site* in the heap context of objects allocated under static calls —
-   then compare it against its neighbours.
+   constructor functions, and the algebra in [Pta_context.Algebra] lets
+   you spell out new constructor tables as terms instead of hand-written
+   closures.  Here we build a strategy the paper doesn't evaluate: a
+   selective hybrid of 2type+H that keeps an *invocation site* in the
+   heap context of objects allocated under static calls — then compare
+   it against its neighbours.
 
      dune exec examples/custom_strategy.exe *)
 
-module Ctx = Pta_context.Ctx
+module A = Pta_context.Algebra
 module Solver = Pta_solver.Solver
 
 (* C  = T x (T u I) x (T u I u {*})     (as in S-2type+H)
    HC = (T u I): a type, or — for allocations under static calls — the
-   static call's invocation site. *)
-let my_strategy program : Pta_context.Strategy.t =
-  let ca heap = Ctx.Type (Pta_context.Strategies.class_of_alloc program heap) in
-  {
-    name = "SI-2type+H";
-    description = "S-2type+H with invocation-site heap context under statics";
-    initial_ctx = [| Ctx.Star; Ctx.Star; Ctx.Star |];
-    record =
-      (fun ~heap:_ ~ctx ->
-        (* If the allocating method was entered through a static call,
-           its second context element is the invocation site — keep it. *)
-        match Ctx.second ctx with
-        | Ctx.Invo _ as invo -> [| invo |]
-        | Ctx.Star | Ctx.Heap _ | Ctx.Type _ -> [| Ctx.first ctx |]);
-    merge =
-      (fun ~heap ~hctx ~invo:_ ~ctx:_ -> [| ca heap; Ctx.first hctx; Ctx.Star |]);
-    merge_static =
-      (fun ~invo ~ctx -> [| Ctx.first ctx; Ctx.Invo invo; Ctx.second ctx |]);
-  }
+   static call's invocation site.
+
+   As a constructor table: [record] keeps the context's second element
+   when it is an invocation site (the method was entered through a
+   static call), else the leading type element; [merge] stamps the
+   receiver's class over its heap context; [merge_static] slides the
+   invocation site into second place, exactly as S-2type+H does. *)
+let si_2type_heap : A.t =
+  A.raw ~depth:3
+    ~record:[ A.If_site (1, A.Caller 1, A.Caller 0) ]
+    ~merge:[ A.receiver_type; A.Hctx 0; A.Star ]
+    ~merge_static:[ A.Caller 0; A.callsite; A.Caller 1 ]
+
+(* A second invention, free with the algebra: spend the deep hybrid
+   only on collection-ish classes and run everything else at 1obj. *)
+let targeted : A.t =
+  A.per_method
+    [ ("List*", A.selective_b (A.typ ~h:1 2)); ("Map*", A.selective_b (A.typ ~h:1 2)) ]
+    ~default:(A.obj 1)
 
 let () =
   let profile = Option.get (Pta_workloads.Profile.by_name "eclipse") in
@@ -40,9 +42,8 @@ let () =
     Pta_report.Table.create
       ~headers:[ "analysis"; "avg objs"; "cg edges"; "may-fail casts"; "sensitive vpt" ]
   in
-  (* Custom strategies bypass the name registry, so this drives the
-     solver directly rather than through [Pta_driver.Driver.run]. *)
-  let run name strategy =
+  let run name term =
+    let strategy = A.to_strategy_exn ~name program term in
     let solver = Solver.solve program strategy in
     let m = Pta_clients.Metrics.compute solver in
     Pta_report.Table.add_row table
@@ -54,10 +55,16 @@ let () =
         string_of_int m.Pta_clients.Metrics.sensitive_vpt;
       ]
   in
-  run "2type+H" (Pta_context.Strategies.type2_heap program);
-  run "S-2type+H" (Pta_context.Strategies.selective_type2_heap program);
-  run "SI-2type+H" (my_strategy program);
-  run "U-2type+H" (Pta_context.Strategies.uniform_type2_heap program);
+  (* The registry presets are algebra terms too — the same expressions
+     the CLI accepts as [--strategy '...'].  [Result.get_ok] is safe on
+     canonical forms. *)
+  run "2type+H" (Result.get_ok (A.of_string "type 2 1"));
+  run "S-2type+H" (Result.get_ok (A.of_string "selective(type 2 1)"));
+  run "SI-2type+H" si_2type_heap;
+  run "PM-targeted" targeted;
+  run "U-2type+H" (Result.get_ok (A.of_string "uniform(type 2 1)"));
   print_string (Pta_report.Table.render table);
-  print_endline "\nSI-2type+H is this example's own invention: the framework makes";
-  print_endline "exploring new points in the hybrid design space a 15-line exercise."
+  Printf.printf "\nSI-2type+H prints as:  %s\n" (A.to_string si_2type_heap);
+  print_endline
+    "Both inventions are ordinary algebra terms: exploring new points in\n\
+     the hybrid design space is a five-line expression, not a new module."

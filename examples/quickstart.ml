@@ -48,7 +48,7 @@ let () =
 
   (* 2. Pick a context-sensitivity strategy — here the paper's selective
      hybrid S-2obj+H — and run the solver. *)
-  let strategy = Pta_context.Strategies.selective_obj2_heap program in
+  let strategy = Pta_context.Strategies.get "S-2obj+H" program in
   let solver = Solver.solve program strategy in
 
   (* 3. Query points-to sets: the two dispatchers are distinguished by

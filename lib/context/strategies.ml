@@ -1,282 +1,220 @@
 module Ir = Pta_ir.Ir
-open Ctx
+module A = Algebra
 
 type factory = Ir.Program.t -> Strategy.t
+type preset = { name : string; term : Algebra.t; description : string }
 
 (* CA : H -> T, the class containing the allocation site. *)
 let class_of_alloc program heap =
   let owner = (Ir.Program.heap_info program heap).Ir.heap_owner in
   (Ir.Program.meth_info program owner).Ir.meth_owner
 
-let empty : value = [||]
-let star1 : value = [| Star |]
-let star2 : value = [| Star; Star |]
-let star3 : value = [| Star; Star; Star |]
-
-let make ~name ~description ~initial_ctx ~record ~merge ~merge_static =
-  { Strategy.name; description; initial_ctx; record; merge; merge_static }
+let p name term description = { name; term; description }
 
 (* ------------------------------------------------------------------ *)
-(* Standard analyses (Section 2.2)                                     *)
+(* The preset registry: every named analysis is an algebra term.       *)
+(* Fact-identity of each term against the paper's hand-written          *)
+(* constructor definitions is pinned by test/test_differential.ml.     *)
 (* ------------------------------------------------------------------ *)
 
-let insens _program =
-  make ~name:"insens" ~description:"context-insensitive" ~initial_ctx:empty
-    ~record:(fun ~heap:_ ~ctx:_ -> empty)
-    ~merge:(fun ~heap:_ ~hctx:_ ~invo:_ ~ctx:_ -> empty)
-    ~merge_static:(fun ~invo:_ ~ctx:_ -> empty)
+let standard =
+  [
+    p "insens" A.insens "context-insensitive";
+    p "1call" (A.call 1) "1-call-site-sensitive";
+    p "1call+H" (A.call ~h:1 1)
+      "1-call-site-sensitive with a context-sensitive heap";
+    p "1obj" (A.obj 1) "1-object-sensitive";
+    p "2obj+H" (A.obj ~h:1 2) "2-object-sensitive with a 1-context-sensitive heap";
+    p "2type+H" (A.typ ~h:1 2) "2-type-sensitive with a 1-context-sensitive heap";
+  ]
 
-let call1 _program =
-  make ~name:"1call" ~description:"1-call-site-sensitive" ~initial_ctx:star1
-    ~record:(fun ~heap:_ ~ctx:_ -> empty)
-    ~merge:(fun ~heap:_ ~hctx:_ ~invo ~ctx:_ -> [| Invo invo |])
-    ~merge_static:(fun ~invo ~ctx:_ -> [| Invo invo |])
+(* Uniform hybrids (Section 3.1). *)
+let uniform =
+  [
+    p "U-1obj" (A.uniform (A.obj 1)) "uniform 1-object-sensitive hybrid";
+    p "U-2obj+H"
+      (A.uniform (A.obj ~h:1 2))
+      "uniform 2-object-sensitive hybrid with context-sensitive heap";
+    p "U-2type+H"
+      (A.uniform (A.typ ~h:1 2))
+      "uniform 2-type-sensitive hybrid with context-sensitive heap";
+  ]
 
-let call1_heap _program =
-  make ~name:"1call+H"
-    ~description:"1-call-site-sensitive with a context-sensitive heap"
-    ~initial_ctx:star1
-    ~record:(fun ~heap:_ ~ctx -> ctx)
-    ~merge:(fun ~heap:_ ~hctx:_ ~invo ~ctx:_ -> [| Invo invo |])
-    ~merge_static:(fun ~invo ~ctx:_ -> [| Invo invo |])
-
-let call2_heap _program =
-  make ~name:"2call+H"
-    ~description:"2-call-site-sensitive with a context-sensitive heap"
-    ~initial_ctx:star2
-    ~record:(fun ~heap:_ ~ctx -> [| first ctx |])
-    ~merge:(fun ~heap:_ ~hctx:_ ~invo ~ctx -> [| Invo invo; first ctx |])
-    ~merge_static:(fun ~invo ~ctx -> [| Invo invo; first ctx |])
-
-let obj1 _program =
-  make ~name:"1obj" ~description:"1-object-sensitive" ~initial_ctx:star1
-    ~record:(fun ~heap:_ ~ctx:_ -> empty)
-    ~merge:(fun ~heap ~hctx:_ ~invo:_ ~ctx:_ -> [| Heap heap |])
-    ~merge_static:(fun ~invo:_ ~ctx -> ctx)
-
-let obj1_heap _program =
-  make ~name:"1obj+H"
-    ~description:"1-object-sensitive with a context-sensitive heap (ablation)"
-    ~initial_ctx:star1
-    ~record:(fun ~heap:_ ~ctx -> [| first ctx |])
-    ~merge:(fun ~heap ~hctx:_ ~invo:_ ~ctx:_ -> [| Heap heap |])
-    ~merge_static:(fun ~invo:_ ~ctx -> ctx)
-
-let obj2_heap _program =
-  make ~name:"2obj+H"
-    ~description:"2-object-sensitive with a 1-context-sensitive heap"
-    ~initial_ctx:star2
-    ~record:(fun ~heap:_ ~ctx -> [| first ctx |])
-    ~merge:(fun ~heap ~hctx ~invo:_ ~ctx:_ -> [| Heap heap; first hctx |])
-    ~merge_static:(fun ~invo:_ ~ctx -> ctx)
-
-let type2_heap program =
-  let ca heap = Type (class_of_alloc program heap) in
-  make ~name:"2type+H"
-    ~description:"2-type-sensitive with a 1-context-sensitive heap"
-    ~initial_ctx:star2
-    ~record:(fun ~heap:_ ~ctx -> [| first ctx |])
-    ~merge:(fun ~heap ~hctx ~invo:_ ~ctx:_ -> [| ca heap; first hctx |])
-    ~merge_static:(fun ~invo:_ ~ctx -> ctx)
-
-(* ------------------------------------------------------------------ *)
-(* Uniform hybrids (Section 3.1)                                       *)
-(* ------------------------------------------------------------------ *)
-
-let uniform_obj1 _program =
-  make ~name:"U-1obj" ~description:"uniform 1-object-sensitive hybrid"
-    ~initial_ctx:star2
-    ~record:(fun ~heap:_ ~ctx:_ -> empty)
-    ~merge:(fun ~heap ~hctx:_ ~invo ~ctx:_ -> [| Heap heap; Invo invo |])
-    ~merge_static:(fun ~invo ~ctx -> [| first ctx; Invo invo |])
-
-let uniform_obj2_heap _program =
-  make ~name:"U-2obj+H"
-    ~description:"uniform 2-object-sensitive hybrid with context-sensitive heap"
-    ~initial_ctx:star3
-    ~record:(fun ~heap:_ ~ctx -> [| first ctx |])
-    ~merge:(fun ~heap ~hctx ~invo ~ctx:_ -> [| Heap heap; first hctx; Invo invo |])
-    ~merge_static:(fun ~invo ~ctx -> [| first ctx; second ctx; Invo invo |])
-
-let uniform_type2_heap program =
-  let ca heap = Type (class_of_alloc program heap) in
-  make ~name:"U-2type+H"
-    ~description:"uniform 2-type-sensitive hybrid with context-sensitive heap"
-    ~initial_ctx:star3
-    ~record:(fun ~heap:_ ~ctx -> [| first ctx |])
-    ~merge:(fun ~heap ~hctx ~invo ~ctx:_ -> [| ca heap; first hctx; Invo invo |])
-    ~merge_static:(fun ~invo ~ctx -> [| first ctx; second ctx; Invo invo |])
-
-(* ------------------------------------------------------------------ *)
-(* Selective hybrids (Section 3.2)                                     *)
-(* ------------------------------------------------------------------ *)
-
-let selective_a_obj1 _program =
-  make ~name:"SA-1obj"
-    ~description:
+(* Selective hybrids (Section 3.2). *)
+let selective =
+  [
+    p "SA-1obj"
+      (A.selective_a (A.obj 1))
       "selective 1-object-sensitive hybrid A: one element, allocation site at \
-       virtual calls, invocation site at static calls"
-    ~initial_ctx:star1
-    ~record:(fun ~heap:_ ~ctx:_ -> empty)
-    ~merge:(fun ~heap ~hctx:_ ~invo:_ ~ctx:_ -> [| Heap heap |])
-    ~merge_static:(fun ~invo ~ctx:_ -> [| Invo invo |])
-
-let selective_b_obj1 _program =
-  make ~name:"SB-1obj"
-    ~description:
+       virtual calls, invocation site at static calls";
+    p "SB-1obj"
+      (A.selective_b (A.obj 1))
       "selective 1-object-sensitive hybrid B: allocation site always kept, \
-       invocation site added at static calls"
-    ~initial_ctx:star2
-    ~record:(fun ~heap:_ ~ctx:_ -> empty)
-    ~merge:(fun ~heap ~hctx:_ ~invo:_ ~ctx:_ -> [| Heap heap; Star |])
-    ~merge_static:(fun ~invo ~ctx -> [| first ctx; Invo invo |])
-
-let selective_obj2_heap _program =
-  make ~name:"S-2obj+H"
-    ~description:
+       invocation site added at static calls";
+    p "S-2obj+H"
+      (A.selective_b (A.obj ~h:1 2))
       "selective 2-object-sensitive hybrid with context-sensitive heap: \
-       object-sensitive at virtual calls, call-site elements at static calls"
-    ~initial_ctx:star3
-    ~record:(fun ~heap:_ ~ctx -> [| first ctx |])
-    ~merge:(fun ~heap ~hctx ~invo:_ ~ctx:_ -> [| Heap heap; first hctx; Star |])
-    ~merge_static:(fun ~invo ~ctx -> [| first ctx; Invo invo; second ctx |])
+       object-sensitive at virtual calls, call-site elements at static calls";
+    p "S-2type+H"
+      (A.selective_b (A.typ ~h:1 2))
+      "selective 2-type-sensitive hybrid with context-sensitive heap";
+  ]
 
-let selective_type2_heap program =
-  let ca heap = Type (class_of_alloc program heap) in
-  make ~name:"S-2type+H"
-    ~description:
-      "selective 2-type-sensitive hybrid with context-sensitive heap"
-    ~initial_ctx:star3
-    ~record:(fun ~heap:_ ~ctx -> [| first ctx |])
-    ~merge:(fun ~heap ~hctx ~invo:_ ~ctx:_ -> [| ca heap; first hctx; Star |])
-    ~merge_static:(fun ~invo ~ctx -> [| first ctx; Invo invo; second ctx |])
+(* Deeper-context extensions and ablations kept for the experiments. *)
+let extensions =
+  [
+    p "2call+H" (A.call ~h:1 2)
+      "2-call-site-sensitive with a context-sensitive heap";
+    p "1obj+H" (A.obj ~h:1 1)
+      "1-object-sensitive with a context-sensitive heap (ablation)";
+    p "3obj+2H" (A.obj ~h:2 3)
+      "3-object-sensitive with a 2-context-sensitive heap";
+  ]
 
-(* ------------------------------------------------------------------ *)
-(* Deeper-context extensions (Section 6, "future work")                *)
-(* ------------------------------------------------------------------ *)
-
-let obj3_heap2 _program =
-  make ~name:"3obj+2H"
-    ~description:"3-object-sensitive with a 2-context-sensitive heap"
-    ~initial_ctx:star3
-    ~record:(fun ~heap:_ ~ctx -> [| first ctx; second ctx |])
-    ~merge:(fun ~heap ~hctx ~invo:_ ~ctx:_ ->
-      [| Heap heap; first hctx; second hctx |])
-    ~merge_static:(fun ~invo:_ ~ctx -> ctx)
-
-(* ------------------------------------------------------------------ *)
-(* Adaptive hybrids (Section 6, future work): constructors that inspect *)
-(* the incoming context's *form* and change shape in response — "the    *)
-(* context of a statically called method could have a different form    *)
-(* for a call made inside another statically called method vs. a call   *)
-(* made in a virtual method", and "objects could have different         *)
-(* context, via Record, depending on the context form of their          *)
-(* allocating method".                                                  *)
-(* ------------------------------------------------------------------ *)
-
-let is_invo = function Invo _ -> true | Star | Heap _ | Type _ -> false
-
-(* A-2obj+H: like S-2obj+H at virtual calls; at static calls the context
-   keeps a *two-deep call string* when the caller was itself statically
-   called, and Record uses the freshest invocation site as heap context
-   for objects allocated under static chains. *)
-let adaptive_obj2_heap _program =
-  make ~name:"A-2obj+H"
-    ~description:
-      "adaptive 2-object-sensitive hybrid: static-in-static calls keep a        2-deep call string; allocations under static chains get an        invocation-site heap context"
-    ~initial_ctx:star3
-    ~record:(fun ~heap:_ ~ctx ->
-      (* Allocating method reached through a static call: its second
-         element is an invocation site — a finer discriminator here than
-         the (inherited) receiver element. *)
-      if is_invo (second ctx) then [| second ctx |] else [| first ctx |])
-    ~merge:(fun ~heap ~hctx ~invo:_ ~ctx:_ -> [| Heap heap; first hctx; Star |])
-      (* S-2obj+H's MergeStatic already adapts its shape as the paper
-         notes ("for further static calls, the analysis favors call-site
-         sensitivity"); the addition here is the adaptive Record above. *)
-    ~merge_static:(fun ~invo ~ctx -> [| first ctx; Invo invo; second ctx |])
-
-(* A-2type+H: the same adaptation over type-sensitive contexts. *)
-let adaptive_type2_heap program =
-  let ca heap = Type (class_of_alloc program heap) in
-  make ~name:"A-2type+H"
-    ~description:
-      "adaptive 2-type-sensitive hybrid: static-in-static calls keep a        2-deep call string; allocations under static chains get an        invocation-site heap context"
-    ~initial_ctx:star3
-    ~record:(fun ~heap:_ ~ctx ->
-      if is_invo (second ctx) then [| second ctx |] else [| first ctx |])
-    ~merge:(fun ~heap ~hctx ~invo:_ ~ctx:_ -> [| ca heap; first hctx; Star |])
-    ~merge_static:(fun ~invo ~ctx -> [| first ctx; Invo invo; second ctx |])
-
+(* Adaptive hybrids (Section 6, future work): constructors that inspect
+   the incoming context's *form* (form_adaptive) or the callee's
+   expected context load (adaptive). *)
 let adaptive =
-  [ ("A-2obj+H", adaptive_obj2_heap); ("A-2type+H", adaptive_type2_heap) ]
+  [
+    p "A-2obj+H"
+      (A.form_adaptive (A.obj ~h:1 2))
+      "adaptive 2-object-sensitive hybrid: static-in-static calls keep a \
+       2-deep call string; allocations under static chains get an \
+       invocation-site heap context";
+    p "A-2type+H"
+      (A.form_adaptive (A.typ ~h:1 2))
+      "adaptive 2-type-sensitive hybrid: static-in-static calls keep a \
+       2-deep call string; allocations under static chains get an \
+       invocation-site heap context";
+    p "AD-2obj+H"
+      (A.adaptive ~deep:(A.obj ~h:1 2) ~shallow:(A.obj 1) ~hot:3)
+      "adaptive depth: the 2obj+H shape for methods with at least 3 \
+       potential call sites, plain 1obj elsewhere";
+  ]
 
-(* ------------------------------------------------------------------ *)
-(* Ablations: the "decisively less sense" combinations of Section 3,     *)
-(* kept to reproduce the paper's claim that they yield bad analyses.     *)
-(* ------------------------------------------------------------------ *)
+(* Cut-shortcut analyses (Ma et al., "Context Sensitivity without
+   Contexts"): trivial calls are cut and threaded through the caller. *)
+let shortcut =
+  [
+    p "CS" (A.cut_shortcut A.insens)
+      "cut-shortcut context-insensitive: calls to trivial methods \
+       (getters, setters, forwarders) are cut and their effect threaded \
+       through the caller";
+    p "CS-2obj+H"
+      (A.cut_shortcut (A.obj ~h:1 2))
+      "cut-shortcut over 2obj+H: trivial calls are cut instead of being \
+       analyzed under cloned contexts";
+  ]
 
-(* Call-site heap context: HC = I.  Objects are distinguished by the
-   invocation site in the allocating method's context instead of by an
-   allocator object. *)
-let ablation_invo_heap _program =
-  make ~name:"X-2obj+IH"
-    ~description:
-      "ablation: 2obj-style analysis with an invocation-site heap context        (the paper: call-site heap contexts rarely pay off)"
-    ~initial_ctx:star3
-    ~record:(fun ~heap:_ ~ctx -> [| third ctx |])
-    ~merge:(fun ~heap ~hctx ~invo ~ctx:_ -> [| Heap heap; first hctx; Invo invo |])
-    ~merge_static:(fun ~invo ~ctx -> [| first ctx; second ctx; Invo invo |])
-
-(* Inverted significance order: the receiver's allocator context comes
-   before the receiver itself. *)
-let ablation_inverted _program =
-  make ~name:"X-2obj+Hrev"
-    ~description:
-      "ablation: 2obj+H with hctx in the most significant context position        (the paper: not reasonable to invert heap vs hctx)"
-    ~initial_ctx:star2
-    ~record:(fun ~heap:_ ~ctx -> [| first ctx |])
-    ~merge:(fun ~heap ~hctx ~invo:_ ~ctx:_ -> [| first hctx; Heap heap |])
-    ~merge_static:(fun ~invo:_ ~ctx -> ctx)
-
-(* Free mixing: C = (H u I) x (H u I), preferring invocation sites even
-   at virtual calls — skipping the most-significant object-sensitive
-   element that Section 3 calls well documented to matter. *)
-let ablation_freemix _program =
-  make ~name:"X-freemix"
-    ~description:
-      "ablation: freely mixed call-site/object context that may skip the        receiver object entirely"
-    ~initial_ctx:star2
-    ~record:(fun ~heap:_ ~ctx -> [| first ctx |])
-    ~merge:(fun ~heap ~hctx:_ ~invo ~ctx:_ -> [| Invo invo; Heap heap |])
-    ~merge_static:(fun ~invo ~ctx -> [| Invo invo; first ctx |])
-
+(* The "decisively less sense" combinations of Section 3, kept to
+   reproduce the paper's claim that they yield bad analyses. *)
 let ablations =
   [
-    ("X-2obj+IH", ablation_invo_heap);
-    ("X-2obj+Hrev", ablation_inverted);
-    ("X-freemix", ablation_freemix);
+    p "X-2obj+IH"
+      (A.raw ~depth:3
+         ~record:[ A.Caller 2 ]
+         ~merge:[ A.Recv; A.Hctx 0; A.Site ]
+         ~merge_static:[ A.Caller 0; A.Caller 1; A.Site ])
+      "ablation: 2obj-style analysis with an invocation-site heap context \
+       (the paper: call-site heap contexts rarely pay off)";
+    p "X-2obj+Hrev"
+      (A.raw ~depth:2
+         ~record:[ A.Caller 0 ]
+         ~merge:[ A.Hctx 0; A.Recv ]
+         ~merge_static:[ A.Caller 0; A.Caller 1 ])
+      "ablation: 2obj+H with hctx in the most significant context position \
+       (the paper: not reasonable to invert heap vs hctx)";
+    p "X-freemix"
+      (A.raw ~depth:2
+         ~record:[ A.Caller 0 ]
+         ~merge:[ A.Site; A.Recv ]
+         ~merge_static:[ A.Site; A.Caller 0 ])
+      "ablation: freely mixed call-site/object context that may skip the \
+       receiver object entirely";
+  ]
+
+let presets =
+  standard @ uniform @ selective @ extensions @ adaptive @ shortcut @ ablations
+
+let () =
+  List.iter
+    (fun { name; term; _ } ->
+      match A.validate term with
+      | Ok () -> ()
+      | Error msg ->
+        invalid_arg (Printf.sprintf "invalid preset %s: %s" name msg))
+    presets
+
+let find_preset name = List.find_opt (fun pr -> pr.name = name) presets
+let names = List.map (fun pr -> pr.name) presets
+
+let factory_of_preset { name; term; description } program =
+  A.to_strategy_exn ~name ~description program term
+
+let all = List.map (fun pr -> (pr.name, factory_of_preset pr)) presets
+
+let table1_names =
+  [
+    "1call"; "1call+H"; "1obj"; "U-1obj"; "SA-1obj"; "SB-1obj"; "2obj+H";
+    "U-2obj+H"; "S-2obj+H"; "2type+H"; "U-2type+H"; "S-2type+H";
   ]
 
 let table1 =
-  [
-    ("1call", call1);
-    ("1call+H", call1_heap);
-    ("1obj", obj1);
-    ("U-1obj", uniform_obj1);
-    ("SA-1obj", selective_a_obj1);
-    ("SB-1obj", selective_b_obj1);
-    ("2obj+H", obj2_heap);
-    ("U-2obj+H", uniform_obj2_heap);
-    ("S-2obj+H", selective_obj2_heap);
-    ("2type+H", type2_heap);
-    ("U-2type+H", uniform_type2_heap);
-    ("S-2type+H", selective_type2_heap);
-  ]
-
-let all =
-  [ ("insens", insens) ] @ table1
-  @ [ ("2call+H", call2_heap); ("1obj+H", obj1_heap); ("3obj+2H", obj3_heap2) ]
-  @ adaptive @ ablations
+  List.map (fun name -> (name, List.assoc name all)) table1_names
 
 let by_name name = List.assoc_opt name all
+
+let get name =
+  match by_name name with
+  | Some f -> f
+  | None -> invalid_arg ("Strategies.get: unknown analysis " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Name resolution for the CLI: preset name or algebra expression.     *)
+(* ------------------------------------------------------------------ *)
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) (fun j -> j) in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggest name =
+  let target = String.lowercase_ascii name in
+  let scored =
+    List.filter_map
+      (fun candidate ->
+        let d = levenshtein target (String.lowercase_ascii candidate) in
+        if d <= 3 then Some (d, candidate) else None)
+      names
+  in
+  let sorted = List.sort compare scored in
+  List.filteri (fun i _ -> i < 3) (List.map snd sorted)
+
+type resolve_error =
+  | Unknown_name of { name : string; suggestions : string list }
+  | Bad_expression of { expr : string; msg : string }
+
+let resolve input =
+  match by_name input with
+  | Some f -> Ok f
+  | None -> (
+    let looks_like_expression =
+      String.exists (fun c -> c = '(' || c = ' ' || c = '[') input
+    in
+    match A.of_string input with
+    | Ok term ->
+      Ok
+        (fun program ->
+          A.to_strategy_exn ~name:(A.to_string term) program term)
+    | Error msg ->
+      if looks_like_expression then Error (Bad_expression { expr = input; msg })
+      else Error (Unknown_name { name = input; suggestions = suggest input }))

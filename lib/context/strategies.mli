@@ -1,67 +1,58 @@
-(** All analyses from the paper (Sections 2.2, 3.1, 3.2) plus the
-    deeper-context extensions it points to, each as a
-    {!Strategy.t} built from a program.
+(** The named analyses: every preset is an {!Algebra} term.
 
-    The paper's equations map one-to-one onto these definitions; see the
-    implementation, which is written to read like Section 2.2/3. *)
+    This module is a registry, not a zoo of hand-written closures — each
+    analysis of the paper's Table 1 (plus the extensions, adaptive
+    hybrids, cut-shortcut analyses and ablations used by the
+    experiments) is a [(name, term, description)] triple compiled
+    through {!Algebra.to_strategy}.  Fact-identity of the terms against
+    the paper's hand-written constructor definitions is pinned by the
+    differential test suite.
+
+    {!resolve} is the CLI entry point: it accepts either a preset name
+    (["S-2obj+H"]) or an algebra expression (["selective(obj 2 1)"]). *)
 
 type factory = Pta_ir.Ir.Program.t -> Strategy.t
 
-val insens : factory  (** context-insensitive *)
+type preset = { name : string; term : Algebra.t; description : string }
 
-val call1 : factory  (** 1call *)
+val presets : preset list
+(** All presets, in listing order: standard analyses, uniform hybrids,
+    selective hybrids, deeper-context extensions, adaptive hybrids,
+    cut-shortcut analyses, ablations. *)
 
-val call1_heap : factory  (** 1call+H *)
-
-val call2_heap : factory  (** 2call+H (deeper-context extension) *)
-
-val obj1 : factory  (** 1obj *)
-
-val obj1_heap : factory
-(** 1obj+H — included for the paper's "strictly inferior choice" ablation *)
-
-val obj2_heap : factory  (** 2obj+H *)
-
-val type2_heap : factory  (** 2type+H *)
-
-val uniform_obj1 : factory  (** U-1obj (Section 3.1) *)
-
-val uniform_obj2_heap : factory  (** U-2obj+H *)
-
-val uniform_type2_heap : factory  (** U-2type+H *)
-
-val selective_a_obj1 : factory  (** SA-1obj (Section 3.2) *)
-
-val selective_b_obj1 : factory  (** SB-1obj *)
-
-val selective_obj2_heap : factory  (** S-2obj+H *)
-
-val selective_type2_heap : factory  (** S-2type+H *)
-
-val obj3_heap2 : factory  (** 3obj+2H (future-work extension) *)
-
-val adaptive : (string * factory) list
-(** Section 6's future-work direction, implemented: hybrids whose
-    constructor functions inspect the incoming context's form —
-    deepening static call strings and stamping invocation-site heap
-    contexts onto objects allocated under static chains. *)
-
-val ablations : (string * factory) list
-(** The deliberately bad context combinations Section 3 dismisses —
-    call-site heap contexts, inverted heap/hctx significance, free
-    mixing that can drop the receiver element — kept to reproduce the
-    paper's "we verified experimentally that such combinations yield bad
-    analyses". *)
+val find_preset : string -> preset option
+val names : string list
 
 val all : (string * factory) list
-(** Every strategy, keyed by its paper abbreviation, in the paper's
-    presentation order (Table 1 column order, then extensions). *)
+(** [presets] compiled to factories, same order. *)
 
 val table1 : (string * factory) list
-(** Exactly the 12 analyses of Table 1, in column order. *)
+(** The paper's Table 1 analyses, in the paper's column order. *)
 
 val by_name : string -> factory option
+(** Exact preset-name lookup (no expression parsing; see {!resolve}). *)
 
-val class_of_alloc : Pta_ir.Ir.Program.t -> Pta_ir.Ir.Heap_id.t -> Pta_ir.Ir.Type_id.t
+val get : string -> factory
+(** @raise Invalid_argument on an unknown preset name.  For tests and
+    benchmarks where the name is a literal. *)
+
+val suggest : string -> string list
+(** Up to three preset names within edit distance 3 of the (case-folded)
+    input, closest first — for "unknown analysis" error messages. *)
+
+type resolve_error =
+  | Unknown_name of { name : string; suggestions : string list }
+      (** the input looks like a name, but no preset matches *)
+  | Bad_expression of { expr : string; msg : string }
+      (** the input looks like an algebra expression, but does not parse
+          or validate *)
+
+val resolve : string -> (factory, resolve_error) result
+(** Preset name first, then {!Algebra.of_string}.  A resolved expression
+    is named by its canonical form. *)
+
+val class_of_alloc :
+  Pta_ir.Ir.Program.t -> Pta_ir.Ir.Heap_id.t -> Pta_ir.Ir.Type_id.t
 (** The paper's [CA : H -> T] — the class containing the allocation
-    site, used by type-sensitive analyses. *)
+    site, used by type-sensitive analyses (exposed for custom strategies
+    written directly against {!Strategy.t}). *)

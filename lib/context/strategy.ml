@@ -7,7 +7,13 @@ type t = {
     heap:Pta_ir.Ir.Heap_id.t ->
     hctx:Ctx.value ->
     invo:Pta_ir.Ir.Invo_id.t ->
+    callee:Pta_ir.Ir.Meth_id.t ->
     ctx:Ctx.value ->
     Ctx.value;
-  merge_static : invo:Pta_ir.Ir.Invo_id.t -> ctx:Ctx.value -> Ctx.value;
+  merge_static :
+    invo:Pta_ir.Ir.Invo_id.t ->
+    callee:Pta_ir.Ir.Meth_id.t ->
+    ctx:Ctx.value ->
+    Ctx.value;
+  shortcut : Shortcut.t option;
 }

@@ -13,19 +13,31 @@ type source =
 
 type error =
   | Frontend_error of exn
-  | Unknown_analysis of string
+  | Unknown_analysis of { name : string; suggestions : string list }
+  | Bad_strategy_expr of { expr : string; msg : string }
   | Timed_out of { analysis : string; abort : Pta_obs.Budget.abort }
 
 let exit_code = function
   | Frontend_error _ -> 1
-  | Unknown_analysis _ -> 2
+  | Unknown_analysis _ | Bad_strategy_expr _ -> 2
   | Timed_out _ -> 3
 
 let pp_error ppf = function
   | Frontend_error exn ->
     if not (Pta_frontend.Frontend.report ppf exn) then raise exn
-  | Unknown_analysis name ->
-    Format.fprintf ppf "unknown analysis %S; see `pointsto strategies'" name
+  | Unknown_analysis { name; suggestions } ->
+    Format.fprintf ppf "unknown analysis %S" name;
+    (match suggestions with
+    | [] -> ()
+    | [ s ] -> Format.fprintf ppf " (did you mean %s?)" s
+    | ss -> Format.fprintf ppf " (did you mean %s?)" (String.concat " or " ss));
+    Format.fprintf ppf "@\navailable: %s"
+      (String.concat ", " Strategies.names);
+    Format.fprintf ppf
+      "@\nsee `pointsto strategies', or pass an algebra expression such as \
+       'selective(obj 2 1)'"
+  | Bad_strategy_expr { expr; msg } ->
+    Format.fprintf ppf "bad strategy expression %S: %s" expr msg
   | Timed_out { analysis; abort } ->
     Format.fprintf ppf
       "analysis %s timed out after %.1fs (%d iterations, %d nodes)" analysis
@@ -121,9 +133,12 @@ let load_string ?stdlib ?metrics ?(name = "<string>") contents =
 (* ------------------------------------------------------------------ *)
 
 let strategy_of_name program name =
-  match Strategies.by_name name with
-  | Some factory -> Ok (factory program)
-  | None -> Error (Unknown_analysis name)
+  match Strategies.resolve name with
+  | Ok factory -> Ok (factory program)
+  | Error (Strategies.Unknown_name { name; suggestions }) ->
+    Error (Unknown_analysis { name; suggestions })
+  | Error (Strategies.Bad_expression { expr; msg }) ->
+    Error (Bad_strategy_expr { expr; msg })
 
 type run = {
   solver : Solver.t;

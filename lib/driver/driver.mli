@@ -17,7 +17,12 @@ type source =
 type error =
   | Frontend_error of exn
       (** a lexical / syntax / semantic error; format with {!pp_error} *)
-  | Unknown_analysis of string
+  | Unknown_analysis of { name : string; suggestions : string list }
+      (** no preset of that name; [suggestions] are the closest-matching
+          preset names, for the error message *)
+  | Bad_strategy_expr of { expr : string; msg : string }
+      (** the argument looked like a strategy-algebra expression but
+          failed to parse or validate *)
   | Timed_out of { analysis : string; abort : Pta_obs.Budget.abort }
 
 val exit_code : error -> int
@@ -60,7 +65,9 @@ val load_string :
 
 val strategy_of_name :
   Pta_ir.Ir.Program.t -> string -> (Pta_context.Strategy.t, error) result
-(** Resolve through the {!Pta_context.Strategies} registry. *)
+(** Resolve through {!Pta_context.Strategies.resolve}: a preset name
+    (["S-2obj+H"]) or a strategy-algebra expression
+    (["selective(obj 2 1)"]). *)
 
 type run = {
   solver : Pta_solver.Solver.t;

@@ -2,6 +2,7 @@ module Ir = Pta_ir.Ir
 module Hierarchy = Pta_ir.Hierarchy
 module Ctx = Pta_context.Ctx
 module Strategy = Pta_context.Strategy
+module Shortcut = Pta_context.Shortcut
 module Relation = Pta_datalog.Relation
 module Engine = Pta_datalog.Engine
 open Ir
@@ -18,8 +19,16 @@ type t = {
 
 (* Populate the extensional database from the program: the input
    relations of the paper's Figure 1 (plus CAST/SUBTYPE for the cast
-   rule, and LOOKUP/SUBTYPE precomputed from the class hierarchy). *)
-let build_edb program =
+   rule, and LOOKUP/SUBTYPE precomputed from the class hierarchy).
+
+   Under a cut-shortcut [plan], calls at cut sites keep their VCall/SCall
+   facts (call-graph edge, reachability, [this] binding) but lose their
+   ActualArg/ActualRet facts; instead the plan's caller-side items are
+   injected as ordinary Move/Load/Store facts on the call's own
+   variables — literally the relations the equivalent instructions would
+   populate, which keeps this engine fact-identical to the native
+   solver's cut handling. *)
+let build_edb ~plan program =
   let rel name arity = Relation.create ~name ~arity in
   let alloc = rel "Alloc" 3 in
   let move = rel "Move" 2 in
@@ -57,6 +66,38 @@ let build_edb program =
   in
   let all_class_types =
     List.init (Program.n_types program) Type_id.of_int
+  in
+  let cut_action invo =
+    match plan with
+    | None -> None
+    | Some plan -> Shortcut.action plan invo
+  in
+  (* Inject one cut item as the equivalent caller-side instruction
+     facts.  [base] is the receiver variable ([None] at static call
+     sites, whose summaries cannot mention [this]). *)
+  let add_cut_item ~base ~args ~ret_target item =
+    let arg_var = function
+      | Shortcut.This -> base
+      | Shortcut.Param i -> List.nth_opt args i
+    in
+    match item with
+    | Shortcut.Copy_ret arg -> (
+      match (ret_target, arg_var arg) with
+      | Some ret, Some src ->
+        add move [| Var_id.to_int ret; Var_id.to_int src |]
+      | _ -> ())
+    | Shortcut.Load_ret field -> (
+      match (ret_target, base) with
+      | Some ret, Some b ->
+        add load
+          [| Var_id.to_int ret; Var_id.to_int b; Field_id.to_int field |]
+      | _ -> ())
+    | Shortcut.Store_field (field, arg) -> (
+      match (base, arg_var arg) with
+      | Some b, Some src ->
+        add store
+          [| Var_id.to_int b; Field_id.to_int field; Var_id.to_int src |]
+      | _ -> ())
   in
   Program.iter_meths program (fun meth mi ->
       let m = Meth_id.to_int meth in
@@ -119,7 +160,7 @@ let build_edb program =
           | Store { base; field; source } ->
             add store
               [| Var_id.to_int base; Field_id.to_int field; Var_id.to_int source |]
-          | Virtual_call { base; signature; invo; args; ret_target } ->
+          | Virtual_call { base; signature; invo; args; ret_target } -> (
             add vcall
               [|
                 Var_id.to_int base;
@@ -127,20 +168,34 @@ let build_edb program =
                 Invo_id.to_int invo;
                 m;
               |];
-            List.iteri
-              (fun i arg -> add actual_arg [| Invo_id.to_int invo; i; Var_id.to_int arg |])
-              args;
-            Option.iter
-              (fun v -> add actual_ret [| Invo_id.to_int invo; Var_id.to_int v |])
-              ret_target
-          | Static_call { callee; invo; args; ret_target } ->
+            match cut_action invo with
+            | Some items ->
+              List.iter
+                (add_cut_item ~base:(Some base) ~args ~ret_target)
+                items
+            | None ->
+              List.iteri
+                (fun i arg ->
+                  add actual_arg [| Invo_id.to_int invo; i; Var_id.to_int arg |])
+                args;
+              Option.iter
+                (fun v ->
+                  add actual_ret [| Invo_id.to_int invo; Var_id.to_int v |])
+                ret_target)
+          | Static_call { callee; invo; args; ret_target } -> (
             add scall [| Meth_id.to_int callee; Invo_id.to_int invo; m |];
-            List.iteri
-              (fun i arg -> add actual_arg [| Invo_id.to_int invo; i; Var_id.to_int arg |])
-              args;
-            Option.iter
-              (fun v -> add actual_ret [| Invo_id.to_int invo; Var_id.to_int v |])
-              ret_target
+            match cut_action invo with
+            | Some items ->
+              List.iter (add_cut_item ~base:None ~args ~ret_target) items
+            | None ->
+              List.iteri
+                (fun i arg ->
+                  add actual_arg [| Invo_id.to_int invo; i; Var_id.to_int arg |])
+                args;
+              Option.iter
+                (fun v ->
+                  add actual_ret [| Invo_id.to_int invo; Var_id.to_int v |])
+                ret_target)
           | Static_load { target; field } ->
             add sload [| Var_id.to_int target; Field_id.to_int field; m |]
           | Static_store { field; source } ->
@@ -201,7 +256,7 @@ let run ?observer ?budget ?trace ?metrics program (strategy : Strategy.t) =
         lookup,
         subtype,
         (throw_in, call_scope, catches, escapes_scope, scope_parent, root_scope) ) =
-    build_edb program
+    build_edb ~plan:strategy.Strategy.shortcut program
   in
   let vpt = Relation.create ~name:"VarPointsTo" ~arity:4 in
   let sfpt = Relation.create ~name:"StaticFldPointsTo" ~arity:3 in
@@ -219,18 +274,20 @@ let run ?observer ?budget ?trace ?metrics program (strategy : Strategy.t) =
          ~heap:(Heap_id.of_int env.(heap_v))
          ~ctx:(Ctx.value ctx_store env.(ctx_v)))
   in
-  let merge_hook ~heap_v ~hctx_v ~invo_v ~ctx_v env =
+  let merge_hook ~heap_v ~hctx_v ~invo_v ~callee_v ~ctx_v env =
     Ctx.intern ctx_store
       (strategy.Strategy.merge
          ~heap:(Heap_id.of_int env.(heap_v))
          ~hctx:(Ctx.value hctx_store env.(hctx_v))
          ~invo:(Invo_id.of_int env.(invo_v))
+         ~callee:(Meth_id.of_int env.(callee_v))
          ~ctx:(Ctx.value ctx_store env.(ctx_v)))
   in
-  let merge_static_hook ~invo_v ~ctx_v env =
+  let merge_static_hook ~invo_v ~callee_v ~ctx_v env =
     Ctx.intern ctx_store
       (strategy.Strategy.merge_static
          ~invo:(Invo_id.of_int env.(invo_v))
+         ~callee:(Meth_id.of_int env.(callee_v))
          ~ctx:(Ctx.value ctx_store env.(ctx_v)))
   in
   let rules =
@@ -359,7 +416,9 @@ let run ?observer ?budget ?trace ?metrics program (strategy : Strategy.t) =
           { rel = root_scope; args = [| V 0; V 5 |] };
         ];
       (* Virtual call: the Merge rule, with its three heads. *)
-      (let callee_ctx = Hf (merge_hook ~heap_v:4 ~hctx_v:5 ~invo_v:2 ~ctx_v:8) in
+      (let callee_ctx =
+         Hf (merge_hook ~heap_v:4 ~hctx_v:5 ~invo_v:2 ~callee_v:7 ~ctx_v:8)
+       in
        rule "vcall" ~n_vars:10
          [
            { hrel = reach; hargs = [| Hv 7; callee_ctx |] };
@@ -375,7 +434,7 @@ let run ?observer ?budget ?trace ?metrics program (strategy : Strategy.t) =
            { rel = this_var; args = [| V 7; V 9 |] };
          ]);
       (* Static call: the MergeStatic rule. *)
-      (let callee_ctx = Hf (merge_static_hook ~invo_v:1 ~ctx_v:3) in
+      (let callee_ctx = Hf (merge_static_hook ~invo_v:1 ~callee_v:0 ~ctx_v:3) in
        rule "scall" ~n_vars:4
          [
            { hrel = reach; hargs = [| Hv 0; callee_ctx |] };

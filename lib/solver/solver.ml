@@ -3,6 +3,7 @@ module Vec = Pta_ir.Vec
 module Hierarchy = Pta_ir.Hierarchy
 module Ctx = Pta_context.Ctx
 module Strategy = Pta_context.Strategy
+module Shortcut = Pta_context.Shortcut
 module Observer = Pta_obs.Observer
 module Budget = Pta_obs.Budget
 module Trace = Pta_obs.Trace
@@ -35,6 +36,7 @@ type vcall_site = {
   vc_ret : Var_id.t option;
   vc_ctx : Ctx.id;  (* caller context *)
   vc_exc : int;  (* scope node receiving the callee's escaping exceptions *)
+  vc_cut : bool;  (* cut-shortcut site: no parameter/return wiring *)
 }
 
 type load_trigger = { ld_field : Field_id.t; ld_target : int }
@@ -520,34 +522,39 @@ let mark_reachable st meth ctx =
 
 (* Record a call-graph edge; on first discovery wire the parameter and
    return-value assignments (the two InterProcAssign rules) and make the
-   callee reachable under the callee context. *)
+   callee reachable under the callee context.  A [cut] site keeps the
+   call-graph edge, reachability and exception wiring, but the
+   parameter/return flow is replaced by the shortcut items the caller
+   applied in its own context (see [apply_shortcut]). *)
 let wire_call st ~invo ~caller_ctx ~callee ~callee_ctx ~args ~ret_target
-    ~exc_target =
+    ~exc_target ~cut =
   let key = (Invo_id.to_int invo, caller_ctx, Meth_id.to_int callee, callee_ctx) in
   if not (Hashtbl.mem st.call_edges key) then begin
     Hashtbl.add st.call_edges key ();
     mark_reachable st callee callee_ctx;
     let mi = Program.meth_info st.program callee in
     let n_formals = Array.length mi.formals in
-    List.iteri
-      (fun i actual ->
-        if i < n_formals then
-          add_edge st
-            ~src:(var_node st actual caller_ctx)
-            ~dst:(var_node st mi.formals.(i) callee_ctx)
-            ~filter:None)
-      args;
+    if not cut then
+      List.iteri
+        (fun i actual ->
+          if i < n_formals then
+            add_edge st
+              ~src:(var_node st actual caller_ctx)
+              ~dst:(var_node st mi.formals.(i) callee_ctx)
+              ~filter:None)
+        args;
     (* Exceptions escaping the callee unwind into the call site's
        enclosing scope. *)
     add_edge st ~src:(throw_node st callee callee_ctx) ~dst:exc_target
       ~filter:None;
-    match (mi.ret_var, ret_target) with
-    | Some from_var, Some to_var ->
-      add_edge st
-        ~src:(var_node st from_var callee_ctx)
-        ~dst:(var_node st to_var caller_ctx)
-        ~filter:None
-    | _ -> ()
+    if not cut then
+      match (mi.ret_var, ret_target) with
+      | Some from_var, Some to_var ->
+        add_edge st
+          ~src:(var_node st from_var callee_ctx)
+          ~dst:(var_node st to_var caller_ctx)
+          ~filter:None
+      | _ -> ()
   end
 
 (* The virtual-call rule: one abstract object [hobj] reached the call's
@@ -566,13 +573,14 @@ let dispatch st (vc : vcall_site) hobj =
       let ctx = Ctx.value st.ctx_store vc.vc_ctx in
       let callee_ctx =
         intern_ctx st
-          (st.strategy.Strategy.merge ~heap ~hctx ~invo:vc.vc_invo ~ctx)
+          (st.strategy.Strategy.merge ~heap ~hctx ~invo:vc.vc_invo ~callee ~ctx)
       in
       (match mi.this_var with
       | Some this -> push st (var_node st this callee_ctx) (Intset.singleton hobj)
       | None -> ());
       wire_call st ~invo:vc.vc_invo ~caller_ctx:vc.vc_ctx ~callee ~callee_ctx
         ~args:vc.vc_args ~ret_target:vc.vc_ret ~exc_target:vc.vc_exc
+        ~cut:vc.vc_cut
     end
 
 (* ------------------------------------------------------------------ *)
@@ -636,6 +644,44 @@ let attach_vcall st base_node vc =
       ~dur_us:(Trace.now_us st.trace -. t0)
   end
 
+(* Cut-shortcut: the caller-side flows replacing a cut call's
+   parameter/return wiring, applied in the caller's own context.  The
+   injected edges and triggers are exactly what the equivalent
+   move/load/store instructions would produce, which is what keeps the
+   two engines fact-identical under shortcut strategies. *)
+let shortcut_action st invo =
+  match st.strategy.Strategy.shortcut with
+  | None -> None
+  | Some plan -> Shortcut.action plan invo
+
+let apply_shortcut st ~ctx ~base ~args ~ret_target items =
+  let arg_var = function
+    | Shortcut.This -> base
+    | Shortcut.Param i -> List.nth_opt args i
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Shortcut.Copy_ret arg -> (
+        match (ret_target, arg_var arg) with
+        | Some ret, Some src ->
+          add_edge st ~src:(var_node st src ctx) ~dst:(var_node st ret ctx)
+            ~filter:None
+        | _ -> ())
+      | Shortcut.Load_ret field -> (
+        match (ret_target, base) with
+        | Some ret, Some b ->
+          attach_load st (var_node st b ctx)
+            { ld_field = field; ld_target = var_node st ret ctx }
+        | _ -> ())
+      | Shortcut.Store_field (field, arg) -> (
+        match (base, arg_var arg) with
+        | Some b, Some src ->
+          attach_store st (var_node st b ctx)
+            { st_field = field; st_source = var_node st src ctx }
+        | _ -> ()))
+    items
+
 let rec process_code st ~ctx ~ctx_value ~exc_target code =
   match code with
   | Instr instr -> process_instr st ~ctx ~ctx_value ~exc_target instr
@@ -687,6 +733,13 @@ and process_instr st ~ctx ~ctx_value ~exc_target instr =
     attach_store st (var_node st base ctx)
       { st_field = field; st_source = var_node st source ctx }
   | Virtual_call { base; signature; invo; args; ret_target } ->
+    let cut =
+      match shortcut_action st invo with
+      | Some items ->
+        apply_shortcut st ~ctx ~base:(Some base) ~args ~ret_target items;
+        true
+      | None -> false
+    in
     attach_vcall st (var_node st base ctx)
       {
         vc_invo = invo;
@@ -695,23 +748,33 @@ and process_instr st ~ctx ~ctx_value ~exc_target instr =
         vc_ret = ret_target;
         vc_ctx = ctx;
         vc_exc = exc_target;
+        vc_cut = cut;
       }
   | Static_call { callee; invo; args; ret_target } ->
     (* The MergeStatic rule. *)
+    let cut =
+      match shortcut_action st invo with
+      | Some items ->
+        apply_shortcut st ~ctx ~base:None ~args ~ret_target items;
+        true
+      | None -> false
+    in
     if Trace.is_null st.trace then begin
       let callee_ctx =
-        intern_ctx st (st.strategy.Strategy.merge_static ~invo ~ctx:ctx_value)
+        intern_ctx st
+          (st.strategy.Strategy.merge_static ~invo ~callee ~ctx:ctx_value)
       in
       wire_call st ~invo ~caller_ctx:ctx ~callee ~callee_ctx ~args ~ret_target
-        ~exc_target
+        ~exc_target ~cut
     end
     else begin
       let t0 = Trace.now_us st.trace in
       let callee_ctx =
-        intern_ctx st (st.strategy.Strategy.merge_static ~invo ~ctx:ctx_value)
+        intern_ctx st
+          (st.strategy.Strategy.merge_static ~invo ~callee ~ctx:ctx_value)
       in
       wire_call st ~invo ~caller_ctx:ctx ~callee ~callee_ctx ~args ~ret_target
-        ~exc_target;
+        ~exc_target ~cut;
       Trace.complete st.trace ~delta:1 ~cat:"solver" ~name:"scall" ~t0_us:t0
         ~dur_us:(Trace.now_us st.trace -. t0)
     end
@@ -963,18 +1026,6 @@ let solve ?config program strategy =
   | Aborted (_, abort) -> raise (Timeout abort)
 
 let is_complete st = st.solved
-
-let run ?timeout_s ?(field_based = false) program strategy =
-  solve
-    ~config:
-      {
-        Config.budget = Budget.of_seconds_opt timeout_s;
-        field_based;
-        observer = Observer.null;
-        trace = Trace.null;
-        metrics = Registry.null;
-      }
-    program strategy
 
 (* ------------------------------------------------------------------ *)
 (* Results                                                             *)

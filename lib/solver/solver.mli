@@ -114,17 +114,6 @@ val is_complete : t -> bool
     {!Complete} outcome (or a {!solve} that returned).  [false] on the
     partial state of an {!Aborted} outcome. *)
 
-val run :
-  ?timeout_s:float ->
-  ?field_based:bool ->
-  Pta_ir.Ir.Program.t ->
-  Pta_context.Strategy.t ->
-  t
-(** Compatibility wrapper for the pre-{!Config} API.
-
-    @deprecated Use {!solve} with a {!Config.t}; this wrapper will be
-    removed once external callers migrate. *)
-
 val program : t -> Pta_ir.Ir.Program.t
 val strategy : t -> Pta_context.Strategy.t
 val hierarchy : t -> Pta_ir.Hierarchy.t

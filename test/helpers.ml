@@ -16,7 +16,7 @@ let run ?(strategy = "1obj") src =
     | Some f -> f
     | None -> Alcotest.failf "unknown strategy %s" strategy
   in
-  Pta_solver.Solver.run p (factory p)
+  Pta_solver.Solver.solve p (factory p)
 
 (* Names of allocation sites ("<Class>/<label>") a variable may point to,
    context-insensitively, sorted. *)

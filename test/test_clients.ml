@@ -33,7 +33,7 @@ let source =
 let solver =
   lazy
     (let program = Pta_frontend.Frontend.program_of_string ~file:"<t>" source in
-     Solver.run program (Pta_context.Strategies.obj1 program))
+     Solver.solve program (Pta_context.Strategies.get "1obj" program))
 
 let devirt_test () =
   let solver = Lazy.force solver in
@@ -104,7 +104,7 @@ let unreachable_code_test () =
       class Main { static method main() { var a = new A; } }
       |}
   in
-  let solver = Solver.run program (Pta_context.Strategies.obj1 program) in
+  let solver = Solver.solve program (Pta_context.Strategies.get "1obj" program) in
   let m = Metrics.compute solver in
   Alcotest.(check int) "no casts counted" 0 m.Metrics.total_casts;
   Alcotest.(check int) "no vcalls counted" 0 m.Metrics.total_vcalls;

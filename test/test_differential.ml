@@ -130,7 +130,7 @@ let check_program ~name src strategies =
     (fun strat_name ->
       let factory = Option.get (Pta_context.Strategies.by_name strat_name) in
       let strategy = factory program in
-      let solver = Solver.run program strategy in
+      let solver = Solver.solve program strategy in
       let reference = Pta_refimpl.Refimpl.run program strategy in
       let s_vpt, s_cg, s_reach, s_throws = solver_facts solver in
       let r_vpt, r_cg, r_reach, r_throws = ref_facts reference in
@@ -311,6 +311,238 @@ let program_exceptions =
   }
   |}
 
+(* ------------------------------------------------------------------ *)
+(* Legacy fact-identity: the hand-written closure definitions that the
+   strategy algebra replaced, kept verbatim (modulo the [callee]
+   parameter and [shortcut] field the interface has since grown).  Every
+   preset the registry now compiles from an algebra term must produce
+   exactly the same facts as its original closure — this is the
+   refactoring's no-behavior-change guarantee. *)
+(* ------------------------------------------------------------------ *)
+
+module Legacy = struct
+  let make ~name ~initial_ctx ~record ~merge ~merge_static =
+    {
+      Pta_context.Strategy.name;
+      description = name;
+      initial_ctx;
+      record;
+      merge;
+      merge_static;
+      shortcut = None;
+    }
+
+  let empty : Ctx.value = [||]
+  let star1 : Ctx.value = [| Ctx.Star |]
+  let star2 : Ctx.value = [| Ctx.Star; Ctx.Star |]
+  let star3 : Ctx.value = [| Ctx.Star; Ctx.Star; Ctx.Star |]
+
+  let ca program heap =
+    Ctx.Type (Pta_context.Strategies.class_of_alloc program heap)
+
+  let is_invo = function
+    | Ctx.Invo _ -> true
+    | Ctx.Star | Ctx.Heap _ | Ctx.Type _ -> false
+
+  let insens _program =
+    make ~name:"insens" ~initial_ctx:empty
+      ~record:(fun ~heap:_ ~ctx:_ -> empty)
+      ~merge:(fun ~heap:_ ~hctx:_ ~invo:_ ~callee:_ ~ctx:_ -> empty)
+      ~merge_static:(fun ~invo:_ ~callee:_ ~ctx:_ -> empty)
+
+  let call1 _program =
+    make ~name:"1call" ~initial_ctx:star1
+      ~record:(fun ~heap:_ ~ctx:_ -> empty)
+      ~merge:(fun ~heap:_ ~hctx:_ ~invo ~callee:_ ~ctx:_ -> [| Ctx.Invo invo |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx:_ -> [| Ctx.Invo invo |])
+
+  let call1_heap _program =
+    make ~name:"1call+H" ~initial_ctx:star1
+      ~record:(fun ~heap:_ ~ctx -> ctx)
+      ~merge:(fun ~heap:_ ~hctx:_ ~invo ~callee:_ ~ctx:_ -> [| Ctx.Invo invo |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx:_ -> [| Ctx.Invo invo |])
+
+  let call2_heap _program =
+    make ~name:"2call+H" ~initial_ctx:star2
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.first ctx |])
+      ~merge:(fun ~heap:_ ~hctx:_ ~invo ~callee:_ ~ctx ->
+        [| Ctx.Invo invo; Ctx.first ctx |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx ->
+        [| Ctx.Invo invo; Ctx.first ctx |])
+
+  let obj1 _program =
+    make ~name:"1obj" ~initial_ctx:star1
+      ~record:(fun ~heap:_ ~ctx:_ -> empty)
+      ~merge:(fun ~heap ~hctx:_ ~invo:_ ~callee:_ ~ctx:_ -> [| Ctx.Heap heap |])
+      ~merge_static:(fun ~invo:_ ~callee:_ ~ctx -> ctx)
+
+  let obj1_heap _program =
+    make ~name:"1obj+H" ~initial_ctx:star1
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.first ctx |])
+      ~merge:(fun ~heap ~hctx:_ ~invo:_ ~callee:_ ~ctx:_ -> [| Ctx.Heap heap |])
+      ~merge_static:(fun ~invo:_ ~callee:_ ~ctx -> ctx)
+
+  let obj2_heap _program =
+    make ~name:"2obj+H" ~initial_ctx:star2
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.first ctx |])
+      ~merge:(fun ~heap ~hctx ~invo:_ ~callee:_ ~ctx:_ ->
+        [| Ctx.Heap heap; Ctx.first hctx |])
+      ~merge_static:(fun ~invo:_ ~callee:_ ~ctx -> ctx)
+
+  let type2_heap program =
+    make ~name:"2type+H" ~initial_ctx:star2
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.first ctx |])
+      ~merge:(fun ~heap ~hctx ~invo:_ ~callee:_ ~ctx:_ ->
+        [| ca program heap; Ctx.first hctx |])
+      ~merge_static:(fun ~invo:_ ~callee:_ ~ctx -> ctx)
+
+  let uniform_obj1 _program =
+    make ~name:"U-1obj" ~initial_ctx:star2
+      ~record:(fun ~heap:_ ~ctx:_ -> empty)
+      ~merge:(fun ~heap ~hctx:_ ~invo ~callee:_ ~ctx:_ ->
+        [| Ctx.Heap heap; Ctx.Invo invo |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx ->
+        [| Ctx.first ctx; Ctx.Invo invo |])
+
+  let uniform_obj2_heap _program =
+    make ~name:"U-2obj+H" ~initial_ctx:star3
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.first ctx |])
+      ~merge:(fun ~heap ~hctx ~invo ~callee:_ ~ctx:_ ->
+        [| Ctx.Heap heap; Ctx.first hctx; Ctx.Invo invo |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx ->
+        [| Ctx.first ctx; Ctx.second ctx; Ctx.Invo invo |])
+
+  let uniform_type2_heap program =
+    make ~name:"U-2type+H" ~initial_ctx:star3
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.first ctx |])
+      ~merge:(fun ~heap ~hctx ~invo ~callee:_ ~ctx:_ ->
+        [| ca program heap; Ctx.first hctx; Ctx.Invo invo |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx ->
+        [| Ctx.first ctx; Ctx.second ctx; Ctx.Invo invo |])
+
+  let selective_a_obj1 _program =
+    make ~name:"SA-1obj" ~initial_ctx:star1
+      ~record:(fun ~heap:_ ~ctx:_ -> empty)
+      ~merge:(fun ~heap ~hctx:_ ~invo:_ ~callee:_ ~ctx:_ -> [| Ctx.Heap heap |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx:_ -> [| Ctx.Invo invo |])
+
+  let selective_b_obj1 _program =
+    make ~name:"SB-1obj" ~initial_ctx:star2
+      ~record:(fun ~heap:_ ~ctx:_ -> empty)
+      ~merge:(fun ~heap ~hctx:_ ~invo:_ ~callee:_ ~ctx:_ ->
+        [| Ctx.Heap heap; Ctx.Star |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx ->
+        [| Ctx.first ctx; Ctx.Invo invo |])
+
+  let selective_obj2_heap _program =
+    make ~name:"S-2obj+H" ~initial_ctx:star3
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.first ctx |])
+      ~merge:(fun ~heap ~hctx ~invo:_ ~callee:_ ~ctx:_ ->
+        [| Ctx.Heap heap; Ctx.first hctx; Ctx.Star |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx ->
+        [| Ctx.first ctx; Ctx.Invo invo; Ctx.second ctx |])
+
+  let selective_type2_heap program =
+    make ~name:"S-2type+H" ~initial_ctx:star3
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.first ctx |])
+      ~merge:(fun ~heap ~hctx ~invo:_ ~callee:_ ~ctx:_ ->
+        [| ca program heap; Ctx.first hctx; Ctx.Star |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx ->
+        [| Ctx.first ctx; Ctx.Invo invo; Ctx.second ctx |])
+
+  let obj3_heap2 _program =
+    make ~name:"3obj+2H" ~initial_ctx:star3
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.first ctx; Ctx.second ctx |])
+      ~merge:(fun ~heap ~hctx ~invo:_ ~callee:_ ~ctx:_ ->
+        [| Ctx.Heap heap; Ctx.first hctx; Ctx.second hctx |])
+      ~merge_static:(fun ~invo:_ ~callee:_ ~ctx -> ctx)
+
+  let adaptive_obj2_heap _program =
+    make ~name:"A-2obj+H" ~initial_ctx:star3
+      ~record:(fun ~heap:_ ~ctx ->
+        if is_invo (Ctx.second ctx) then [| Ctx.second ctx |]
+        else [| Ctx.first ctx |])
+      ~merge:(fun ~heap ~hctx ~invo:_ ~callee:_ ~ctx:_ ->
+        [| Ctx.Heap heap; Ctx.first hctx; Ctx.Star |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx ->
+        [| Ctx.first ctx; Ctx.Invo invo; Ctx.second ctx |])
+
+  let adaptive_type2_heap program =
+    make ~name:"A-2type+H" ~initial_ctx:star3
+      ~record:(fun ~heap:_ ~ctx ->
+        if is_invo (Ctx.second ctx) then [| Ctx.second ctx |]
+        else [| Ctx.first ctx |])
+      ~merge:(fun ~heap ~hctx ~invo:_ ~callee:_ ~ctx:_ ->
+        [| ca program heap; Ctx.first hctx; Ctx.Star |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx ->
+        [| Ctx.first ctx; Ctx.Invo invo; Ctx.second ctx |])
+
+  let ablation_invo_heap _program =
+    make ~name:"X-2obj+IH" ~initial_ctx:star3
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.third ctx |])
+      ~merge:(fun ~heap ~hctx ~invo ~callee:_ ~ctx:_ ->
+        [| Ctx.Heap heap; Ctx.first hctx; Ctx.Invo invo |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx ->
+        [| Ctx.first ctx; Ctx.second ctx; Ctx.Invo invo |])
+
+  let ablation_inverted _program =
+    make ~name:"X-2obj+Hrev" ~initial_ctx:star2
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.first ctx |])
+      ~merge:(fun ~heap ~hctx ~invo:_ ~callee:_ ~ctx:_ ->
+        [| Ctx.first hctx; Ctx.Heap heap |])
+      ~merge_static:(fun ~invo:_ ~callee:_ ~ctx -> ctx)
+
+  let ablation_freemix _program =
+    make ~name:"X-freemix" ~initial_ctx:star2
+      ~record:(fun ~heap:_ ~ctx -> [| Ctx.first ctx |])
+      ~merge:(fun ~heap ~hctx:_ ~invo ~callee:_ ~ctx:_ ->
+        [| Ctx.Invo invo; Ctx.Heap heap |])
+      ~merge_static:(fun ~invo ~callee:_ ~ctx ->
+        [| Ctx.Invo invo; Ctx.first ctx |])
+
+  let all =
+    [
+      insens; call1; call1_heap; call2_heap; obj1; obj1_heap; obj2_heap;
+      type2_heap; uniform_obj1; uniform_obj2_heap; uniform_type2_heap;
+      selective_a_obj1; selective_b_obj1; selective_obj2_heap;
+      selective_type2_heap; obj3_heap2; adaptive_obj2_heap;
+      adaptive_type2_heap; ablation_invo_heap; ablation_inverted;
+      ablation_freemix;
+    ]
+end
+
+let check_legacy_identity ~name src =
+  let program = Pta_frontend.Frontend.program_of_string ~file:name src in
+  List.iter
+    (fun legacy_factory ->
+      let legacy = legacy_factory program in
+      let strat_name = legacy.Pta_context.Strategy.name in
+      let preset =
+        match Pta_context.Strategies.by_name strat_name with
+        | Some f -> f program
+        | None -> Alcotest.failf "preset %s vanished from the registry" strat_name
+      in
+      let n_vpt, n_cg, n_reach, n_throws =
+        solver_facts (Solver.solve program preset)
+      in
+      let l_vpt, l_cg, l_reach, l_throws =
+        solver_facts (Solver.solve program legacy)
+      in
+      let label what = Printf.sprintf "%s/%s algebra=legacy %s" name strat_name what in
+      Alcotest.(check bool)
+        (diff_msg (label "vpt") n_vpt l_vpt)
+        true (S.equal n_vpt l_vpt);
+      Alcotest.(check bool)
+        (diff_msg (label "cg") n_cg l_cg)
+        true (S.equal n_cg l_cg);
+      Alcotest.(check bool)
+        (diff_msg (label "reach") n_reach l_reach)
+        true (S.equal n_reach l_reach);
+      Alcotest.(check bool)
+        (diff_msg (label "throws") n_throws l_throws)
+        true (S.equal n_throws l_throws))
+    Legacy.all
+
 let program_workload () =
   let profile = Option.get (Pta_workloads.Profile.by_name "tiny") in
   Pta_workloads.Workloads.source profile
@@ -340,6 +572,16 @@ let tests =
         check_program ~name:"static-fields" program_static_fields all_strategies);
     Alcotest.test_case "exceptions program, all strategies" `Quick (fun () ->
         check_program ~name:"exceptions" program_exceptions all_strategies);
+    Alcotest.test_case "algebra presets = legacy closures (battery)" `Quick
+      (fun () ->
+        check_legacy_identity ~name:"inheritance" program_inheritance;
+        check_legacy_identity ~name:"containers" program_containers;
+        check_legacy_identity ~name:"statics" program_statics;
+        check_legacy_identity ~name:"recursion" program_recursion;
+        check_legacy_identity ~name:"static-fields" program_static_fields;
+        check_legacy_identity ~name:"exceptions" program_exceptions);
+    Alcotest.test_case "algebra presets = legacy closures (tiny workload)" `Slow
+      (fun () -> check_legacy_identity ~name:"tiny-workload" (program_workload ()));
     Alcotest.test_case "tiny workload, key strategies" `Slow (fun () ->
         check_program ~name:"tiny-workload" (program_workload ())
           [ "insens"; "1call"; "1obj"; "SB-1obj"; "2obj+H"; "S-2obj+H"; "2type+H" ]);

@@ -9,7 +9,7 @@ module Exceptions = Pta_clients.Exceptions
 let run ?(strategy = "1obj") src =
   let program = Pta_frontend.Frontend.program_of_string ~file:"<t>" src in
   let factory = Option.get (Pta_context.Strategies.by_name strategy) in
-  Solver.run program (factory program)
+  Solver.solve program (factory program)
 
 let heap_types solver heaps =
   let program = Solver.program solver in

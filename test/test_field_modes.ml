@@ -28,7 +28,7 @@ let src =
 
 let run ~field_based =
   let program = Pta_frontend.Frontend.program_of_string ~file:"<t>" src in
-  Solver.run ~field_based program (Pta_context.Strategies.insens program)
+  Solver.solve ~config:(Solver.Config.make ~field_based ()) program (Pta_context.Strategies.get "insens" program)
 
 let types_of solver var_name =
   let program = Solver.program solver in

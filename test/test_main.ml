@@ -7,6 +7,7 @@ let () =
       ("frontend", Test_frontend.tests);
       ("hierarchy", Test_hierarchy.tests);
       ("strategies", Test_strategies.tests);
+      ("algebra", Test_algebra.tests);
       ("datalog", Test_datalog.tests);
       ("datalog-edge", Test_engine_edge.tests);
       ("smoke", Test_smoke.tests);

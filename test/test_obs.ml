@@ -134,7 +134,7 @@ let refimpl_observed_test () =
     Pta_frontend.Frontend.program_of_string ~file:"<t>"
       "class Main { static method main() { var x = new Main; } }"
   in
-  let strategy = Pta_context.Strategies.insens program in
+  let strategy = Pta_context.Strategies.get "insens" program in
   let recorder = Recorder.create () in
   let t = Pta_refimpl.Refimpl.run ~observer:(Recorder.observer recorder) program strategy in
   Alcotest.(check bool)
@@ -144,7 +144,7 @@ let refimpl_observed_test () =
 
 let refimpl_budget_test () =
   let program = tiny_program () in
-  let strategy = Pta_context.Strategies.selective_obj2_heap program in
+  let strategy = Pta_context.Strategies.get "S-2obj+H" program in
   let budget = Budget.of_seconds 1e-9 in
   match Pta_refimpl.Refimpl.run ~budget program strategy with
   | _ -> Alcotest.fail "expected Budget.Exhausted"

@@ -16,7 +16,7 @@ module Metrics = Pta_clients.Metrics
 
 let run program name =
   let factory = Option.get (Pta_context.Strategies.by_name name) in
-  Solver.run program (factory program)
+  Solver.solve program (factory program)
 
 let check_refines program ~fine ~coarse =
   let sf = run program fine and sc = run program coarse in

@@ -6,7 +6,7 @@ module Provenance = Pta_clients.Provenance
 
 let setup src =
   let program = Pta_frontend.Frontend.program_of_string ~file:"<t>" src in
-  Solver.run program (Pta_context.Strategies.obj1 program)
+  Solver.solve program (Pta_context.Strategies.get "1obj" program)
 
 let find_var solver meth_name var_name =
   let program = Solver.program solver in

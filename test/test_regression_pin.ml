@@ -31,7 +31,7 @@ let tests =
           (fun (name, expected) ->
             let factory = Option.get (Pta_context.Strategies.by_name name) in
             let m =
-              Metrics.compute (Pta_solver.Solver.run program (factory program))
+              Metrics.compute (Pta_solver.Solver.solve program (factory program))
             in
             let actual =
               ( m.Metrics.call_graph_edges,

@@ -9,7 +9,7 @@ module Solver = Pta_solver.Solver
 
 let key_metrics program strategy_name =
   let factory = Option.get (Pta_context.Strategies.by_name strategy_name) in
-  let m = Metrics.compute (Solver.run program (factory program)) in
+  let m = Metrics.compute (Solver.solve program (factory program)) in
   ( m.Metrics.call_graph_edges,
     m.Metrics.reachable_methods,
     m.Metrics.poly_vcalls,

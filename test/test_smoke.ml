@@ -187,7 +187,7 @@ let all_strategies_terminate () =
   let p = Helpers.program src in
   List.iter
     (fun (name, factory) ->
-      let solver = Pta_solver.Solver.run p (factory p) in
+      let solver = Pta_solver.Solver.solve p (factory p) in
       Alcotest.(check bool)
         (name ^ " reaches main") true
         (Pta_solver.Solver.n_reachable_cs solver > 0))

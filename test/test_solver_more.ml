@@ -9,7 +9,7 @@ module Metrics = Pta_clients.Metrics
 let run ?timeout_s src name =
   let program = Pta_frontend.Frontend.program_of_string ~file:"<t>" src in
   let factory = Option.get (Pta_context.Strategies.by_name name) in
-  Solver.run ?timeout_s program (factory program)
+  Solver.solve ~config:(Solver.Config.make ?timeout_s ()) program (factory program)
 
 let determinism_test () =
   let program =
@@ -17,8 +17,8 @@ let determinism_test () =
       (Option.get (Pta_workloads.Profile.by_name "tiny"))
   in
   let factory = Option.get (Pta_context.Strategies.by_name "S-2obj+H") in
-  let m1 = Metrics.compute (Solver.run program (factory program)) in
-  let m2 = Metrics.compute (Solver.run program (factory program)) in
+  let m1 = Metrics.compute (Solver.solve program (factory program)) in
+  let m2 = Metrics.compute (Solver.solve program (factory program)) in
   Alcotest.(check bool) "identical metric bundles" true (m1 = m2)
 
 let timeout_test () =
@@ -27,7 +27,7 @@ let timeout_test () =
       (Option.get (Pta_workloads.Profile.by_name "luindex"))
   in
   let factory = Option.get (Pta_context.Strategies.by_name "U-2obj+H") in
-  match Solver.run ~timeout_s:0.0001 program (factory program) with
+  match Solver.solve ~config:(Solver.Config.make ~timeout_s:0.0001 ()) program (factory program) with
   | _ -> Alcotest.fail "expected Solver.Timeout"
   | exception Solver.Timeout abort ->
     Alcotest.(check bool)
@@ -126,7 +126,7 @@ let ctx_shapes_test () =
   List.iter
     (fun (name, arity, harity) ->
       let factory = Option.get (Pta_context.Strategies.by_name name) in
-      let solver = Solver.run program (factory program) in
+      let solver = Solver.solve program (factory program) in
       for id = 0 to Solver.n_ctxs solver - 1 do
         let v = Solver.ctx_value solver id in
         if Array.length v <> arity then

@@ -24,7 +24,7 @@ let solver =
          }
          |}
      in
-     Solver.run program (Pta_context.Strategies.obj1 program))
+     Solver.solve program (Pta_context.Strategies.get "1obj" program))
 
 let histogram_test () =
   let stats = Stats.compute (Lazy.force solver) in

@@ -44,11 +44,11 @@ let check_record name ~heap ~ctx expected =
 
 let check_merge name ~heap ~hctx ~invo ~ctx expected =
   let s = strategy name in
-  Alcotest.check value (name ^ ".merge") expected (s.merge ~heap ~hctx ~invo ~ctx)
+  Alcotest.check value (name ^ ".merge") expected (s.merge ~heap ~hctx ~invo ~callee:(Ir.Meth_id.of_int 0) ~ctx)
 
 let check_merge_static name ~invo ~ctx expected =
   let s = strategy name in
-  Alcotest.check value (name ^ ".merge_static") expected (s.merge_static ~invo ~ctx)
+  Alcotest.check value (name ^ ".merge_static") expected (s.merge_static ~invo ~callee:(Ir.Meth_id.of_int 0) ~ctx)
 
 let tests =
   [

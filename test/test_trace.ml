@@ -121,7 +121,7 @@ let datalog_determinism_test () =
   in
   let run () =
     let trace = Trace.create () in
-    let strategy = Pta_context.Strategies.obj1 program in
+    let strategy = Pta_context.Strategies.get "1obj" program in
     ignore (Pta_refimpl.Refimpl.run ~trace program strategy);
     trace
   in
