@@ -1,7 +1,8 @@
 # Convenience targets; everything here is a thin wrapper over dune.
 
 .PHONY: all build test bench bench-compare bench-accept bench-prop \
-	bench-prop-compare bench-prop-accept
+	bench-prop-compare bench-prop-accept bench-history-append \
+	bench-trend bench-trend-check
 
 all: build
 
@@ -11,18 +12,37 @@ build:
 test:
 	dune runtest
 
+# ---------------------------------------------------------------------
+# Snapshot gates
+#
+# Both gates are the same comparator invocation (lib/report/comparator,
+# one tolerance config: +15% time, +10% peak heap, 0.5s noise floor),
+# parameterized by baseline snapshot, cell subset and delta file.
+# Override tolerances per call with TIME_TOL= / HEAP_TOL= (percent),
+# e.g. `make bench-compare TIME_TOL=75 HEAP_TOL=25` on a noisy host.
+# ---------------------------------------------------------------------
+
+TOLERANCE_FLAGS = $(if $(TIME_TOL),--time-tol $(TIME_TOL)) \
+	$(if $(HEAP_TOL),--heap-tol $(HEAP_TOL))
+
+# $(call bench_gate,baseline.json,subset flags,delta.md)
+define bench_gate
+dune exec bench/main.exe -- --baseline $(1) --compare $(2) \
+  --delta-md $(3) $(TOLERANCE_FLAGS)
+endef
+
+PROP_SUBSET = --benchmarks cyclic --analyses insens,1call,1obj,S-2obj+H
+
 # Full benchmark grid.  Writes table1.csv, table1_stats.json, and a
-# fresh schema-v2 BENCH_table1.json snapshot into the repository root.
+# fresh BENCH_table1.json snapshot into the repository root.
 bench:
 	dune exec bench/main.exe -- table1
 
 # Gate the current tree against the committed baseline snapshot.
-# Exits non-zero on a regression (time beyond +15%, peak heap beyond
-# +10%, a new timeout, or a missing cell); the per-cell delta table
-# lands in BENCH_delta.md.
+# Exits non-zero on a regression; the per-cell delta table lands in
+# BENCH_delta.md.
 bench-compare:
-	dune exec bench/main.exe -- --baseline BENCH_table1.json --compare \
-	  --delta-md BENCH_delta.md
+	$(call bench_gate,BENCH_table1.json,,BENCH_delta.md)
 
 # Re-bless the committed baseline after an intentional performance
 # change: rerun the grid, then review and commit BENCH_table1.json.
@@ -35,12 +55,31 @@ bench-accept: bench
 bench-prop:
 	dune exec bench/main.exe -- propbench
 
-# Gate the propagation core against its committed baseline.
+# Gate the propagation core against its committed baseline — the same
+# recipe as bench-compare, restricted to the propagation cells.
 bench-prop-compare:
-	dune exec bench/main.exe -- --baseline BENCH_prop.json --compare \
-	  --benchmarks cyclic --analyses insens,1call,1obj,S-2obj+H \
-	  --delta-md BENCH_prop_delta.md
+	$(call bench_gate,BENCH_prop.json,$(PROP_SUBSET),BENCH_prop_delta.md)
 
 # Re-bless the propagation baseline after an intentional change.
 bench-prop-accept: bench-prop
 	@echo "BENCH_prop.json regenerated; review the diff and commit it."
+
+# ---------------------------------------------------------------------
+# Perf trajectory: the bench-history ledger and trend report
+# ---------------------------------------------------------------------
+
+# Archive the current BENCH_table1.json as one ledger record.
+bench-history-append:
+	dune exec bin/pointsto.exe -- bench history append \
+	  --ledger bench/history.jsonl --snapshot BENCH_table1.json --now
+
+# Render the static trend report (HTML + SVG sparklines) into _trend/.
+bench-trend:
+	dune exec bin/pointsto.exe -- bench trend \
+	  --ledger bench/history.jsonl -o _trend
+
+# Gate the latest ledger record against its own history (exit 4 on a
+# flagged cell).
+bench-trend-check:
+	dune exec bin/pointsto.exe -- bench trend \
+	  --ledger bench/history.jsonl --check

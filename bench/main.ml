@@ -35,6 +35,8 @@ module Json = Pta_obs.Json
 module Run_stats = Pta_obs.Run_stats
 module Trace = Pta_obs.Trace
 module Snapshot = Pta_report.Bench_snapshot
+module Comparator = Pta_report.Comparator
+module Registry = Pta_metrics.Registry
 
 let timeout_s =
   match Sys.getenv_opt "PTA_BENCH_TIMEOUT" with
@@ -78,6 +80,25 @@ type outcome =
 
 let runs : (string * string, outcome) Hashtbl.t = Hashtbl.create 256
 
+(* Per-cell solve-time distributions: every timed run of a finished cell
+   observed into one exponential-bucket registry histogram (the shared
+   [Registry.time_buckets] ladder), serialised into the snapshot and from
+   there into bench-history ledger records.  Kept out of [outcome] so the
+   many pattern matches over it stay untouched. *)
+let cell_hists : (string * string, Snapshot.hist) Hashtbl.t = Hashtbl.create 256
+
+let record_cell_hist key times =
+  let reg = Registry.create () in
+  let h =
+    Registry.histogram reg ~buckets:Registry.time_buckets
+      ~help:"Per-run wall time of one benchmark cell"
+      "pta_bench_cell_time_seconds"
+  in
+  List.iter (fun t -> if Float.is_finite t then Registry.observe h t) times;
+  Hashtbl.replace cell_hists key
+    (Snapshot.hist_of_buckets ~sum:(Registry.histogram_sum h)
+       (Registry.histogram_buckets h))
+
 let run_one profile analysis_name =
   let key = (profile.Profile.name, analysis_name) in
   match Hashtbl.find_opt runs key with
@@ -120,6 +141,10 @@ let run_one profile analysis_name =
         let best =
           min r1.Driver.wall_time_s (min t2 t3) *. handicap
         in
+        record_cell_hist key
+          (List.map
+             (fun t -> t *. handicap)
+             [ r1.Driver.wall_time_s; t2; t3 ]);
         Done
           ( Metrics.compute r1.Driver.solver,
             best,
@@ -200,6 +225,8 @@ let current_snapshot () =
                 iterations = stats.Run_stats.iterations;
                 nodes = Some stats.Run_stats.n_nodes;
                 memory = stats.Run_stats.memory;
+                time_hist =
+                  Hashtbl.find_opt cell_hists (profile.Profile.name, a);
               }
             | Timed_out abort ->
               {
@@ -210,6 +237,7 @@ let current_snapshot () =
                 iterations = abort.Pta_obs.Budget.iterations;
                 nodes = Some abort.Pta_obs.Budget.nodes;
                 memory = None;
+                time_hist = None;
               })
           !selected_analyses)
       (profiles ())
@@ -220,6 +248,12 @@ let current_snapshot () =
     pointsto = Some (Pta_version.Version.to_json ());
     cells;
   }
+
+let write_snapshot_file path snapshot =
+  let oc = open_out path in
+  output_string oc (Json.to_string (Snapshot.to_json snapshot));
+  output_char oc '\n';
+  close_out oc
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -375,10 +409,7 @@ let cmd_table1 () =
   (* The committed perf snapshot: just enough per cell to diff run-time,
      iteration and memory regressions across revisions (schema v2,
      documented in EXPERIMENTS.md). *)
-  let oc = open_out "BENCH_table1.json" in
-  output_string oc (Json.to_string (Snapshot.to_json (current_snapshot ())));
-  output_char oc '\n';
-  close_out oc;
+  write_snapshot_file "BENCH_table1.json" (current_snapshot ());
   print_endline "[BENCH_table1.json written]\n"
 
 (* ------------------------------------------------------------------ *)
@@ -419,10 +450,7 @@ let cmd_propbench () =
     (profiles ());
   print_string (Table.render t);
   print_newline ();
-  let oc = open_out "BENCH_prop.json" in
-  output_string oc (Json.to_string (Snapshot.to_json (current_snapshot ())));
-  output_char oc '\n';
-  close_out oc;
+  write_snapshot_file "BENCH_prop.json" (current_snapshot ());
   print_endline "[BENCH_prop.json written]\n"
 
 (* ------------------------------------------------------------------ *)
@@ -814,53 +842,36 @@ let cmd_micro () =
 (* Regression gate: --baseline FILE --compare                          *)
 (* ------------------------------------------------------------------ *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let cmd_compare ~baseline_file ~time_tol ~heap_tol ~delta_md () =
+let cmd_compare ~baseline_file ~time_tol ~heap_tol ~delta_md ~snapshot_out () =
   (* Fail early on an unreadable/unparseable baseline, but do NOT
      retain the parsed document across the measured grid: the cells'
      GC profile is a deterministic function of the process's allocation
      history, and holding a parsed JSON tree live while they run shifts
      their heap figures measurably relative to the `table1` process
      that blessed the baseline.  Parse, drop, measure, re-parse. *)
-  (match Snapshot.of_string (read_file baseline_file) with
+  (match Comparator.load_file baseline_file with
   | Ok (_ : Snapshot.t) -> ()
   | Error e ->
-    Printf.eprintf "cannot load baseline %s: %s\n" baseline_file e;
-    exit 2
-  | exception Sys_error e ->
-    Printf.eprintf "cannot load baseline %s: %s\n" baseline_file e;
+    Printf.eprintf "%s\n" e;
     exit 2);
   let current = current_snapshot () in
+  Option.iter
+    (fun path ->
+      write_snapshot_file path current;
+      Printf.printf "[%s written]\n%!" path)
+    snapshot_out;
   let baseline =
-    match Snapshot.of_string (read_file baseline_file) with
+    match Comparator.load_file baseline_file with
     | Ok b -> b
     | Error e ->
-      Printf.eprintf "cannot load baseline %s: %s\n" baseline_file e;
+      Printf.eprintf "%s\n" e;
       exit 2
   in
-  if baseline.Snapshot.timeout_s <> timeout_s then
-    Printf.eprintf
-      "[bench] warning: baseline timeout %.0fs != current %.0fs; timeout \
-       cells may not be comparable\n\
-       %!"
-      baseline.Snapshot.timeout_s timeout_s;
   (* Gate only over the selected benchmark x analysis subset. *)
-  let names = List.map (fun p -> p.Profile.name) (profiles ()) in
-  let baseline =
-    {
-      baseline with
-      Snapshot.cells =
-        List.filter
-          (fun c ->
-            List.mem c.Snapshot.benchmark names
-            && List.mem c.Snapshot.analysis !selected_analyses)
-          baseline.Snapshot.cells;
-    }
+  let subset =
+    Comparator.subset_of
+      ~benchmarks:(Some (List.map (fun p -> p.Profile.name) (profiles ())))
+      ~analyses:(Some !selected_analyses)
   in
   let thresholds =
     {
@@ -869,17 +880,11 @@ let cmd_compare ~baseline_file ~time_tol ~heap_tol ~delta_md () =
       heap_tol_pct = heap_tol;
     }
   in
-  let report = Snapshot.compare ~thresholds ~baseline ~current () in
-  Printf.printf "=== Regression report (vs %s) ===\n" baseline_file;
-  Format.printf "%a%!" Snapshot.pp_report report;
-  (match delta_md with
-  | None -> ()
-  | Some path ->
-    let oc = open_out path in
-    output_string oc (Snapshot.to_markdown report);
-    close_out oc;
-    Printf.printf "[%s written]\n%!" path);
-  if Snapshot.has_regression report then exit 1
+  Printf.printf "=== Regression report (vs %s) ===\n%!" baseline_file;
+  let outcome =
+    Comparator.gate ~thresholds ~subset ?delta_md ~baseline ~current ()
+  in
+  if outcome.Comparator.failed then exit 1
 
 (* ------------------------------------------------------------------ *)
 
@@ -888,7 +893,8 @@ let usage () =
     "usage: bench \
      [table1|propbench|figure3|summary|ablation|scaling|futurework|micro|all]*\n\
     \       bench --baseline FILE --compare [--time-tol PCT] [--heap-tol PCT]\n\
-    \             [--benchmarks a,b,c] [--analyses x,y,z] [--delta-md FILE]\n";
+    \             [--benchmarks a,b,c] [--analyses x,y,z] [--delta-md FILE]\n\
+    \             [--snapshot-out FILE]\n";
   exit 2
 
 let () =
@@ -897,6 +903,7 @@ let () =
   let time_tol = ref Snapshot.default_thresholds.Snapshot.time_tol_pct in
   let heap_tol = ref Snapshot.default_thresholds.Snapshot.heap_tol_pct in
   let delta_md = ref None in
+  let snapshot_out = ref None in
   let cmds = ref [] in
   let float_arg v =
     match float_of_string_opt v with Some f -> f | None -> usage ()
@@ -917,6 +924,9 @@ let () =
       parse rest
     | "--delta-md" :: v :: rest ->
       delta_md := Some v;
+      parse rest
+    | "--snapshot-out" :: v :: rest ->
+      snapshot_out := Some v;
       parse rest
     | "--benchmarks" :: v :: rest ->
       selected_profiles :=
@@ -956,7 +966,7 @@ let () =
     | Some baseline_file ->
       if !cmds <> [] then usage ();
       cmd_compare ~baseline_file ~time_tol:!time_tol ~heap_tol:!heap_tol
-        ~delta_md:!delta_md ()
+        ~delta_md:!delta_md ~snapshot_out:!snapshot_out ()
   end
   else begin
     let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in

@@ -11,6 +11,9 @@
      gen        — emit a synthetic benchmark's MJ source
      strategies — list available analyses
      metrics    — run one analysis, dump the metric registry as OpenMetrics
+     bench      — perf-trajectory tooling over the bench-history ledger:
+                  history append/list/show, trend (report + --check gate),
+                  bisect (first bad ledger record, optional git handoff)
      version    — print the build stamp (commit, OCaml version, profile)
 
    All subcommands share the exit-code contract enforced by
@@ -30,6 +33,12 @@ module Run_stats = Pta_obs.Run_stats
 module Trace = Pta_obs.Trace
 module Registry = Pta_metrics.Registry
 module Version = Pta_version.Version
+module Snapshot = Pta_report.Bench_snapshot
+module Trend_page = Pta_report.Trend_page
+module Hrecord = Pta_bench_history.Record
+module Hledger = Pta_bench_history.Ledger
+module Htrend = Pta_bench_history.Trend
+module Hbisect = Pta_bench_history.Bisect
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -818,6 +827,398 @@ let metrics_cmd =
       const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
       $ output_arg $ datalog_arg)
 
+(* ------------------------------------------------------------------ *)
+(* bench: the perf-trajectory commands                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The bench commands never parse MJ or run an analysis, so they have
+   their own exit vocabulary. *)
+let bench_exits =
+  [
+    Cmd.Exit.info 1
+      ~doc:"($(b,bisect)) when the latest ledger record is within threshold \
+            — there is nothing to bisect.";
+    Cmd.Exit.info 2
+      ~doc:"on a missing, corrupt or unsupported ledger or snapshot, or a \
+            malformed argument.";
+    Cmd.Exit.info 4
+      ~doc:"($(b,trend --check)) when any cell of the latest record is \
+            flagged as a regression.";
+  ]
+  @ Cmd.Exit.defaults
+
+let fail_usage fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "pointsto: %s\n" msg;
+      exit 2)
+    fmt
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  | exception Sys_error msg -> fail_usage "cannot read %s: %s" path msg
+
+let load_ledger path =
+  match Hledger.load path with Ok rs -> rs | Error e -> fail_usage "%s" e
+
+let load_snapshot path =
+  match Snapshot.of_string (read_file path) with
+  | Ok s -> s
+  | Error e -> fail_usage "%s: %s" path e
+
+let rec ensure_dir d =
+  if not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let ledger_arg =
+  let doc = "The bench-history ledger (JSONL, one record per line)." in
+  Arg.(
+    value & opt string "bench/history.jsonl"
+    & info [ "ledger" ] ~docv:"FILE" ~doc)
+
+(* Detection parameters, shared by trend and bisect.  The tolerance
+   defaults are the same ones the one-shot bench --compare gate uses. *)
+let window_arg =
+  let doc = "Sliding-window length: finished observations per cell." in
+  Arg.(value & opt int Htrend.default_params.Htrend.window
+       & info [ "window" ] ~docv:"N" ~doc)
+
+let min_points_arg =
+  let doc = "Observations required before the changepoint test fires." in
+  Arg.(value & opt int Htrend.default_params.Htrend.min_points
+       & info [ "min-points" ] ~docv:"N" ~doc)
+
+let mad_k_arg =
+  let doc = "MAD multiplier: flag values above median + $(docv)*1.4826*MAD." in
+  Arg.(value & opt float Htrend.default_params.Htrend.mad_k
+       & info [ "mad-k" ] ~docv:"K" ~doc)
+
+let time_tol_arg =
+  let doc = "Relative floor for the time threshold, percent over the median." in
+  Arg.(value & opt float Snapshot.default_thresholds.Snapshot.time_tol_pct
+       & info [ "time-tol" ] ~docv:"PCT" ~doc)
+
+let heap_tol_arg =
+  let doc = "Relative floor for the peak-heap threshold, percent over the median." in
+  Arg.(value & opt float Snapshot.default_thresholds.Snapshot.heap_tol_pct
+       & info [ "heap-tol" ] ~docv:"PCT" ~doc)
+
+let min_time_arg =
+  let doc = "Noise floor: skip the time check when the median is below $(docv) seconds." in
+  Arg.(value & opt float Snapshot.default_thresholds.Snapshot.min_time_s
+       & info [ "min-time" ] ~docv:"SECONDS" ~doc)
+
+let params_term =
+  let make window min_points mad_k time_tol heap_tol min_time =
+    {
+      Htrend.window;
+      min_points;
+      mad_k;
+      tolerances =
+        {
+          Snapshot.time_tol_pct = time_tol;
+          heap_tol_pct = heap_tol;
+          min_time_s = min_time;
+        };
+    }
+  in
+  Term.(
+    const make $ window_arg $ min_points_arg $ mad_k_arg $ time_tol_arg
+    $ heap_tol_arg $ min_time_arg)
+
+let history_append_cmd =
+  let snapshot_arg =
+    let doc =
+      "The benchmark snapshot to append (e.g. $(b,BENCH_table1.json), or the \
+       file written by $(b,bench/main.exe --snapshot-out))."
+    in
+    Arg.(
+      required & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let note_arg =
+    let doc = "Free-form provenance note stored in the record (e.g. $(b,ci))." in
+    Arg.(value & opt (some string) None & info [ "note" ] ~docv:"TEXT" ~doc)
+  in
+  let timestamp_arg =
+    let doc = "Record timestamp as unix seconds (omitted = no timestamp)." in
+    Arg.(value & opt (some float) None & info [ "timestamp" ] ~docv:"SECONDS" ~doc)
+  in
+  let now_arg =
+    let doc = "Stamp the record with the current time." in
+    Arg.(value & flag & info [ "now" ] ~doc)
+  in
+  let run ledger snapshot note timestamp now =
+    let snap = load_snapshot snapshot in
+    let timestamp = if now then Some (Unix.time ()) else timestamp in
+    let record =
+      match
+        Hrecord.of_snapshot ~seq:0 ?timestamp ?note
+          ~host:(Hrecord.current_host ()) snap
+      with
+      | Ok r -> r
+      | Error e -> fail_usage "%s: %s" snapshot e
+    in
+    match Hledger.append ~path:ledger record with
+    | Ok r -> print_endline (Hledger.describe r)
+    | Error e -> fail_usage "%s" e
+  in
+  let doc =
+    "Validate the ledger and append one record derived from a benchmark \
+     snapshot.  The record's build stamp comes from the snapshot's own \
+     $(b,pointsto) field — the binary that measured — and is mandatory; the \
+     host fingerprint honours $(b,PTA_BENCH_HOST)."
+  in
+  Cmd.v
+    (Cmd.info "append" ~doc ~exits:bench_exits)
+    Term.(
+      const run $ ledger_arg $ snapshot_arg $ note_arg $ timestamp_arg
+      $ now_arg)
+
+let history_list_cmd =
+  let run ledger =
+    List.iter (fun r -> print_endline (Hledger.describe r)) (load_ledger ledger)
+  in
+  let doc = "List the ledger, one line per record (seq, build, host, cells)." in
+  Cmd.v (Cmd.info "list" ~doc ~exits:bench_exits) Term.(const run $ ledger_arg)
+
+let history_show_cmd =
+  let seq_arg =
+    let doc = "Record to show (default: the latest)." in
+    Arg.(value & pos 0 (some int) None & info [] ~docv:"SEQ" ~doc)
+  in
+  let run ledger seq =
+    let records = load_ledger ledger in
+    let record =
+      match seq with
+      | None -> (
+        match List.rev records with
+        | r :: _ -> r
+        | [] -> fail_usage "%s: empty ledger" ledger)
+      | Some s -> (
+        match List.find_opt (fun r -> r.Hrecord.seq = s) records with
+        | Some r -> r
+        | None -> fail_usage "%s: no record with seq %d" ledger s)
+    in
+    print_endline (Json.to_string (Hrecord.to_json record))
+  in
+  let doc = "Print one ledger record as JSON." in
+  Cmd.v
+    (Cmd.info "show" ~doc ~exits:bench_exits)
+    Term.(const run $ ledger_arg $ seq_arg)
+
+let history_cmd =
+  let doc = "Inspect and append to the bench-history ledger." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The ledger is an append-only JSONL file (one JSON record per line, \
+         schema-versioned) accumulating one record per benchmark run: build \
+         stamp (commit, dirty flag, OCaml version, dune profile), host \
+         fingerprint, and per-cell wall time, iterations, supergraph nodes, \
+         peak heap and a solve-time histogram.  Loading is strict — a \
+         corrupt line or a record from an unsupported schema refuses the \
+         whole ledger rather than silently skipping.";
+    ]
+  in
+  Cmd.group
+    (Cmd.info "history" ~doc ~man ~exits:bench_exits)
+    [ history_append_cmd; history_list_cmd; history_show_cmd ]
+
+let trend_cmd =
+  let out_arg =
+    let doc =
+      "Write the static trend report (index.html plus one SVG sparkline per \
+       cell and metric) into $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Gate the latest record: flag any cell whose time or peak heap \
+       crosses its sliding-window median + MAD threshold (or that newly \
+       timed out), and exit 4 if anything is flagged."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run ledger out check params =
+    let records = load_ledger ledger in
+    let page = Htrend.page ~params ~ledger records in
+    (match out with
+    | None -> ()
+    | Some dir ->
+      ensure_dir dir;
+      let files = Trend_page.render page in
+      List.iter
+        (fun (name, contents) ->
+          write_file (Filename.concat dir name) contents)
+        files;
+      Printf.printf "wrote %d files to %s\n" (List.length files) dir);
+    print_endline page.Trend_page.p_subtitle;
+    if check then
+      match Htrend.check_latest ~params records with
+      | Error e -> fail_usage "%s" e
+      | Ok [] -> print_endline "trend check: latest record within thresholds"
+      | Ok flags ->
+        List.iter
+          (fun f -> Format.printf "FLAGGED %a@." Htrend.pp_flag f)
+          flags;
+        Printf.printf "trend check: %d flag(s) on the latest record\n"
+          (List.length flags);
+        exit 4
+  in
+  let doc =
+    "Render the perf-trend report from the ledger and optionally gate the \
+     latest record against its own history."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The report is byte-deterministic: rendering the same ledger twice \
+         produces cmp-identical HTML and SVG, so CI can cache and diff the \
+         artifact.  The changepoint check is robust (median + MAD over a \
+         sliding window of finished observations) with the same tolerance \
+         floors as the one-shot bench $(b,--compare) gate; cells with fewer \
+         than $(b,--min-points) observations pass, so newly added analyses \
+         are not flagged while their history accumulates.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "trend" ~doc ~man ~exits:bench_exits)
+    Term.(const run $ ledger_arg $ out_arg $ check_arg $ params_term)
+
+let bisect_cmd =
+  let cell_arg =
+    let doc = "The cell to bisect, as $(i,BENCHMARK)/$(i,ANALYSIS)." in
+    Arg.(
+      required & opt (some string) None & info [ "cell" ] ~docv:"B/A" ~doc)
+  in
+  let metric_arg =
+    let doc = "Metric to bisect: $(b,time) or $(b,heap)." in
+    Arg.(
+      value
+      & opt (enum [ ("time", Htrend.Time); ("heap", Htrend.Heap) ]) Htrend.Time
+      & info [ "metric" ] ~docv:"METRIC" ~doc)
+  in
+  let git_arg =
+    let doc =
+      "Also emit a $(b,git bisect run) script spanning the last-good and \
+       first-bad commits, re-measuring just this cell per step."
+    in
+    Arg.(value & flag & info [ "git" ] ~doc)
+  in
+  let script_out_arg =
+    let doc = "Where to write the git-bisect script ($(b,-) = stdout)." in
+    Arg.(value & opt string "-" & info [ "script-out" ] ~docv:"FILE" ~doc)
+  in
+  let baseline_out_arg =
+    let doc =
+      "Where to write the single-cell baseline snapshot the script compares \
+       against (reconstructed from the last-good record)."
+    in
+    Arg.(
+      value
+      & opt string "BENCH_bisect_baseline.json"
+      & info [ "baseline-out" ] ~docv:"FILE" ~doc)
+  in
+  let run ledger cell metric git script_out baseline_out params =
+    let benchmark, analysis =
+      match String.index_opt cell '/' with
+      | Some i ->
+        ( String.sub cell 0 i,
+          String.sub cell (i + 1) (String.length cell - i - 1) )
+      | None -> fail_usage "--cell expects BENCHMARK/ANALYSIS, got %S" cell
+    in
+    let records = load_ledger ledger in
+    match Hbisect.run ~params ~metric ~benchmark ~analysis records with
+    | Error e -> fail_usage "%s" e
+    | Ok None ->
+      Printf.printf
+        "%s/%s: latest record is within the anchor threshold; nothing to \
+         bisect\n"
+        benchmark analysis;
+      exit 1
+    | Ok (Some o) ->
+      Format.printf "%a@." Hbisect.pp_outcome o;
+      if git then begin
+        let good =
+          match o.Hbisect.last_good with
+          | Some g -> g
+          | None -> fail_usage "no good record to baseline the git run on"
+        in
+        let snap =
+          match Hbisect.baseline_snapshot good ~benchmark ~analysis with
+          | Ok s -> s
+          | Error e -> fail_usage "%s" e
+        in
+        match Hbisect.git_script o ~ledger ~baseline_file:baseline_out with
+        | Error e -> fail_usage "%s" e
+        | Ok script ->
+          write_file baseline_out (Json.to_string (Snapshot.to_json snap));
+          write_output script_out script;
+          if not (String.equal script_out "-") then
+            Printf.printf "wrote %s and %s; inspect, then run the script\n"
+              script_out baseline_out
+      end
+  in
+  let doc =
+    "Find the first ledger record at which a cell crossed its regression \
+     threshold, and optionally hand off to $(b,git bisect)."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The anchor baseline is the median + MAD threshold of the cell's \
+         first $(b,--window) finished observations; a record is bad when \
+         its value exceeds that threshold (or it times out).  Against a \
+         step regression the predicate is monotone, so binary search finds \
+         the boundary in O(log n) probes — each probe is reported, so a \
+         noisy history shows up in the log instead of being silently \
+         misattributed.  When the ledger is sparse (many commits between \
+         the last-good and first-bad records), $(b,--git) narrows further: \
+         it emits a $(b,git bisect run) recipe re-measuring just this cell \
+         per candidate commit against a baseline snapshot reconstructed \
+         from the last-good record.  The script is written for inspection, \
+         never executed by this command.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "bisect" ~doc ~man ~exits:bench_exits)
+    Term.(
+      const run $ ledger_arg $ cell_arg $ metric_arg $ git_arg
+      $ script_out_arg $ baseline_out_arg $ params_term)
+
+let bench_cmd =
+  let doc =
+    "Perf trajectory over time: the bench-history ledger, trend report, \
+     regression gate and auto-bisect."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Workflow: a benchmark run writes a snapshot \
+         ($(b,bench/main.exe --snapshot-out)); $(b,history append) archives \
+         it as one ledger record; $(b,trend) renders sparklines over the \
+         accumulated records and $(b,trend --check) gates the latest one \
+         against its own history; when a regression is flagged, $(b,bisect) \
+         locates the first bad record and can hand off to $(b,git bisect) \
+         to narrow it to a commit.";
+    ]
+  in
+  Cmd.group
+    (Cmd.info "bench" ~doc ~man ~exits:bench_exits)
+    [ history_cmd; trend_cmd; bisect_cmd ]
+
 let version_cmd =
   let json_arg =
     let doc = "Emit the stamp as a JSON object." in
@@ -841,7 +1242,8 @@ let main_cmd =
     [
       analyze_cmd; compare_cmd; check_cmd; profile_cmd; query_cmd; why_cmd;
       casts_cmd; exceptions_cmd; callgraph_cmd; stats_cmd; dump_ir_cmd;
-      decompile_cmd; gen_cmd; strategies_cmd; metrics_cmd; version_cmd;
+      decompile_cmd; gen_cmd; strategies_cmd; metrics_cmd; bench_cmd;
+      version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

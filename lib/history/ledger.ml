@@ -1,0 +1,64 @@
+module Json = Pta_obs.Json
+
+let to_line r = Json.to_string ~indent:false (Record.to_json r)
+
+let next_seq = function
+  | [] -> 0
+  | records -> (List.nth records (List.length records - 1)).Record.seq + 1
+
+let is_blank s = String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) s
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error (Printf.sprintf "cannot open ledger: %s" e)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let err line msg =
+          Error (Printf.sprintf "%s:%d: %s" path line msg)
+        in
+        let rec go line_no last_seq acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | line when is_blank line -> go (line_no + 1) last_seq acc
+          | line -> (
+            match Json.of_string line with
+            | Error e -> err line_no (Printf.sprintf "bad JSON: %s" e)
+            | Ok json -> (
+              match Record.of_json json with
+              | Error e -> err line_no e
+              | Ok r ->
+                if r.Record.seq <= last_seq then
+                  err line_no
+                    (Printf.sprintf
+                       "seq %d does not increase (previous record had %d)"
+                       r.Record.seq last_seq)
+                else go (line_no + 1) r.Record.seq (r :: acc)))
+        in
+        go 1 (-1) [])
+
+let load_or_empty path =
+  if Sys.file_exists path then load path else Ok []
+
+let append ~path r =
+  match load_or_empty path with
+  | Error e -> Error (Printf.sprintf "refusing to append: %s" e)
+  | Ok existing -> (
+    let r = { r with Record.seq = next_seq existing } in
+    match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+    | exception Sys_error e -> Error (Printf.sprintf "cannot append: %s" e)
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (to_line r);
+          output_char oc '\n');
+      Ok r)
+
+let describe (r : Record.t) =
+  Printf.sprintf "#%-3d %-18s %-8s %-12s %3d cells%s" r.Record.seq
+    (Record.commit_label r.Record.build)
+    r.Record.build.Record.profile r.Record.host.Record.hostname
+    (List.length r.Record.cells)
+    (match r.Record.note with None -> "" | Some n -> "  (" ^ n ^ ")")

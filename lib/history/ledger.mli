@@ -1,0 +1,34 @@
+(** The append-only bench-history ledger: one {!Record.t} per line of a
+    committed JSONL file ([bench/history.jsonl]).
+
+    JSONL because append is then a write, not a rewrite — a crashed run
+    can truncate at most its own line, `git diff` shows one added line
+    per run, and merges never conflict on reformatting.
+
+    {!load} is strict: every non-blank line must parse as a supported
+    record, and [seq] must strictly increase along the file.  A corrupt
+    ledger refuses to load (naming the offending line) rather than
+    silently skipping records — trend statistics over a silently
+    truncated history would happily report "no regression". *)
+
+val load : string -> (Record.t list, string) result
+(** Load and validate a ledger file.  A missing file is an error (use
+    {!load_or_empty} where an empty history is meaningful). *)
+
+val load_or_empty : string -> (Record.t list, string) result
+(** Like {!load}, but a missing file is an empty history. *)
+
+val append : path:string -> Record.t -> (Record.t, string) result
+(** Validate the existing ledger (a corrupt ledger must not be appended
+    to), re-stamp the record with the next [seq], and append it as one
+    line, creating the file if needed.  Returns the record as written. *)
+
+val to_line : Record.t -> string
+(** The record as a single compact JSON line (no trailing newline). *)
+
+val next_seq : Record.t list -> int
+(** 0 on an empty history, last [seq] + 1 otherwise. *)
+
+val describe : Record.t -> string
+(** One human line: seq, commit (with dirty suffix), profile, host,
+    cell count, note. *)

@@ -1,0 +1,87 @@
+(** One bench-history ledger record: the per-cell measurements of one
+    benchmark run, keyed by the build stamp of the binary that produced
+    them.
+
+    Records are schema-versioned independently of the snapshot codec
+    ({!Pta_report.Bench_snapshot}): snapshots are the working files a
+    bench run overwrites in place, the ledger is the append-only
+    archive those runs accumulate into ([bench/history.jsonl]), and the
+    two evolve at different speeds.  {!of_json} is strict — a record
+    from a future schema, or with a missing/mistyped field, is rejected
+    rather than half-read, because a silently misparsed ledger line
+    poisons every trend computed over it. *)
+
+module Json := Pta_obs.Json
+module Snapshot := Pta_report.Bench_snapshot
+
+val current_schema_version : int
+(** 1. *)
+
+type build = {
+  semver : string;
+  commit : string;  (** bare short hash, or ["unknown"] *)
+  dirty : bool;  (** built from a worktree with uncommitted changes *)
+  ocaml : string;
+  profile : string;  (** dune profile *)
+}
+
+val commit_label : build -> string
+(** [commit] with the ["-dirty"] suffix restored when [dirty]. *)
+
+type host = {
+  os_type : string;  (** [Sys.os_type] *)
+  word_size : int;  (** [Sys.word_size] *)
+  hostname : string;
+}
+(** A coarse host fingerprint: timings from different machines must
+    never be silently compared, and this is how the trend tooling tells
+    them apart.  [hostname] honours [$PTA_BENCH_HOST] so CI and tests
+    can pin a stable name. *)
+
+val current_host : unit -> host
+
+type cell = {
+  benchmark : string;
+  analysis : string;
+  timed_out : bool;
+  time_s : float;  (** best wall time, or elapsed-at-abort for timeouts *)
+  iterations : int;
+  nodes : int option;
+  peak_heap_words : int option;
+  time_hist : Snapshot.hist option;
+      (** distribution of the individual timed solves (exponential
+          buckets, {!Pta_metrics.Registry.time_buckets} ladder) *)
+}
+
+type t = {
+  schema_version : int;
+  seq : int;  (** position in the ledger; assigned by {!Ledger.append} *)
+  timestamp : float option;  (** unix seconds; [None] on synthetic records *)
+  note : string option;  (** free-form provenance, e.g. ["ci"] *)
+  timeout_s : float;
+  build : build;
+  host : host;
+  cells : cell list;
+}
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+(** Strict: rejects unsupported schema versions and missing or mistyped
+    fields (including malformed [time_hist] blocks). *)
+
+val of_snapshot :
+  seq:int ->
+  ?timestamp:float ->
+  ?note:string ->
+  host:host ->
+  Snapshot.t ->
+  (t, string) result
+(** Build a record from a bench snapshot ([BENCH_table1.json] /
+    [BENCH_prop.json]).  The build stamp is taken from the snapshot's
+    own [pointsto] field — the binary that {e measured}, not the one
+    appending — and is required: a stamp-less (v1) snapshot is refused,
+    because an untraceable ledger record is worse than none.  A
+    ["-dirty"]-suffixed commit or an explicit [dirty] flag in the stamp
+    both mark the record dirty. *)
+
+val cell_find : t -> benchmark:string -> analysis:string -> cell option

@@ -184,6 +184,29 @@ let histogram_sum h = h.h_sum
 (* Power-of-two bucket ladder: 1, 2, 4, ..., 2^(n-1). *)
 let pow2_buckets n = List.init (max 1 n) (fun i -> float_of_int (1 lsl i))
 
+(* Geometric ladder: start, start*factor, ..., start*factor^(count-1).
+   Bounds are computed by repeated multiplication (not pow), so the
+   ladder is bit-identical on every platform — it lands in committed
+   ledger records, where byte determinism matters. *)
+let exp_buckets ~start ~factor count =
+  if not (start > 0. && Float.is_finite start) then
+    invalid_arg "Registry.exp_buckets: start must be positive and finite";
+  if not (factor > 1. && Float.is_finite factor) then
+    invalid_arg "Registry.exp_buckets: factor must be > 1 and finite";
+  if count < 1 then invalid_arg "Registry.exp_buckets: count must be >= 1";
+  let rec go acc b k = if k = 0 then List.rev acc else go (b :: acc) (b *. factor) (k - 1) in
+  go [] start count
+
+let time_buckets = exp_buckets ~start:0.001 ~factor:2. 24
+
+let histogram_buckets h =
+  Array.to_list
+    (Array.mapi
+       (fun i n ->
+         ( (if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity),
+           n ))
+       h.h_counts)
+
 (* ------------------------------------------------------------------ *)
 (* Exposition                                                          *)
 (* ------------------------------------------------------------------ *)

@@ -54,6 +54,23 @@ val histogram :
 (** [pow2_buckets n] is the ladder [1; 2; 4; ...; 2^(n-1)]. *)
 val pow2_buckets : int -> float list
 
+(** [exp_buckets ~start ~factor count] is the geometric ladder
+    [start; start*factor; ...; start*factor^(count-1)] — the natural
+    shape for latency distributions, whose mass spans orders of
+    magnitude (a linear ladder wastes every bucket past the mode).
+    Bounds are produced by repeated multiplication, so the ladder is
+    bit-identical across platforms and safe to commit into ledger
+    records.  Raises [Invalid_argument] unless [start > 0],
+    [factor > 1] and [count >= 1]. *)
+val exp_buckets : start:float -> factor:float -> int -> float list
+
+(** The registry-wide ladder for wall-clock seconds:
+    [exp_buckets ~start:0.001 ~factor:2. 24] — 1ms to ~2.3h.  Used for
+    the per-cell solve-time distributions recorded into the bench
+    ledger; sharing one ladder keeps histograms mergeable across
+    records. *)
+val time_buckets : float list
+
 (** {1 Updates} *)
 
 val incr : counter -> unit
@@ -73,6 +90,12 @@ val observe : histogram -> float -> unit
 val observe_int : histogram -> int -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
+
+(** [(upper_bound, count)] per bucket, {e non}-cumulative, ending with
+    the implicit [(infinity, overflow)] bucket.  This is the raw shape
+    recorded into bench-ledger records (the OpenMetrics exposition
+    stays cumulative). *)
+val histogram_buckets : histogram -> (float * int) list
 
 (** {1 Exposition} *)
 

@@ -1,7 +1,13 @@
 module Json = Pta_obs.Json
 module Memstats = Pta_obs.Memstats
 
-let current_schema_version = 2
+let current_schema_version = 3
+
+type hist = {
+  bounds : float list;  (* strictly increasing upper bounds, no +Inf *)
+  counts : int list;  (* per-bucket, non-cumulative; last = overflow *)
+  sum : float;
+}
 
 type cell = {
   benchmark : string;
@@ -11,6 +17,7 @@ type cell = {
   iterations : int;
   nodes : int option;
   memory : Memstats.delta option;
+  time_hist : hist option;
 }
 
 type t = {
@@ -24,6 +31,51 @@ type t = {
 (* Codec                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let hist_to_json h =
+  Json.Obj
+    [
+      ("bounds", Json.List (List.map (fun b -> Json.Float b) h.bounds));
+      ("counts", Json.List (List.map (fun n -> Json.Int n) h.counts));
+      ("sum", Json.Float h.sum);
+    ]
+
+(* A histogram straight off a {!Pta_metrics.Registry} handle:
+   [histogram_buckets]' trailing +Inf bucket becomes the overflow
+   count. *)
+let hist_of_buckets ~sum buckets =
+  let rec split bounds counts = function
+    | [] -> { bounds = List.rev bounds; counts = List.rev counts; sum }
+    | [ (_inf, n) ] -> split bounds (n :: counts) []
+    | (b, n) :: rest -> split (b :: bounds) (n :: counts) rest
+  in
+  split [] [] buckets
+
+let hist_of_json json =
+  let err what = Error (Printf.sprintf "bench snapshot: time_hist %s" what) in
+  match
+    ( Option.map (List.filter_map Json.to_float)
+        (Option.bind (Json.member "bounds" json) Json.to_list),
+      Option.map (List.filter_map Json.to_int)
+        (Option.bind (Json.member "counts" json) Json.to_list),
+      Option.bind (Json.member "sum" json) Json.to_float )
+  with
+  | Some bounds, Some counts, Some sum ->
+    if List.length counts <> List.length bounds + 1 then
+      err "counts must have one more entry than bounds"
+    else if List.exists (fun n -> n < 0) counts then
+      err "counts must be non-negative"
+    else if
+      (let rec incr = function
+         | a :: (b :: _ as rest) -> a < b && incr rest
+         | _ -> true
+       in
+       not (incr bounds))
+    then err "bounds must be strictly increasing"
+    else Ok { bounds; counts; sum }
+  | _ -> err "needs bounds, counts and sum"
+
+let hist_count h = List.fold_left ( + ) 0 h.counts
+
 let cell_to_json c =
   Json.Obj
     ([
@@ -34,10 +86,13 @@ let cell_to_json c =
        ("iterations", Json.Int c.iterations);
      ]
     @ (match c.nodes with None -> [] | Some n -> [ ("nodes", Json.Int n) ])
+    @ (match c.memory with
+      | None -> []
+      | Some m -> [ ("memory", Memstats.to_json m) ])
     @
-    match c.memory with
+    match c.time_hist with
     | None -> []
-    | Some m -> [ ("memory", Memstats.to_json m) ])
+    | Some h -> [ ("time_hist", hist_to_json h) ])
 
 let to_json t =
   Json.Obj
@@ -70,7 +125,15 @@ let cell_of_json json =
     | None -> Ok None
     | Some j -> Result.map Option.some (Memstats.of_json j)
   in
-  Ok { benchmark; analysis; timed_out; time_s; iterations; nodes; memory }
+  (* v3 field; absent in v1/v2 snapshots. *)
+  let* time_hist =
+    match Json.member "time_hist" json with
+    | None -> Ok None
+    | Some j -> Result.map Option.some (hist_of_json j)
+  in
+  Ok
+    { benchmark; analysis; timed_out; time_s; iterations; nodes; memory;
+      time_hist }
 
 let of_json json =
   let* schema_version = field json "schema_version" Json.to_int in

@@ -1,28 +1,39 @@
 (** Codec and comparator for the committed benchmark snapshot
     ([BENCH_table1.json]).
 
-    Schema v2 (written by {!to_json}) extends v1 with per-cell [nodes]
-    (the solver's supergraph size — also recorded for timeout cells,
-    from the abort payload), a [memory] block (the
-    {!Pta_obs.Memstats.delta} of the instrumented run), and a top-level
-    [pointsto] build stamp.  {!of_json} reads both versions; v1 cells
-    simply come back with [nodes = None] and [memory = None], so a
-    regression gate against an old baseline still checks time and
+    Schema v2 extends v1 with per-cell [nodes] (the solver's supergraph
+    size — also recorded for timeout cells, from the abort payload), a
+    [memory] block (the {!Pta_obs.Memstats.delta} of the instrumented
+    run), and a top-level [pointsto] build stamp.  Schema v3 (written by
+    {!to_json}) adds an optional per-cell [time_hist] — the distribution
+    of the individual timed solves behind the reported min, recorded on
+    an exponential-bucket {!Pta_metrics.Registry} histogram and carried
+    into bench-history ledger records.  {!of_json} reads all three
+    versions; older cells simply come back with the newer fields absent,
+    so a regression gate against an old baseline still checks time and
     iterations. *)
 
 module Json := Pta_obs.Json
 
 val current_schema_version : int
-(** The version {!to_json} writes: 2. *)
+(** The version {!to_json} writes: 3. *)
+
+type hist = {
+  bounds : float list;  (** strictly increasing upper bounds, no +Inf *)
+  counts : int list;  (** per-bucket, non-cumulative; last = overflow *)
+  sum : float;
+}
+(** A serialised latency histogram, [le] bucket semantics. *)
 
 type cell = {
   benchmark : string;
   analysis : string;
   timed_out : bool;
-  time_s : float;  (** median wall time, or elapsed-at-abort for timeouts *)
+  time_s : float;  (** best wall time, or elapsed-at-abort for timeouts *)
   iterations : int;
   nodes : int option;  (** v2: supergraph nodes (also at abort) *)
   memory : Pta_obs.Memstats.delta option;  (** v2: instrumented-run GC profile *)
+  time_hist : hist option;  (** v3: per-run solve-time distribution *)
 }
 
 type t = {
@@ -35,6 +46,21 @@ type t = {
 val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result
 val of_string : string -> (t, string) result
+
+(** {1 Histogram helpers} *)
+
+val hist_to_json : hist -> Json.t
+
+val hist_of_json : Json.t -> (hist, string) result
+(** Validates shape: [length counts = length bounds + 1], non-negative
+    counts, strictly increasing bounds. *)
+
+val hist_of_buckets : sum:float -> (float * int) list -> hist
+(** From {!Pta_metrics.Registry.histogram_buckets} output: the trailing
+    [+Inf] bucket becomes the overflow count. *)
+
+val hist_count : hist -> int
+(** Total observations. *)
 
 (** {1 Regression comparison} *)
 

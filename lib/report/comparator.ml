@@ -1,0 +1,62 @@
+module Snapshot = Bench_snapshot
+
+type subset = {
+  benchmarks : string list option;
+  analyses : string list option;
+}
+
+let full = { benchmarks = None; analyses = None }
+let subset_of ~benchmarks ~analyses = { benchmarks; analyses }
+
+let in_subset subset (c : Snapshot.cell) =
+  (match subset.benchmarks with
+  | None -> true
+  | Some bs -> List.mem c.Snapshot.benchmark bs)
+  &&
+  match subset.analyses with
+  | None -> true
+  | Some xs -> List.mem c.Snapshot.analysis xs
+
+let restrict subset (t : Snapshot.t) =
+  { t with Snapshot.cells = List.filter (in_subset subset) t.Snapshot.cells }
+
+let load_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> (
+    match Snapshot.of_string contents with
+    | Ok t -> Ok t
+    | Error e -> Error (Printf.sprintf "cannot load baseline %s: %s" path e))
+  | exception Sys_error e ->
+    Error (Printf.sprintf "cannot load baseline %s: %s" path e)
+
+type outcome = {
+  report : Snapshot.report;
+  failed : bool;
+}
+
+let gate ?thresholds ?(subset = full) ?delta_md
+    ?(ppf = Format.std_formatter) ~baseline ~current () =
+  if baseline.Snapshot.timeout_s <> current.Snapshot.timeout_s then
+    Printf.eprintf
+      "[bench] warning: baseline timeout %.0fs != current %.0fs; timeout \
+       cells may not be comparable\n\
+       %!"
+      baseline.Snapshot.timeout_s current.Snapshot.timeout_s;
+  let baseline = restrict subset baseline in
+  let current = restrict subset current in
+  let report = Snapshot.compare ?thresholds ~baseline ~current () in
+  Format.fprintf ppf "%a%!" Snapshot.pp_report report;
+  (match delta_md with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Snapshot.to_markdown report));
+    Format.fprintf ppf "[%s written]@." path);
+  { report; failed = Snapshot.has_regression report }

@@ -1,0 +1,47 @@
+(** The one regression-gate pipeline shared by every comparator entry
+    point ([make bench-compare], [make bench-prop-compare], the CI gate
+    cells, and the bench-history trend check): load a baseline snapshot,
+    restrict both sides to a benchmark × analysis subset, diff them
+    under a single tolerance configuration, render the per-cell report,
+    and optionally write the Markdown delta table.
+
+    Before this module each gate re-implemented the load / filter /
+    threshold / render sequence with its own copies of the tolerances;
+    they now differ only in the [subset] and [thresholds] they pass. *)
+
+module Snapshot := Bench_snapshot
+
+type subset = {
+  benchmarks : string list option;  (** [None] = all *)
+  analyses : string list option;  (** [None] = all *)
+}
+
+val full : subset
+(** No restriction. *)
+
+val subset_of : benchmarks:string list option -> analyses:string list option -> subset
+
+val restrict : subset -> Snapshot.t -> Snapshot.t
+(** Drop cells outside the subset (cell order otherwise preserved). *)
+
+val load_file : string -> (Snapshot.t, string) result
+(** Read and parse a snapshot file; the error string names the path. *)
+
+type outcome = {
+  report : Snapshot.report;
+  failed : bool;  (** [Snapshot.has_regression report] *)
+}
+
+val gate :
+  ?thresholds:Snapshot.thresholds ->
+  ?subset:subset ->
+  ?delta_md:string ->
+  ?ppf:Format.formatter ->
+  baseline:Snapshot.t ->
+  current:Snapshot.t ->
+  unit ->
+  outcome
+(** Restrict, compare, print the per-cell report to [ppf] (default
+    [Format.std_formatter]), warn on [stderr] when the two snapshots
+    were taken under different per-analysis timeouts, and write the
+    Markdown delta table to [delta_md] when given. *)

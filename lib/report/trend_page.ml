@@ -1,0 +1,257 @@
+type point = {
+  value : float option;
+  timed_out : bool;
+  label : string;
+  dirty : bool;
+  flagged : bool;
+}
+
+type series = point list
+
+type metric = {
+  m_name : string;
+  m_fmt : float -> string;
+  m_series : series;
+}
+
+type cell = {
+  c_benchmark : string;
+  c_analysis : string;
+  c_metrics : metric list;
+}
+
+type page = {
+  p_title : string;
+  p_subtitle : string;
+  p_cells : cell list;
+}
+
+(* One decimal place is plenty for pixel coordinates and keeps the
+   output byte-stable across platforms (no %g shortest-repr variance). *)
+let px = Printf.sprintf "%.1f"
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Sparklines                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sparkline ?(width = 160) ?(height = 40) (points : series) =
+  let pad = 4. in
+  let w = float_of_int width and h = float_of_int height in
+  let n = List.length points in
+  let xs i =
+    if n <= 1 then w /. 2.
+    else pad +. (float_of_int i *. (w -. (2. *. pad)) /. float_of_int (n - 1))
+  in
+  let present =
+    List.filter_map (fun p -> p.value) points
+  in
+  let vmin = List.fold_left min infinity present in
+  let vmax = List.fold_left max neg_infinity present in
+  let ys v =
+    if vmax <= vmin then h /. 2.
+    else pad +. ((h -. (2. *. pad)) *. (1. -. ((v -. vmin) /. (vmax -. vmin))))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" role=\"img\">\n"
+       width height width height);
+  (* Polyline segments: consecutive present points; a gap (missing cell
+     or timeout) breaks the line. *)
+  let flush_segment seg =
+    match List.rev seg with
+    | [] | [ _ ] -> ()  (* an isolated point is drawn by its marker *)
+    | seg ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<polyline fill=\"none\" stroke=\"#0a66b0\" stroke-width=\"1.2\" \
+            points=\"%s\"/>\n"
+           (String.concat " "
+              (List.map (fun (x, y) -> px x ^ "," ^ px y) seg)))
+  in
+  let seg =
+    List.fold_left
+      (fun (i, seg) p ->
+        match p.value with
+        | Some v -> (i + 1, (xs i, ys v) :: seg)
+        | None ->
+          flush_segment seg;
+          (i + 1, []))
+      (0, []) points
+    |> snd
+  in
+  flush_segment seg;
+  (* Markers, drawn over the line. *)
+  let last_present =
+    List.fold_left
+      (fun (i, acc) p ->
+        (i + 1, match p.value with Some _ -> Some i | None -> acc))
+      (0, None) points
+    |> snd
+  in
+  List.iteri
+    (fun i p ->
+      let x = xs i in
+      let title =
+        Printf.sprintf "<title>%s</title>" (html_escape p.label)
+      in
+      match p.value with
+      | None when p.timed_out ->
+        (* Timeout: a cross at mid-height. *)
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<g stroke=\"#c0392b\" stroke-width=\"1.2\">%s<line x1=\"%s\" \
+              y1=\"%s\" x2=\"%s\" y2=\"%s\"/><line x1=\"%s\" y1=\"%s\" \
+              x2=\"%s\" y2=\"%s\"/></g>\n"
+             title
+             (px (x -. 2.5)) (px ((h /. 2.) -. 2.5))
+             (px (x +. 2.5)) (px ((h /. 2.) +. 2.5))
+             (px (x -. 2.5)) (px ((h /. 2.) +. 2.5))
+             (px (x +. 2.5)) (px ((h /. 2.) -. 2.5)))
+      | None -> ()
+      | Some v ->
+        let y = ys v in
+        let marker =
+          if p.flagged then
+            Some "r=\"2.5\" fill=\"#c0392b\" stroke=\"none\""
+          else if p.dirty then
+            Some "r=\"2.0\" fill=\"#ffffff\" stroke=\"#888888\" stroke-width=\"1.0\""
+          else if last_present = Some i then
+            Some "r=\"2.0\" fill=\"#0a66b0\" stroke=\"none\""
+          else None
+        in
+        Option.iter
+          (fun attrs ->
+            Buffer.add_string buf
+              (Printf.sprintf "<circle cx=\"%s\" cy=\"%s\" %s>%s</circle>\n"
+                 (px x) (px y) attrs title))
+          marker)
+    points;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* File names                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Benchmark/analysis/metric names may hold '+', '/', spaces, '(' ...;
+   map anything outside [A-Za-z0-9._-] to '_' and keep the pieces
+   separated by "__" so distinct cells cannot collide. *)
+let sanitize s =
+  String.map
+    (function
+      | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-') as c -> c
+      | _ -> '_')
+    s
+
+let svg_file_name ~benchmark ~analysis ~metric =
+  Printf.sprintf "%s__%s__%s.svg" (sanitize benchmark) (sanitize analysis)
+    (sanitize metric)
+
+(* ------------------------------------------------------------------ *)
+(* HTML index                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let style =
+  {|body { font-family: -apple-system, "Segoe UI", sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+p.sub { color: #666; white-space: pre-line; }
+table { border-collapse: collapse; }
+th, td { border: 1px solid #ddd; padding: 4px 8px; text-align: left; vertical-align: top; }
+th { background: #f5f5f5; }
+td.flagged { outline: 2px solid #c0392b; }
+div.vals { font-size: 0.75em; color: #555; margin-top: 2px; }
+span.flag { color: #c0392b; font-weight: bold; }
+span.dirty { color: #b8860b; }|}
+
+let series_summary fmt (points : series) =
+  let present = List.filter_map (fun p -> p.value) points in
+  match present with
+  | [] -> "no data"
+  | _ ->
+    let vmin = List.fold_left min infinity present in
+    let vmax = List.fold_left max neg_infinity present in
+    let last = List.nth present (List.length present - 1) in
+    Printf.sprintf "last %s &middot; min %s &middot; max %s" (fmt last)
+      (fmt vmin) (fmt vmax)
+
+let metric_td (m : metric) =
+  let flagged = List.exists (fun p -> p.flagged) m.m_series in
+  let dirty = List.exists (fun p -> p.dirty && p.value <> None) m.m_series in
+  let badges =
+    (if flagged then " <span class=\"flag\">&#9888; regression</span>" else "")
+    ^ if dirty then " <span class=\"dirty\">&#9679; dirty builds</span>" else ""
+  in
+  Printf.sprintf "<td%s>%s<div class=\"vals\">%s%s</div></td>"
+    (if flagged then " class=\"flagged\"" else "")
+    (sparkline m.m_series)
+    (series_summary m.m_fmt m.m_series)
+    badges
+
+let render (page : page) =
+  let buf = Buffer.create 8192 in
+  let add = Buffer.add_string buf in
+  add "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\"/>\n";
+  add (Printf.sprintf "<title>%s</title>\n" (html_escape page.p_title));
+  add (Printf.sprintf "<style>%s</style>\n" style);
+  add "</head>\n<body>\n";
+  add (Printf.sprintf "<h1>%s</h1>\n" (html_escape page.p_title));
+  add (Printf.sprintf "<p class=\"sub\">%s</p>\n" (html_escape page.p_subtitle));
+  (* Group cells by benchmark, first-appearance order. *)
+  let benchmarks =
+    List.fold_left
+      (fun acc c ->
+        if List.mem c.c_benchmark acc then acc else acc @ [ c.c_benchmark ])
+      [] page.p_cells
+  in
+  let columns =
+    match page.p_cells with
+    | [] -> []
+    | c :: _ -> List.map (fun m -> m.m_name) c.c_metrics
+  in
+  List.iter
+    (fun bench ->
+      add (Printf.sprintf "<h2>%s</h2>\n<table>\n" (html_escape bench));
+      add "<tr><th>analysis</th>";
+      List.iter
+        (fun col -> add (Printf.sprintf "<th>%s</th>" (html_escape col)))
+        columns;
+      add "</tr>\n";
+      List.iter
+        (fun c ->
+          if String.equal c.c_benchmark bench then begin
+            add
+              (Printf.sprintf "<tr><td>%s</td>" (html_escape c.c_analysis));
+            List.iter (fun m -> add (metric_td m)) c.c_metrics;
+            add "</tr>\n"
+          end)
+        page.p_cells;
+      add "</table>\n")
+    benchmarks;
+  add "</body>\n</html>\n";
+  let svgs =
+    List.concat_map
+      (fun c ->
+        List.map
+          (fun m ->
+            ( svg_file_name ~benchmark:c.c_benchmark ~analysis:c.c_analysis
+                ~metric:m.m_name,
+              sparkline m.m_series ))
+          c.c_metrics)
+      page.p_cells
+  in
+  ("index.html", Buffer.contents buf) :: svgs

@@ -1,0 +1,55 @@
+(** Static perf-trend report: per-cell SVG sparklines plus an HTML
+    index, generated with no external dependencies.
+
+    The input model is deliberately neutral — series of optionally
+    missing points with display labels — so this module knows nothing
+    about ledgers or snapshots; [Pta_bench_history.Trend] builds the
+    model from ledger records and this module turns it into bytes.
+
+    Output is {e byte-deterministic}: floats render through fixed
+    formats, nothing reads the clock or the environment, and point
+    order is the caller's, so two renders of the same model are
+    [cmp]-identical (a property the CI artifact check relies on). *)
+
+type point = {
+  value : float option;  (** [None] = cell missing from that record *)
+  timed_out : bool;  (** render as a gap with a timeout marker *)
+  label : string;  (** x label, e.g. the record's commit stamp *)
+  dirty : bool;  (** built from a dirty worktree: hollow marker *)
+  flagged : bool;  (** changepoint detection flagged this point *)
+}
+
+type series = point list
+
+type metric = {
+  m_name : string;  (** column title, e.g. ["time (s)"] *)
+  m_fmt : float -> string;  (** value formatter, must be deterministic *)
+  m_series : series;
+}
+
+type cell = {
+  c_benchmark : string;
+  c_analysis : string;
+  c_metrics : metric list;  (** same metric order for every cell *)
+}
+
+type page = {
+  p_title : string;
+  p_subtitle : string;  (** ledger provenance: path, span, build stamps *)
+  p_cells : cell list;
+}
+
+val sparkline : ?width:int -> ?height:int -> series -> string
+(** A standalone SVG document: a polyline over the present points
+    (gaps break the line), a hollow marker for dirty-build points, a
+    crossed marker for timeouts, a filled marker on the last point, and
+    a red marker on flagged points. *)
+
+val svg_file_name : benchmark:string -> analysis:string -> metric:string -> string
+(** A filesystem-safe, collision-free name for one cell × metric
+    sparkline ([+], [/] etc. are escaped). *)
+
+val render : page -> (string * string) list
+(** [(relative file name, contents)] pairs: [index.html] first, then one
+    [.svg] per cell × metric (the same markup is also inlined into the
+    index, which therefore stands alone). *)

@@ -1,7 +1,13 @@
 module Json = Pta_obs.Json
 
 let semver = "1.0.0"
-let commit = Build_info.commit
+let commit_hash = Build_info.commit
+let dirty = Build_info.dirty
+
+(* The human-facing commit id: "-dirty" marks a build whose tracked
+   files differed from HEAD, so its numbers are not reproducible from
+   the hash alone. *)
+let commit = if dirty then commit_hash ^ "-dirty" else commit_hash
 let profile = Build_info.profile
 let ocaml = Sys.ocaml_version
 
@@ -10,6 +16,7 @@ let to_json () =
     [
       ("version", Json.String semver);
       ("commit", Json.String commit);
+      ("dirty", Json.Bool dirty);
       ("ocaml", Json.String ocaml);
       ("profile", Json.String profile);
     ]

@@ -241,6 +241,67 @@ let pow2_buckets_test () =
   Alcotest.(check (list (float 1e-9)))
     "ladder" [ 1.; 2.; 4.; 8. ] (Registry.pow2_buckets 4)
 
+let exp_buckets_test () =
+  Alcotest.(check (list (float 1e-9)))
+    "geometric ladder"
+    [ 0.5; 1.5; 4.5 ]
+    (Registry.exp_buckets ~start:0.5 ~factor:3. 3);
+  (* the shared time ladder: 1ms doubling, 24 buckets, ~2.3h ceiling *)
+  let tb = Registry.time_buckets in
+  Alcotest.(check int) "time ladder length" 24 (List.length tb);
+  Alcotest.(check (float 1e-12)) "time ladder start" 0.001 (List.hd tb);
+  Alcotest.(check bool)
+    "strictly increasing" true
+    (List.for_all2 (fun a b -> a < b)
+       (List.filteri (fun i _ -> i < 23) tb)
+       (List.tl tb));
+  List.iter
+    (fun f ->
+      Alcotest.check_raises "invalid args rejected"
+        (Invalid_argument
+           (Printf.sprintf "Registry.exp_buckets: %s"
+              (match f with
+              | `Start -> "start must be positive and finite"
+              | `Factor -> "factor must be > 1 and finite"
+              | `Count -> "count must be >= 1")))
+        (fun () ->
+          ignore
+            (match f with
+            | `Start -> Registry.exp_buckets ~start:0. ~factor:2. 3
+            | `Factor -> Registry.exp_buckets ~start:1. ~factor:1. 3
+            | `Count -> Registry.exp_buckets ~start:1. ~factor:2. 0)))
+    [ `Start; `Factor; `Count ]
+
+(* histogram_buckets hands back per-bucket (non-cumulative) counts with
+   the +Inf overflow last — the shape the snapshot hist codec stores. *)
+let histogram_to_hist_test () =
+  let r = Registry.create () in
+  let h = Registry.histogram r ~buckets:[ 1.; 2.; 4. ] "pta_test_h" in
+  List.iter (Registry.observe_int h) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "per-bucket counts"
+    [ (1., 1); (2., 1); (4., 2); (infinity, 1) ]
+    (Registry.histogram_buckets h);
+  let hist =
+    Snapshot.hist_of_buckets ~sum:(Registry.histogram_sum h)
+      (Registry.histogram_buckets h)
+  in
+  Alcotest.(check (list (float 1e-9))) "bounds" [ 1.; 2.; 4. ] hist.Snapshot.bounds;
+  Alcotest.(check (list int)) "counts" [ 1; 1; 2; 1 ] hist.Snapshot.counts;
+  Alcotest.(check int) "total" 5 (Snapshot.hist_count hist);
+  (* codec round-trip, and the codec's shape rejections *)
+  (match Snapshot.hist_of_json (Snapshot.hist_to_json hist) with
+  | Ok hist' -> Alcotest.(check bool) "round-trip" true (hist = hist')
+  | Error e -> Alcotest.failf "hist round-trip: %s" e);
+  let reject what h =
+    match Snapshot.hist_of_json (Snapshot.hist_to_json h) with
+    | Ok _ -> Alcotest.failf "%s: unexpectedly accepted" what
+    | Error _ -> ()
+  in
+  reject "length mismatch" { hist with Snapshot.counts = [ 1; 2 ] };
+  reject "negative count" { hist with Snapshot.counts = [ 1; -1; 2; 1 ] };
+  reject "non-increasing bounds" { hist with Snapshot.bounds = [ 1.; 1.; 4. ] }
+
 (* Misuse must fail loudly at registration/update time. *)
 let registry_validation_test () =
   let r = Registry.create () in
@@ -277,8 +338,11 @@ let mem : Memstats.delta =
   }
 
 let cell ?(timed_out = false) ?(time_s = 1.0) ?(iterations = 100) ?nodes
-    ?memory benchmark analysis =
-  { Snapshot.benchmark; analysis; timed_out; time_s; iterations; nodes; memory }
+    ?memory ?time_hist benchmark analysis =
+  {
+    Snapshot.benchmark; analysis; timed_out; time_s; iterations; nodes; memory;
+    time_hist;
+  }
 
 let snap ?pointsto cells =
   {
@@ -289,24 +353,32 @@ let snap ?pointsto cells =
   }
 
 let v2_roundtrip_test () =
+  let hist =
+    { Snapshot.bounds = [ 0.5; 1.0 ]; counts = [ 2; 1; 0 ]; sum = 1.9 }
+  in
   let t =
     snap
       ~pointsto:(Json.Obj [ ("commit", Json.String "abc123") ])
       [
-        cell ~nodes:1234 ~memory:mem "antlr" "2obj+H";
+        cell ~nodes:1234 ~memory:mem ~time_hist:hist "antlr" "2obj+H";
         cell ~timed_out:true ~time_s:60.2 ~iterations:999 "bloat" "2obj+H";
       ]
   in
   match Snapshot.of_string (Json.to_string (Snapshot.to_json t)) with
   | Error e -> Alcotest.fail e
   | Ok t' ->
-    Alcotest.(check int) "schema v2" 2 t'.Snapshot.schema_version;
+    Alcotest.(check int) "current schema" Snapshot.current_schema_version
+      t'.Snapshot.schema_version;
     Alcotest.(check bool) "stamp survives" true (t'.Snapshot.pointsto <> None);
     (match t'.Snapshot.cells with
     | [ c1; c2 ] ->
       Alcotest.(check (option int)) "nodes" (Some 1234) c1.Snapshot.nodes;
       Alcotest.(check bool) "memory survives" true (c1.Snapshot.memory = Some mem);
+      Alcotest.(check bool) "hist survives" true
+        (c1.Snapshot.time_hist = Some hist);
       Alcotest.(check bool) "timeout cell" true c2.Snapshot.timed_out;
+      Alcotest.(check bool) "timeout cell has no hist" true
+        (c2.Snapshot.time_hist = None);
       Alcotest.(check int) "abort iterations" 999 c2.Snapshot.iterations
     | _ -> Alcotest.fail "wrong cell count")
 
@@ -432,6 +504,9 @@ let tests =
     Alcotest.test_case "datalog engine counters" `Quick datalog_metrics_test;
     Alcotest.test_case "histogram buckets (le)" `Quick histogram_buckets_test;
     Alcotest.test_case "pow2 buckets" `Quick pow2_buckets_test;
+    Alcotest.test_case "exp buckets" `Quick exp_buckets_test;
+    Alcotest.test_case "histogram to snapshot hist" `Quick
+      histogram_to_hist_test;
     Alcotest.test_case "registry validation" `Quick registry_validation_test;
     Alcotest.test_case "snapshot v2 round-trip" `Quick v2_roundtrip_test;
     Alcotest.test_case "snapshot v1 compat" `Quick v1_compat_test;
