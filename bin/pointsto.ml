@@ -4,6 +4,7 @@
      analyze    — run one analysis on MJ sources, print metrics
      compare    — run several analyses, print a metric table
      check      — run the points-to-powered checkers, report diagnostics
+     taint      — source-to-sink taint flows, per strategy or in detail
      query      — points-to set of one variable
      casts      — may-fail casts with witness allocation sites
      callgraph  — context-insensitive call graph
@@ -429,6 +430,45 @@ let casts_cmd =
       const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
       $ trace_arg)
 
+(* Shared by check and taint: load a spec file, exiting with the CLI
+   usage code on parse errors so scripts can distinguish a bad spec from
+   analysis findings. *)
+let taint_spec_arg =
+  let doc =
+    "Taint specification file: one directive per line — $(b,source GLOB \
+     ret), $(b,source GLOB param I), $(b,sink GLOB arg I|*), $(b,sanitizer \
+     GLOB) — with $(b,#) comments.  Globs match qualified method names \
+     (Class.meth/arity) as in per-method strategy dispatch."
+  in
+  Arg.(value & opt (some string) None & info [ "taint-spec" ] ~docv:"FILE" ~doc)
+
+let load_taint_spec = function
+  | None -> None
+  | Some path -> (
+    match Pta_taint.Spec.load path with
+    | Ok entries -> Some entries
+    | Error msg ->
+      Printf.eprintf "pointsto: %s: %s\n" path msg;
+      exit 2)
+
+let print_checker_listing () =
+  List.iter
+    (fun (i : Pta_checkers.Checkers.info) ->
+      Printf.printf "%-22s %-8s %s\n" i.code
+        (Pta_checkers.Diagnostic.severity_to_string i.severity)
+        i.summary)
+    Pta_checkers.Checkers.all
+
+let unknown_checker_exit code suggestions available =
+  Printf.eprintf "pointsto: unknown checker %S" code;
+  (match suggestions with
+  | [] -> ()
+  | [ s ] -> Printf.eprintf " (did you mean %s?)" s
+  | ss -> Printf.eprintf " (did you mean %s?)" (String.concat " or " ss));
+  Printf.eprintf "\navailable checkers: %s\n" (String.concat ", " available);
+  Printf.eprintf "see `pointsto check --checkers list'\n";
+  exit 2
+
 let check_cmd =
   let format_arg =
     let doc =
@@ -446,8 +486,8 @@ let check_cmd =
   in
   let checkers_arg =
     let doc =
-      "Comma-separated checkers to run (default: all).  See the CHECKERS \
-       section."
+      "Comma-separated checkers to run (default: all), or $(b,list) to \
+       print the available checkers and exit.  See the CHECKERS section."
     in
     Arg.(
       value
@@ -461,18 +501,34 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "include-stdlib" ] ~doc)
   in
-  let run files analysis no_stdlib timeout_s checkers format output
+  let run files analysis no_stdlib timeout_s checkers taint_spec format output
       include_stdlib =
-    let _program, solver, _ppf =
+    (match checkers with
+    | Some [ "list" ] ->
+      print_checker_listing ();
+      exit 0
+    | _ -> ());
+    if files = [] then begin
+      Printf.eprintf "pointsto: check: no MJ source files given\n";
+      exit 124
+    end;
+    let program, solver, _ppf =
       load_and_solve ?timeout_s ~no_stdlib ~analysis files
     in
-    let results = Pta_checkers.Results.of_solver solver in
+    let taint =
+      match load_taint_spec taint_spec with
+      | None -> None
+      | Some entries ->
+        let spec = Pta_taint.Spec.compile program entries in
+        Some (Pta_taint.Taint.summary (Pta_taint.Taint.analyze solver spec))
+    in
+    let results = Pta_checkers.Results.of_solver ?taint solver in
     let diags =
       match Pta_checkers.Checkers.run ?only:checkers results with
       | diags -> diags
-      | exception Invalid_argument msg ->
-        Printf.eprintf "pointsto: %s\n" msg;
-        exit 2
+      | exception Pta_checkers.Checkers.Unknown_checker
+          { code; suggestions; available } ->
+        unknown_checker_exit code suggestions available
     in
     let in_stdlib (d : Pta_checkers.Diagnostic.t) =
       match d.span with
@@ -492,9 +548,15 @@ let check_cmd =
     write_output output rendered;
     if Pta_checkers.Diagnostic.has_errors diags then exit 4
   in
+  let files_opt_arg =
+    (* Optional here (unlike other subcommands) so `--checkers list`
+       works without sources; a missing FILE is rejected in [run]. *)
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"MJ source files.")
+  in
   let doc =
     "Run the points-to-powered checkers (may-fail-cast, null-dereference, \
-     dead-method, monomorphic-call-site) and report diagnostics."
+     dead-method, monomorphic-call-site, and — given $(b,--taint-spec) — \
+     tainted-sink-argument, sanitizer-bypassed) and report diagnostics."
   in
   let man =
     [
@@ -509,13 +571,127 @@ let check_cmd =
                    i.help );
              ])
            Pta_checkers.Checkers.all);
+      `S "TAINT";
+      `P
+        "The two taint checkers run only when $(b,--taint-spec) supplies a \
+         specification; without one they report nothing.  The taint pass \
+         runs context-sensitively under the same strategy as the checkers' \
+         points-to state, so a more precise strategy reports fewer spurious \
+         flows.  See $(b,pointsto taint) for per-strategy flow counts.";
     ]
   in
   Cmd.v
     (Cmd.info "check" ~doc ~man ~exits:check_exits)
     Term.(
-      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
-      $ checkers_arg $ format_arg $ output_arg $ include_stdlib_arg)
+      const run $ files_opt_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ checkers_arg $ taint_spec_arg $ format_arg $ output_arg
+      $ include_stdlib_arg)
+
+let taint_cmd =
+  let all_arg =
+    let doc =
+      "Run every strategy preset and print one flow-count line per \
+       strategy (the default when $(b,-a) is not given)."
+    in
+    Arg.(value & flag & info [ "all-strategies" ] ~doc)
+  in
+  let run files analysis_opt no_stdlib timeout_s trace_file taint_spec _all =
+    let entries =
+      match load_taint_spec taint_spec with
+      | Some entries -> entries
+      | None -> Pta_taint.Spec.default
+    in
+    match analysis_opt with
+    | Some analysis ->
+      (* One strategy: every flow, with its provenance chain. *)
+      let program, solver, ppf =
+        load_and_solve ?timeout_s ~trace_file ~no_stdlib ~analysis files
+      in
+      let spec = Pta_taint.Spec.compile program entries in
+      let taint = Pta_taint.Taint.analyze solver spec in
+      let flows = Pta_taint.Taint.flows taint in
+      Format.fprintf ppf "%d source(s), %d sink method(s): %d flow(s) under %s@."
+        (Pta_taint.Spec.n_sources spec)
+        (List.length (Pta_taint.Spec.sink_meths spec))
+        (List.length flows) analysis;
+      List.iter
+        (fun (f : Pta_taint.Taint.flow) ->
+          Format.fprintf ppf "@.FLOW %s -> argument %d of %s@."
+            (Pta_taint.Spec.label_name spec f.f_label)
+            f.f_pos
+            (Ir.Program.invo_name program f.f_invo);
+          List.iter
+            (fun line -> Format.fprintf ppf "    %s@." line)
+            (Pta_taint.Taint.explain_flow taint f))
+        flows
+    | None ->
+      (* The per-strategy precision column: flow counts across every
+         preset, so hybrids' spurious-flow advantage is visible. *)
+      let program, _r =
+        handle
+          (Driver.load_and_run ~stdlib:(not no_stdlib)
+             ~config:(Solver.Config.make ?timeout_s ())
+             ~analysis:"insens" (sources_of files))
+      in
+      let spec = Pta_taint.Spec.compile program entries in
+      let ppf = report_ppf ~machine_on_stdout:false in
+      Format.fprintf ppf "%d source(s), %d sink method(s)@."
+        (Pta_taint.Spec.n_sources spec)
+        (List.length (Pta_taint.Spec.sink_meths spec));
+      List.iter
+        (fun (name, factory) ->
+          let strategy = factory program in
+          match
+            Solver.solve_outcome
+              ~config:(Solver.Config.make ?timeout_s ())
+              program strategy
+          with
+          | Solver.Aborted _ -> Format.fprintf ppf "%-12s -@." name
+          | Solver.Complete solver ->
+            let n =
+              Pta_taint.Taint.n_flows (Pta_taint.Taint.analyze solver spec)
+            in
+            Format.fprintf ppf "%-12s %d flow(s)@." name n)
+        Strategies.all
+  in
+  let analysis_opt_arg =
+    let doc =
+      "Report each flow under this one strategy, with provenance chains.  \
+       Omit it to print flow counts for every preset instead."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "a"; "analysis" ] ~docv:"NAME" ~doc)
+  in
+  let doc =
+    "Context-sensitive taint analysis: source-to-sink flow counts per \
+     strategy, or every flow with provenance under one strategy."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the taint pass on top of the solved points-to state: sources \
+         label values, labels propagate through copies, casts, the heap \
+         (context-sensitively, keyed by the strategy's heap abstraction) \
+         and calls, sanitizer calls cut them, and a label reaching a \
+         sensitive sink argument is a flow.  Without $(b,--taint-spec), the \
+         built-in convention ($(b,*.fetch/*) returns taint, $(b,*.leak/*) \
+         sinks every argument, $(b,*.scrub/*) sanitizes) applies.";
+      `P
+        "Flow identity is (source label, invocation site, argument \
+         position), so counts are comparable across strategies: every \
+         strategy derives at least the true flows, and more precise \
+         strategies — the paper's hybrids in particular — report fewer \
+         spurious ones.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "taint" ~doc ~man ~exits:common_exits)
+    Term.(
+      const run $ files_arg $ analysis_opt_arg $ no_stdlib_arg $ timeout_arg
+      $ trace_arg $ taint_spec_arg $ all_arg)
 
 let callgraph_cmd =
   let dot_arg =
@@ -1240,10 +1416,10 @@ let main_cmd =
   let info = Cmd.info "pointsto" ~version:"1.0.0" ~doc ~exits:common_exits in
   Cmd.group info
     [
-      analyze_cmd; compare_cmd; check_cmd; profile_cmd; query_cmd; why_cmd;
-      casts_cmd; exceptions_cmd; callgraph_cmd; stats_cmd; dump_ir_cmd;
-      decompile_cmd; gen_cmd; strategies_cmd; metrics_cmd; bench_cmd;
-      version_cmd;
+      analyze_cmd; compare_cmd; check_cmd; taint_cmd; profile_cmd; query_cmd;
+      why_cmd; casts_cmd; exceptions_cmd; callgraph_cmd; stats_cmd;
+      dump_ir_cmd; decompile_cmd; gen_cmd; strategies_cmd; metrics_cmd;
+      bench_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -49,6 +49,29 @@ let all =
          it could be devirtualized (informational).";
       severity = Diagnostic.Note;
     };
+    {
+      code = "tainted-sink-argument";
+      summary = "tainted value may reach a sink argument";
+      help =
+        "The taint analysis finds a context-sensitive flow from a \
+         source to this argument of a sink call, uncut by any \
+         sanitizer.  Each source label is reported as a witness; when \
+         the native engine produced the result, the witness carries the \
+         full propagation chain.  Silent unless a taint spec was \
+         supplied.";
+      severity = Diagnostic.Error;
+    };
+    {
+      code = "sanitizer-bypassed";
+      summary = "sanitizer called but its result is discarded";
+      help =
+        "A tainted value is passed to a sanitizer whose return value is \
+         ignored, so the cleansed copy is dropped and the tainted \
+         original flows on.  Usually a refactoring slip: the call was \
+         meant to replace the value.  Silent unless a taint spec was \
+         supplied.";
+      severity = Diagnostic.Warning;
+    };
   ]
 
 let find code = List.find_opt (fun i -> i.code = code) all
@@ -239,6 +262,157 @@ let monomorphic_call_site (r : Results.t) =
     r.reachable []
 
 (* ------------------------------------------------------------------ *)
+(* tainted-sink-argument                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tainted_sink_argument (r : Results.t) =
+  match r.taint with
+  | None -> []
+  | Some s ->
+    let p = r.program in
+    let spec = s.Pta_taint.Taint.s_spec in
+    let sources = Array.of_list (Pta_taint.Spec.sources spec) in
+    (* flows grouped by invocation, then by argument position *)
+    let by_invo : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (f : Pta_taint.Taint.flow) ->
+        let key = Invo_id.to_int f.f_invo in
+        match Hashtbl.find_opt by_invo key with
+        | Some l -> l := (f.f_pos, f.f_label) :: !l
+        | None -> Hashtbl.add by_invo key (ref [ (f.f_pos, f.f_label) ]))
+      s.s_flows;
+    Meth_id.Set.fold
+      (fun meth acc ->
+        let acc_ref = ref acc in
+        iter_instrs_with_spans p meth (fun instr span ->
+            let invo =
+              match instr with
+              | Virtual_call { invo; _ } | Static_call { invo; _ } -> Some invo
+              | Alloc _ | Move _ | Load _ | Store _ | Cast _ | Static_load _
+              | Static_store _ | Throw _ -> None
+            in
+            match invo with
+            | None -> ()
+            | Some invo -> (
+              match Hashtbl.find_opt by_invo (Invo_id.to_int invo) with
+              | None -> ()
+              | Some flows ->
+                let positions =
+                  List.sort_uniq compare (List.map fst !flows)
+                in
+                List.iter
+                  (fun pos ->
+                    let labels =
+                      List.sort_uniq compare
+                        (List.filter_map
+                           (fun (pp, l) -> if pp = pos then Some l else None)
+                           !flows)
+                    in
+                    let witnesses =
+                      List.map
+                        (fun label ->
+                          let src = sources.(label) in
+                          let flow =
+                            {
+                              Pta_taint.Taint.f_label = label;
+                              f_invo = invo;
+                              f_pos = pos;
+                            }
+                          in
+                          {
+                            Diagnostic.w_message =
+                              Printf.sprintf "source %s, declared here"
+                                (Pta_taint.Spec.label_name spec label);
+                            w_span =
+                              Program.meth_span p src.Pta_taint.Spec.src_meth;
+                            w_detail = s.s_explain flow;
+                          })
+                        labels
+                    in
+                    let d =
+                      mk "tainted-sink-argument" ?span
+                        (Printf.sprintf
+                           "argument %d of sink call %s may carry taint from %s"
+                           pos
+                           (Program.invo_name p invo)
+                           (String.concat ", "
+                              (List.map
+                                 (Pta_taint.Spec.label_name spec)
+                                 labels)))
+                        witnesses
+                    in
+                    acc_ref := d :: !acc_ref)
+                  positions));
+        !acc_ref)
+      r.reachable []
+
+(* ------------------------------------------------------------------ *)
+(* sanitizer-bypassed                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sanitizer_bypassed (r : Results.t) =
+  match r.taint with
+  | None -> []
+  | Some s ->
+    let p = r.program in
+    let spec = s.Pta_taint.Taint.s_spec in
+    let tainted v =
+      match Var_id.Tbl.find_opt s.s_tainted v with
+      | Some labels -> not (Intset.is_empty labels)
+      | None -> false
+    in
+    Meth_id.Set.fold
+      (fun meth acc ->
+        let acc_ref = ref acc in
+        iter_instrs_with_spans p meth (fun instr span ->
+            let call =
+              match instr with
+              | Static_call { callee; args; ret_target = None; _ } ->
+                Some (Meth_id.Set.singleton callee, args)
+              | Virtual_call { invo; args; ret_target = None; _ } ->
+                Some (r.invo_targets invo, args)
+              | Virtual_call _ | Static_call _ | Alloc _ | Move _ | Load _
+              | Store _ | Cast _ | Static_load _ | Static_store _ | Throw _ ->
+                None
+            in
+            match call with
+            | None -> ()
+            | Some (targets, args) ->
+              let sanitizers =
+                Meth_id.Set.filter
+                  (Pta_taint.Spec.is_sanitizer spec)
+                  targets
+              in
+              let dirty = List.filter tainted args in
+              if (not (Meth_id.Set.is_empty sanitizers)) && dirty <> [] then begin
+                let witnesses =
+                  List.map
+                    (fun san ->
+                      {
+                        Diagnostic.w_message = "the sanitizer, declared here";
+                        w_span = Program.meth_span p san;
+                        w_detail = [];
+                      })
+                    (Meth_id.Set.elements sanitizers)
+                in
+                let d =
+                  mk "sanitizer-bypassed" ?span
+                    (Printf.sprintf
+                       "result of sanitizer %s is discarded; %s stays tainted"
+                       (Program.meth_qualified_name p
+                          (Meth_id.Set.min_elt sanitizers))
+                       (String.concat ", "
+                          (List.map
+                             (fun v -> (Program.var_info p v).var_name)
+                             dirty)))
+                    witnesses
+                in
+                acc_ref := d :: !acc_ref
+              end);
+        !acc_ref)
+      r.reachable []
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -248,7 +422,43 @@ let checker_fn code =
   | "null-dereference" -> null_dereference
   | "dead-method" -> dead_method
   | "monomorphic-call-site" -> monomorphic_call_site
+  | "tainted-sink-argument" -> tainted_sink_argument
+  | "sanitizer-bypassed" -> sanitizer_bypassed
   | _ -> assert false
+
+exception
+  Unknown_checker of {
+    code : string;
+    suggestions : string list;
+    available : string list;
+  }
+
+(* Same scoring as [Pta_context.Strategies.suggest], over checker codes. *)
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) (fun j -> j) in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggest code =
+  let target = String.lowercase_ascii code in
+  let scored =
+    List.filter_map
+      (fun i ->
+        let d = levenshtein target (String.lowercase_ascii i.code) in
+        if d <= 5 then Some (d, i.code) else None)
+      all
+  in
+  let sorted = List.sort compare scored in
+  List.filteri (fun i _ -> i < 3) (List.map snd sorted)
 
 let run ?only results =
   let selected =
@@ -260,9 +470,13 @@ let run ?only results =
           match find code with
           | Some i -> i
           | None ->
-            invalid_arg
-              (Printf.sprintf "unknown checker %s (known: %s)" code
-                 (String.concat ", " (List.map (fun i -> i.code) all))))
+            raise
+              (Unknown_checker
+                 {
+                   code;
+                   suggestions = suggest code;
+                   available = List.map (fun i -> i.code) all;
+                 }))
         codes
   in
   List.sort Diagnostic.compare

@@ -15,9 +15,22 @@ type info = {
 
 val all : info list
 (** Every registered checker, in canonical order:
-    may-fail-cast, null-dereference, dead-method, monomorphic-call-site. *)
+    may-fail-cast, null-dereference, dead-method, monomorphic-call-site,
+    tainted-sink-argument, sanitizer-bypassed. *)
 
 val find : string -> info option
+
+val suggest : string -> string list
+(** Up to three checker codes close to the (unknown) input, best first
+    — same edit-distance scoring as
+    {!Pta_context.Strategies.suggest}. *)
+
+exception
+  Unknown_checker of {
+    code : string;  (** the unrecognized input *)
+    suggestions : string list;  (** close matches, best first *)
+    available : string list;  (** every registered code, canonical order *)
+  }
 
 val may_fail_cast : Results.t -> Diagnostic.t list
 (** A cast whose operand may point to an object of an incompatible type
@@ -38,7 +51,21 @@ val monomorphic_call_site : Results.t -> Diagnostic.t list
 (** Virtual calls with exactly one resolved target — devirtualization
     opportunities, reported as notes. *)
 
+val tainted_sink_argument : Results.t -> Diagnostic.t list
+(** Source-to-sink taint flows, one diagnostic per (sink call,
+    argument position), each source label a witness; native results
+    enrich witnesses with the propagation chain ([w_detail], excluded
+    from differential comparison like provenance).  Empty when
+    {!Results.t.taint} is [None]. *)
+
+val sanitizer_bypassed : Results.t -> Diagnostic.t list
+(** Calls to a sanitizer that discard its result while passing a
+    (context-insensitively) tainted argument — the cleansed value is
+    dropped, so sanitization has no effect.  Empty when
+    {!Results.t.taint} is [None]. *)
+
 val run : ?only:string list -> Results.t -> Diagnostic.t list
 (** Run the selected checkers (default: all) and return the merged
     diagnostics in {!Diagnostic.compare} order.
-    @raise Invalid_argument on an unknown checker code in [only]. *)
+    @raise Unknown_checker on an unrecognized code in [only], carrying
+    close-match suggestions and the full list of available codes. *)

@@ -12,9 +12,10 @@ type t = {
   points_to : Var_id.t -> Intset.t;
   invo_targets : Invo_id.t -> Meth_id.Set.t;
   solver : Solver.t option;
+  taint : Pta_taint.Taint.summary option;
 }
 
-let of_solver solver =
+let of_solver ?taint solver =
   if not (Solver.is_complete solver) then
     invalid_arg "Results.of_solver: aborted run; checkers need a fixpoint";
   {
@@ -24,9 +25,10 @@ let of_solver solver =
     points_to = Solver.ci_var_points_to solver;
     invo_targets = Solver.invo_targets solver;
     solver = Some solver;
+    taint;
   }
 
-let of_refimpl program refimpl =
+let of_refimpl ?taint program refimpl =
   let pts : (int, Intset.t) Hashtbl.t = Hashtbl.create 256 in
   Refimpl.fold_var_points_to refimpl
     (fun var _ctx heap _hctx () ->
@@ -63,4 +65,5 @@ let of_refimpl program refimpl =
         Option.value ~default:Meth_id.Set.empty
           (Hashtbl.find_opt targets (Invo_id.to_int i)));
     solver = None;
+    taint;
   }

@@ -20,10 +20,16 @@ type t = {
   solver : Pta_solver.Solver.t option;
       (** present only for native-solver results; enables provenance
           enrichment of witnesses *)
+  taint : Pta_taint.Taint.summary option;
+      (** taint-flow results, when a spec was supplied; the taint
+          checkers are silent without one.  Either engine's summary fits
+          ({!Pta_taint.Taint.summary} / {!Pta_taint.Taint_ref.summary});
+          only the native one carries provenance ([s_explain]). *)
 }
 
-val of_solver : Pta_solver.Solver.t -> t
+val of_solver : ?taint:Pta_taint.Taint.summary -> Pta_solver.Solver.t -> t
 (** @raise Invalid_argument on an aborted (budget-exhausted) run; a
     partial fixpoint under-approximates and would make checkers lie. *)
 
-val of_refimpl : Ir.Program.t -> Pta_refimpl.Refimpl.t -> t
+val of_refimpl :
+  ?taint:Pta_taint.Taint.summary -> Ir.Program.t -> Pta_refimpl.Refimpl.t -> t

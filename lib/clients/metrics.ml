@@ -13,6 +13,7 @@ type t = {
   total_casts : int;
   throwing_methods : int;
   uncaught_exceptions : int;
+  taint_flows : int;
   sensitive_vpt : int;
   n_ctxs : int;
   n_hctxs : int;
@@ -35,6 +36,11 @@ let compute solver =
   let vcall_sites = Devirt.analyze solver in
   let cast_sites = Casts.analyze solver in
   let escapes = Exceptions.escapes solver in
+  let taint_flows =
+    let spec = Pta_taint.Spec.compile program Pta_taint.Spec.default in
+    if Pta_taint.Spec.n_sources spec = 0 then 0
+    else Pta_taint.Taint.n_flows (Pta_taint.Taint.analyze solver spec)
+  in
   {
     avg_objs_per_var =
       (if !vars_with_objs = 0 then 0.
@@ -48,6 +54,7 @@ let compute solver =
     total_casts = List.length cast_sites;
     throwing_methods = List.length escapes;
     uncaught_exceptions = List.length (Exceptions.uncaught_at_entries solver);
+    taint_flows;
     sensitive_vpt = Solver.sensitive_vpt_size solver;
     n_ctxs = Solver.n_ctxs solver;
     n_hctxs = Solver.n_hctxs solver;
@@ -64,10 +71,11 @@ let pp ppf m =
      poly v-calls: %d (of %d)@,\
      may-fail casts: %d (of %d)@,\
      throwing methods: %d, uncaught exception sites: %d@,\
+     taint flows: %d@,\
      sensitive var-points-to: %d@,\
      contexts: %d, heap contexts: %d, abstract objects: %d@,\
      var nodes: %d, cs call edges: %d, cs reachable: %d@]"
     m.avg_objs_per_var m.vars_with_objs m.call_graph_edges m.reachable_methods
     m.poly_vcalls m.total_vcalls m.may_fail_casts m.total_casts m.throwing_methods
-    m.uncaught_exceptions m.sensitive_vpt
+    m.uncaught_exceptions m.taint_flows m.sensitive_vpt
     m.n_ctxs m.n_hctxs m.n_hobjs m.n_var_nodes m.n_call_edges_cs m.n_reachable_cs

@@ -21,6 +21,11 @@ type t = {
       (** reachable methods some exception object may escape *)
   uncaught_exceptions : int;
       (** exception allocation sites that may escape an entry point *)
+  taint_flows : int;
+      (** distinct source-to-sink taint flows under the built-in spec
+          ({!Pta_taint.Spec.default}); 0 when nothing matches its
+          globs.  Spurious flows = this minus the workload's ground
+          truth ({!Pta_workloads.Gen.taint_ground_truth}) *)
   (* performance / size *)
   sensitive_vpt : int;  (** total context-sensitive var-points-to facts *)
   n_ctxs : int;

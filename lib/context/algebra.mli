@@ -171,4 +171,11 @@ val describe : t -> string
 (** One-line human description, used as the default strategy
     description and by [pointsto strategies]. *)
 
+val glob_match : string -> string -> bool
+(** [glob_match pat s]: does [s] match [pat], where ['*'] in [pat]
+    stands for any (possibly empty) substring?  The matching used by
+    {!Per_method} dispatch over qualified method names (["A.foo/2"]);
+    exposed for other pattern languages over method names (the taint
+    spec reuses it). *)
+
 val equal : t -> t -> bool

@@ -93,6 +93,8 @@ type lint_kind =
   | Bad_arity
   | Var_out_of_range
   | Never_fires
+  | Unused_relation
+  | Duplicate_rule
 
 type lint_error = {
   lint_rule : string;
@@ -102,7 +104,7 @@ type lint_error = {
 
 let lint_is_hard = function
   | Unbound_head_var | Bad_arity | Var_out_of_range -> true
-  | Never_fires -> false
+  | Never_fires | Unused_relation | Duplicate_rule -> false
 
 let lint rules =
   let errors = ref [] in
@@ -192,6 +194,85 @@ let lint rules =
                derived by no rule: the rule can never fire"
               i rule.rname name)
         rule.body)
+    rules;
+  (* Program-level informational checks, after the per-rule ones. *)
+  (* Unused relation: derived by some rule but read by no body — the
+     facts are write-only.  Fine for an output relation, suspicious for
+     anything else; reported once, on the first deriving rule. *)
+  let read_rels = Hashtbl.create 16 in
+  List.iter
+    (fun rule ->
+      List.iter
+        (fun atom -> Hashtbl.replace read_rels (Relation.name atom.rel) ())
+        rule.body)
+    rules;
+  let unused_reported = Hashtbl.create 16 in
+  List.iter
+    (fun rule ->
+      List.iter
+        (fun head ->
+          let name = Relation.name head.hrel in
+          if
+            (not (Hashtbl.mem read_rels name))
+            && not (Hashtbl.mem unused_reported name)
+          then begin
+            Hashtbl.replace unused_reported name ();
+            err rule Unused_relation
+              "relation %s is derived by rule %s but read by no rule body: \
+               its facts are write-only (expected for an output relation, \
+               suspicious otherwise)"
+              name rule.rname
+          end)
+        rule.heads)
+    rules;
+  (* Duplicate rule: structurally identical heads and body (same
+     n_vars, relations, and argument terms).  Rules with computed
+     ([Hf]) head terms are skipped — closures cannot be compared. *)
+  let has_hf rule =
+    List.exists
+      (fun h ->
+        Array.exists
+          (function
+            | Hf _ -> true
+            | Hv _ | Hc _ -> false)
+          h.hargs)
+      rule.heads
+  in
+  let shape rule =
+    ( rule.n_vars,
+      List.map
+        (fun h ->
+          ( Relation.name h.hrel,
+            Array.to_list
+              (Array.map
+                 (function
+                   | Hv v -> `Var v
+                   | Hc c -> `Const c
+                   | Hf _ -> assert false)
+                 h.hargs) ))
+        rule.heads,
+      List.map
+        (fun atom ->
+          ( Relation.name atom.rel,
+            Array.to_list
+              (Array.map
+                 (function
+                   | V v -> `Var v
+                   | C c -> `Const c)
+                 atom.args) ))
+        rule.body )
+  in
+  let seen_shapes = Hashtbl.create 16 in
+  List.iter
+    (fun rule ->
+      if not (has_hf rule) then
+        let s = shape rule in
+        match Hashtbl.find_opt seen_shapes s with
+        | Some earlier ->
+          err rule Duplicate_rule
+            "rule %s duplicates rule %s: identical heads and body"
+            rule.rname earlier
+        | None -> Hashtbl.add seen_shapes s rule.rname)
     rules;
   List.rev !errors
 

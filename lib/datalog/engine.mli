@@ -43,8 +43,10 @@ val rule : string -> n_vars:int -> head list -> atom list -> rule
     would crash or silently misbehave at runtime (the engine's own
     guard is the [invalid_arg] raised on an unbound head variable
     mid-fixpoint; the linter surfaces it at construction time instead).
-    [Never_fires] is informational: it depends on the current (EDB)
-    contents of the relations, so callers decide whether it matters. *)
+    The remaining kinds are informational: [Never_fires] depends on the
+    current (EDB) contents of the relations, and [Unused_relation] /
+    [Duplicate_rule] flag likely-but-not-certainly-unintended program
+    shapes, so callers decide whether they matter. *)
 
 type lint_kind =
   | Unbound_head_var
@@ -55,6 +57,15 @@ type lint_kind =
   | Never_fires
       (** a body atom reads a relation that is empty and derived by no
           rule, so the rule cannot ever fire *)
+  | Unused_relation
+      (** a relation derived by some rule is read by no rule body: its
+          facts are write-only — expected for an output relation,
+          suspicious otherwise (reported once, on the first deriving
+          rule) *)
+  | Duplicate_rule
+      (** a rule is structurally identical to an earlier one (same
+          variable count, heads and body); rules with computed [Hf]
+          head terms are never compared *)
 
 type lint_error = {
   lint_rule : string;  (** name of the offending rule *)
@@ -66,7 +77,9 @@ val lint_is_hard : lint_kind -> bool
 
 val lint : rule list -> lint_error list
 (** Errors in program order (per rule: body arity/range, head checks,
-    never-fires).  An empty list means the program is well-formed. *)
+    never-fires), followed by the program-level informational checks
+    (unused relations, duplicate rules).  An empty list means the
+    program is well-formed. *)
 
 val run :
   ?observer:Pta_obs.Observer.t ->

@@ -1,6 +1,8 @@
 module Ir = Pta_ir.Ir
 module Hierarchy = Pta_ir.Hierarchy
 module Rng = Pta_workloads.Rng
+module Intset = Pta_solver.Intset
+module Spec = Pta_taint.Spec
 open Ir
 
 type value =
@@ -10,13 +12,19 @@ type value =
 and obj = {
   tag : Heap_id.t;
   obj_type : Type_id.t;
-  fields : (int, value) Hashtbl.t;
+  fields : (int, tval) Hashtbl.t;
 }
+
+(* A runtime value with its dynamic taint labels.  Taint rides on the
+   {e reference} (the binding), not the object: copying a variable
+   copies its labels, storing into a field taints that field cell. *)
+and tval = value * Intset.t
 
 type trace = {
   var_points : (int * int, unit) Hashtbl.t;
   call_edges : (int * int, unit) Hashtbl.t;
   reached : (int, unit) Hashtbl.t;
+  taint_hits : (int * int * int, unit) Hashtbl.t;
   mutable steps : int;
 }
 
@@ -33,35 +41,64 @@ type state = {
   hierarchy : Hierarchy.t;
   rng : Rng.t;
   trace : trace;
-  statics : (int, value) Hashtbl.t;  (* static field cells *)
+  statics : (int, tval) Hashtbl.t;  (* static field cells *)
   max_steps : int;
   max_depth : int;
+  (* Dynamic taint instrumentation, compiled per method from the spec;
+     all empty/false when no spec is given. *)
+  param_sources : (int, (int * int) list) Hashtbl.t;  (* meth -> (formal idx, label) *)
+  ret_sources : (int, int list) Hashtbl.t;  (* meth -> labels *)
+  sink_pos : Meth_id.t -> int list;
+  sanitizer : Meth_id.t -> bool;
 }
 
-let record_var st var value =
-  match value with
+let record_var st var (value : tval) =
+  match fst value with
   | Null -> ()
   | Obj o ->
     Hashtbl.replace st.trace.var_points
       (Var_id.to_int var, Heap_id.to_int o.tag)
       ()
 
+let untainted v : tval = (v, Intset.empty)
+
 (* A frame maps the method's locals to values; all locals start null. *)
-let assign st frame var value =
+let assign st frame var (value : tval) =
   Hashtbl.replace frame (Var_id.to_int var) value;
   record_var st var value
 
-let lookup_var frame var =
-  Option.value ~default:Null (Hashtbl.find_opt frame (Var_id.to_int var))
+let lookup_var frame var : tval =
+  Option.value ~default:(untainted Null)
+    (Hashtbl.find_opt frame (Var_id.to_int var))
 
 let tick st =
   st.trace.steps <- st.trace.steps + 1;
   if st.trace.steps > st.max_steps then raise Out_of_budget
 
+(* Sink/sanitizer/source hooks around a resolved call.  Hits are
+   recorded against the {e invocation site}, matching the static
+   analysis' flow verdicts. *)
+let record_sink_hits st invo callee (args : tval list) =
+  match st.sink_pos callee with
+  | [] -> ()
+  | positions ->
+    List.iter
+      (fun pos ->
+        match List.nth_opt args pos with
+        | None -> ()
+        | Some (_, labels) ->
+          Intset.iter
+            (fun label ->
+              Hashtbl.replace st.trace.taint_hits
+                (label, Invo_id.to_int invo, pos)
+                ())
+            labels)
+      positions
+
 (* [call] returns the callee's return value, or the exception escaping
    it.  Depth exhaustion silently returns null (the run is truncated). *)
-let rec call st ~depth meth ~this ~args : (value, obj) result =
-  if depth > st.max_depth then Ok Null
+let rec call st ~depth meth ~this ~args : (tval, obj) result =
+  if depth > st.max_depth then Ok (untainted Null)
   else begin
     let mi = Program.meth_info st.program meth in
     Hashtbl.replace st.trace.reached (Meth_id.to_int meth) ();
@@ -75,12 +112,34 @@ let rec call st ~depth meth ~this ~args : (value, obj) result =
         | Some value -> assign st frame formal value
         | None -> ())
       mi.formals;
+    (* Param sources: the method's i-th formal is born tainted. *)
+    (match Hashtbl.find_opt st.param_sources (Meth_id.to_int meth) with
+    | None -> ()
+    | Some seeds ->
+      List.iter
+        (fun (i, label) ->
+          if i < Array.length mi.formals then begin
+            let v, labels = lookup_var frame mi.formals.(i) in
+            assign st frame mi.formals.(i) (v, Intset.add label labels)
+          end)
+        seeds);
     match exec_code st ~depth frame mi.body with
     | Raised exc -> Error exc
-    | Normal -> (
-      match mi.ret_var with
-      | Some v -> Ok (lookup_var frame v)
-      | None -> Ok Null)
+    | Normal ->
+      let result =
+        match mi.ret_var with
+        | Some v -> lookup_var frame v
+        | None -> untainted Null
+      in
+      (* Ret sources taint the returned value at the boundary. *)
+      let result =
+        match Hashtbl.find_opt st.ret_sources (Meth_id.to_int meth) with
+        | None -> result
+        | Some labels ->
+          let v, l = result in
+          (v, List.fold_left (fun acc lb -> Intset.add lb acc) l labels)
+      in
+      Ok result
   end
 
 and exec_code st ~depth frame code : outcome =
@@ -117,12 +176,35 @@ and exec_code st ~depth frame code : outcome =
         | h :: rest ->
           if Hierarchy.subtype st.hierarchy ~sub:exc.obj_type ~sup:h.catch_type
           then begin
-            assign st frame h.catch_var (Obj exc);
+            (* The caught reference carries no labels: taint does not
+               follow exception flow (matching the static pass). *)
+            assign st frame h.catch_var (untainted (Obj exc));
             exec_code st ~depth frame h.handler_body
           end
           else dispatch rest
       in
       dispatch handlers)
+
+and invoke st ~depth frame callee invo ~this args ret_target : outcome =
+  Hashtbl.replace st.trace.call_edges
+    (Invo_id.to_int invo, Meth_id.to_int callee)
+    ();
+  record_sink_hits st invo callee args;
+  (* A sanitizer neutralizes: no labels enter its frame, none leave. *)
+  let sanitizing = st.sanitizer callee in
+  let this = if sanitizing then Option.map (fun (v, _) -> untainted v) this
+             else this in
+  let args = if sanitizing then List.map (fun (v, _) -> untainted v) args
+             else args in
+  match call st ~depth:(depth + 1) callee ~this ~args with
+  | Error exc -> Raised exc
+  | Ok result ->
+    (match ret_target with
+    | Some v ->
+      assign st frame v
+        (if sanitizing then untainted (fst result) else result)
+    | None -> ());
+    Normal
 
 and exec_instr st ~depth frame instr : outcome =
   tick st;
@@ -130,22 +212,23 @@ and exec_instr st ~depth frame instr : outcome =
   | Alloc { target; heap } ->
     let hi = Program.heap_info st.program heap in
     assign st frame target
-      (Obj { tag = heap; obj_type = hi.heap_type; fields = Hashtbl.create 4 });
+      (untainted
+         (Obj { tag = heap; obj_type = hi.heap_type; fields = Hashtbl.create 4 }));
     Normal
   | Move { target; source } ->
     assign st frame target (lookup_var frame source);
     Normal
   | Cast { target; source; cast_type } ->
     (match lookup_var frame source with
-    | Null -> ()
-    | Obj o ->
+    | Null, _ -> ()
+    | Obj o, labels ->
       (* A failing cast would throw ClassCastException; as with other
          runtime faults, the faulting instruction is skipped. *)
       if Hierarchy.subtype st.hierarchy ~sub:o.obj_type ~sup:cast_type then
-        assign st frame target (Obj o));
+        assign st frame target (Obj o, labels));
     Normal
   | Load { target; base; field } ->
-    (match lookup_var frame base with
+    (match fst (lookup_var frame base) with
     | Null -> ()
     | Obj o -> (
       match Hashtbl.find_opt o.fields (Field_id.to_int field) with
@@ -153,51 +236,31 @@ and exec_instr st ~depth frame instr : outcome =
       | None -> ()));
     Normal
   | Store { base; field; source } ->
-    (match lookup_var frame base with
+    (match fst (lookup_var frame base) with
     | Null -> ()
     | Obj o ->
       Hashtbl.replace o.fields (Field_id.to_int field) (lookup_var frame source));
     Normal
   | Throw { source } -> (
-    match lookup_var frame source with
+    match fst (lookup_var frame source) with
     | Null -> Normal  (* throwing null faults; skipped like other faults *)
     | Obj o -> Raised o)
   | Virtual_call { base; signature; invo; args; ret_target } -> (
     match lookup_var frame base with
-    | Null -> Normal
-    | Obj o -> (
+    | Null, _ -> Normal
+    | (Obj o, _) as this -> (
       match Hierarchy.lookup st.hierarchy o.obj_type signature with
       | None -> Normal
       | Some callee ->
         if (Program.meth_info st.program callee).meth_static then Normal
-        else begin
-          Hashtbl.replace st.trace.call_edges
-            (Invo_id.to_int invo, Meth_id.to_int callee)
-            ();
-          let arg_values = List.map (lookup_var frame) args in
-          match
-            call st ~depth:(depth + 1) callee ~this:(Some (Obj o))
-              ~args:arg_values
-          with
-          | Error exc -> Raised exc
-          | Ok result ->
-            (match ret_target with
-            | Some v -> assign st frame v result
-            | None -> ());
-            Normal
-        end))
-  | Static_call { callee; invo; args; ret_target } -> (
-    Hashtbl.replace st.trace.call_edges
-      (Invo_id.to_int invo, Meth_id.to_int callee)
-      ();
-    let arg_values = List.map (lookup_var frame) args in
-    match call st ~depth:(depth + 1) callee ~this:None ~args:arg_values with
-    | Error exc -> Raised exc
-    | Ok result ->
-      (match ret_target with
-      | Some v -> assign st frame v result
-      | None -> ());
-      Normal)
+        else
+          invoke st ~depth frame callee invo ~this:(Some this)
+            (List.map (lookup_var frame) args)
+            ret_target))
+  | Static_call { callee; invo; args; ret_target } ->
+    invoke st ~depth frame callee invo ~this:None
+      (List.map (lookup_var frame) args)
+      ret_target
   | Static_load { target; field } ->
     (match Hashtbl.find_opt st.statics (Field_id.to_int field) with
     | Some v -> assign st frame target v
@@ -207,7 +270,24 @@ and exec_instr st ~depth frame instr : outcome =
     Hashtbl.replace st.statics (Field_id.to_int field) (lookup_var frame source);
     Normal
 
-let run ?(max_steps = 200_000) ?(max_depth = 300) ~seed program =
+let run ?(max_steps = 200_000) ?(max_depth = 300) ?taint ~seed program =
+  let param_sources = Hashtbl.create 8 and ret_sources = Hashtbl.create 8 in
+  (match taint with
+  | None -> ()
+  | Some spec ->
+    List.iter
+      (fun (s : Spec.source) ->
+        let m = Meth_id.to_int s.src_meth in
+        match s.src_pos with
+        | Spec.Ret ->
+          Hashtbl.replace ret_sources m
+            (s.src_label
+            :: Option.value ~default:[] (Hashtbl.find_opt ret_sources m))
+        | Spec.Param i ->
+          Hashtbl.replace param_sources m
+            ((i, s.src_label)
+            :: Option.value ~default:[] (Hashtbl.find_opt param_sources m)))
+      (Spec.sources spec));
   let st =
     {
       program;
@@ -218,11 +298,22 @@ let run ?(max_steps = 200_000) ?(max_depth = 300) ~seed program =
           var_points = Hashtbl.create 1024;
           call_edges = Hashtbl.create 1024;
           reached = Hashtbl.create 256;
+          taint_hits = Hashtbl.create 64;
           steps = 0;
         };
       statics = Hashtbl.create 64;
       max_steps;
       max_depth;
+      param_sources;
+      ret_sources;
+      sink_pos =
+        (match taint with
+        | None -> fun _ -> []
+        | Some spec -> Spec.sink_positions spec);
+      sanitizer =
+        (match taint with
+        | None -> fun _ -> false
+        | Some spec -> Spec.is_sanitizer spec);
     }
   in
   List.iter
@@ -245,3 +336,9 @@ let observed_call_edges trace =
 
 let observed_reached trace =
   Hashtbl.fold (fun m () acc -> Meth_id.of_int m :: acc) trace.reached []
+
+let observed_taint_hits trace =
+  List.sort compare
+    (Hashtbl.fold
+       (fun (l, i, p) () acc -> (l, Invo_id.of_int i, p) :: acc)
+       trace.taint_hits [])

@@ -17,18 +17,35 @@ type trace = {
   var_points : (int * int, unit) Hashtbl.t;  (** (var, alloc site) *)
   call_edges : (int * int, unit) Hashtbl.t;  (** (invocation, target) *)
   reached : (int, unit) Hashtbl.t;  (** methods entered *)
+  taint_hits : (int * int * int, unit) Hashtbl.t;
+      (** (label, invocation, argument position): a dynamically tainted
+          value observed flowing into a sink argument.  Empty unless
+          [run] was given a taint spec. *)
   mutable steps : int;  (** instructions executed *)
 }
 
 val run :
   ?max_steps:int ->
   ?max_depth:int ->
+  ?taint:Pta_taint.Spec.compiled ->
   seed:int64 ->
   Pta_ir.Ir.Program.t ->
   trace
 (** Execute every entry point once with the given PRNG seed.
-    Defaults: [max_steps = 200_000], [max_depth = 300]. *)
+    Defaults: [max_steps = 200_000], [max_depth = 300].
+
+    With [taint], the interpreter carries dynamic taint labels on every
+    reference: ret/param sources label values at call boundaries, copies
+    and heap traffic propagate labels, sanitizer calls strip them, and a
+    labelled value reaching a sensitive sink argument records a
+    {!trace.taint_hits} entry.  Exception flow drops labels, matching
+    the static pass — so every observed hit must appear in the static
+    flow set (the taint soundness tests assert exactly that). *)
 
 val observed_var_points : trace -> (Pta_ir.Ir.Var_id.t * Pta_ir.Ir.Heap_id.t) list
 val observed_call_edges : trace -> (Pta_ir.Ir.Invo_id.t * Pta_ir.Ir.Meth_id.t) list
 val observed_reached : trace -> Pta_ir.Ir.Meth_id.t list
+
+val observed_taint_hits : trace -> (int * Pta_ir.Ir.Invo_id.t * int) list
+(** Sorted (label, invocation, argument position) triples — the same
+    shape as {!Pta_taint.Taint.flow}, for the superset check. *)

@@ -1,0 +1,114 @@
+module Ir = Pta_ir.Ir
+module Shortcut = Pta_context.Shortcut
+open Ir
+
+type t = {
+  copies : (int * int) list;
+  loads : (int * int * int) list;
+  stores : (int * int * int) list;
+  sloads : (int * int * int) list;
+  sstores : (int * int) list;
+  args : (int * int * int) list;
+  this_args : (int * int) list;
+  rets : (int * int) list;
+  sink_args : (int * int * int) list;
+}
+
+let extract program ~plan =
+  let copies = ref []
+  and loads = ref []
+  and stores = ref []
+  and sloads = ref []
+  and sstores = ref []
+  and args_r = ref []
+  and this_args = ref []
+  and rets = ref []
+  and sink_args = ref [] in
+  let cut_action invo =
+    match plan with
+    | None -> None
+    | Some plan -> Shortcut.action plan invo
+  in
+  (* Mirror of the refimpl EDB builder's [add_cut_item]: items whose
+     return target or receiver is missing are dropped at application. *)
+  let add_cut_item ~base ~args ~ret_target item =
+    let arg_var = function
+      | Shortcut.This -> base
+      | Shortcut.Param i -> List.nth_opt args i
+    in
+    match item with
+    | Shortcut.Copy_ret arg -> (
+      match (ret_target, arg_var arg) with
+      | Some ret, Some src ->
+        copies := (Var_id.to_int ret, Var_id.to_int src) :: !copies
+      | _ -> ())
+    | Shortcut.Load_ret field -> (
+      match (ret_target, base) with
+      | Some ret, Some b ->
+        loads :=
+          (Var_id.to_int ret, Var_id.to_int b, Field_id.to_int field) :: !loads
+      | _ -> ())
+    | Shortcut.Store_field (field, arg) -> (
+      match (base, arg_var arg) with
+      | Some b, Some src ->
+        stores :=
+          (Var_id.to_int b, Field_id.to_int field, Var_id.to_int src) :: !stores
+      | _ -> ())
+  in
+  let call ~base ~invo ~args ~ret_target =
+    List.iteri
+      (fun i a -> sink_args := (Invo_id.to_int invo, i, Var_id.to_int a) :: !sink_args)
+      args;
+    match cut_action invo with
+    | Some items -> List.iter (add_cut_item ~base ~args ~ret_target) items
+    | None ->
+      List.iteri
+        (fun i a ->
+          args_r := (Invo_id.to_int invo, i, Var_id.to_int a) :: !args_r)
+        args;
+      Option.iter
+        (fun b ->
+          this_args := (Invo_id.to_int invo, Var_id.to_int b) :: !this_args)
+        base;
+      Option.iter
+        (fun v -> rets := (Invo_id.to_int invo, Var_id.to_int v) :: !rets)
+        ret_target
+  in
+  Program.iter_meths program (fun meth mi ->
+      let m = Meth_id.to_int meth in
+      iter_instrs
+        (fun instr ->
+          match instr with
+          | Alloc _ | Throw _ -> ()
+          | Move { target; source } | Cast { target; source; _ } ->
+            (* Casts propagate taint unconditionally in both engines:
+               taint tracks the reference, not the pointed-to type. *)
+            copies := (Var_id.to_int target, Var_id.to_int source) :: !copies
+          | Load { target; base; field } ->
+            loads :=
+              (Var_id.to_int target, Var_id.to_int base, Field_id.to_int field)
+              :: !loads
+          | Store { base; field; source } ->
+            stores :=
+              (Var_id.to_int base, Field_id.to_int field, Var_id.to_int source)
+              :: !stores
+          | Virtual_call { base; invo; args; ret_target; _ } ->
+            call ~base:(Some base) ~invo ~args ~ret_target
+          | Static_call { invo; args; ret_target; _ } ->
+            call ~base:None ~invo ~args ~ret_target
+          | Static_load { target; field } ->
+            sloads := (Var_id.to_int target, Field_id.to_int field, m) :: !sloads
+          | Static_store { field; source } ->
+            sstores := (Field_id.to_int field, Var_id.to_int source) :: !sstores)
+        mi.body);
+  {
+    copies = List.rev !copies;
+    loads = List.rev !loads;
+    stores = List.rev !stores;
+    sloads = List.rev !sloads;
+    sstores = List.rev !sstores;
+    args = List.rev !args_r;
+    this_args = List.rev !this_args;
+    rets = List.rev !rets;
+    sink_args = List.rev !sink_args;
+  }

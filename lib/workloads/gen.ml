@@ -308,6 +308,59 @@ let emit_rings st =
     Emit.blank e
   done
 
+(* ------------------------------------------------------------------ *)
+(* Taint annotation units                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Source/sink blocks for the taint client, following the built-in spec
+   convention ([*.fetch/* ret] / [*.leak/* arg *] / [*.sanitizer
+   *.scrub/*]).  Each unit routes one tainted and one clean value
+   through its {e own} static pass-through into the sink — exactly one
+   true flow per unit, but analyses whose contexts conflate the two
+   pass-through call sites (the unhybrid object/type-sensitive ones,
+   via MergeStatic) also report the clean path: the spurious-flow gap
+   Table 1's taint column measures.  A sanitized path and a
+   discarded-sanitizer call exercise the cut and the bypass checker.
+   Emission draws nothing from the RNG and the tainted locals never
+   enter the driver environment, so [taint_units = 0] profiles generate
+   byte-identical programs to before this knob existed. *)
+let taint_unit j = Printf.sprintf "TaintUnit%d" j
+let taint_pass j = Printf.sprintf "TaintPass%d" j
+
+let emit_taint st =
+  let e = st.e in
+  Emit.block e "class TaintData" (fun () -> ());
+  Emit.block e "class TaintKit" (fun () ->
+      Emit.line e "static field cell;";
+      Emit.block e "static method fetch()" (fun () ->
+          Emit.line e "var t = new TaintData;";
+          Emit.line e "return t;");
+      Emit.block e "static method leak(x)" (fun () ->
+          Emit.line e "TaintKit::cell = x;");
+      Emit.block e "static method scrub(x)" (fun () ->
+          Emit.line e "TaintKit::cell = x;";
+          Emit.line e "return x;"));
+  Emit.blank e;
+  for j = 0 to st.p.Profile.taint_units - 1 do
+    Emit.block e "class %s" (taint_pass j) (fun () ->
+        Emit.block e "static method pass(x)" (fun () ->
+            Emit.line e "return x;"));
+    Emit.block e "class %s" (taint_unit j) (fun () ->
+        Emit.block e "static method run()" (fun () ->
+            Emit.line e "var raw = TaintKit::fetch();";
+            Emit.line e "var clean = new TaintData;";
+            Emit.line e "var a = %s::pass(raw);" (taint_pass j);
+            Emit.line e "var b = %s::pass(clean);" (taint_pass j);
+            Emit.line e "TaintKit::leak(a);";
+            Emit.line e "TaintKit::leak(b);";
+            Emit.line e "var s = TaintKit::scrub(raw);";
+            Emit.line e "TaintKit::leak(s);";
+            Emit.line e "TaintKit::scrub(raw);"));
+    Emit.blank e
+  done
+
+let taint_ground_truth (p : Profile.t) = p.Profile.taint_units
+
 let catalog h = Printf.sprintf "Cat%d" h
 let globals h = Printf.sprintf "G%d" h
 
@@ -761,6 +814,7 @@ let generate (p : Profile.t) =
     emit_util st u
   done;
   if p.Profile.copy_cycles > 0 then emit_rings st;
+  if p.Profile.taint_units > 0 then emit_taint st;
   if p.Profile.listeners then emit_listeners st;
   for du = 0 to p.Profile.driver_units - 1 do
     emit_driver st du
@@ -769,5 +823,8 @@ let generate (p : Profile.t) =
       Emit.block e "static method main()" (fun () ->
           for du = 0 to p.Profile.driver_units - 1 do
             Emit.line e "%s::boot();" (driver_name du)
+          done;
+          for j = 0 to p.Profile.taint_units - 1 do
+            Emit.line e "%s::run();" (taint_unit j)
           done));
   Emit.contents e

@@ -7,3 +7,9 @@
 
 val generate : Profile.t -> string
 (** The benchmark's own code (link {!Pta_mjdk.Mjdk.source} alongside). *)
+
+val taint_ground_truth : Profile.t -> int
+(** True source-to-sink flows in the generated program under the
+    built-in taint spec ({!Pta_taint.Spec.default} conventions): one per
+    taint unit.  Anything beyond this that an analysis reports is a
+    spurious flow. *)

@@ -165,10 +165,14 @@ let checker_tests =
           "only dead-method" true
           (List.for_all (fun (d : Diagnostic.t) -> d.code = "dead-method") only);
         Alcotest.(check bool)
-          "unknown checker rejected" true
-          (match Checkers.run ~only:[ "nope" ] r with
+          "unknown checker rejected with suggestions" true
+          (match Checkers.run ~only:[ "dead-methods" ] r with
           | _ -> false
-          | exception Invalid_argument _ -> true));
+          | exception Checkers.Unknown_checker { code; suggestions; available }
+            ->
+            code = "dead-methods"
+            && List.mem "dead-method" suggestions
+            && List.length available = List.length Checkers.all));
     Alcotest.test_case "diagnostics are sorted and stable" `Quick (fun () ->
         let diags = Checkers.run (results demo_src) in
         Alcotest.(check bool)
@@ -301,4 +305,157 @@ let sarif_tests =
         Alcotest.(check string) "identical documents" (doc ()) (doc ()));
   ]
 
-let tests = span_tests @ checker_tests @ parity_tests @ sarif_tests
+(* ------------------------------------------------------------------ *)
+(* The taint checkers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Spec = Pta_taint.Spec
+module Taint = Pta_taint.Taint
+
+let taint_src =
+  {|
+  class Data {}
+  class Kit { static method pass(x) { return x; } }
+  class Sink {
+    static field cell;
+    static method fetch() { var t = new Data; return t; }
+    static method leak(x) { Sink::cell = x; }
+    static method scrub(x) { Sink::cell = x; return x; }
+  }
+  class Main {
+    static method main() {
+      var raw = Sink::fetch();
+      var clean = new Data;
+      var a = Kit::pass(raw);
+      var b = Kit::pass(clean);
+      Sink::leak(a);
+      Sink::leak(b);
+      Sink::scrub(raw);
+      Sink::leak(raw);
+    }
+  }
+  |}
+
+let taint_results ~strategy src =
+  let solver = Helpers.run ~strategy src in
+  let spec = Spec.compile (Solver.program solver) Spec.default in
+  let taint = Taint.analyze solver spec in
+  (solver, Results.of_solver ~taint:(Taint.summary taint) solver)
+
+let taint_checker_tests =
+  [
+    Alcotest.test_case "tainted-sink-argument reports each flow" `Quick
+      (fun () ->
+        (* Three true flows: leak(a), leak(raw) — and under a conflating
+           strategy the spurious leak(b) as well. *)
+        let _, precise = taint_results ~strategy:"S-2obj+H" taint_src in
+        let diags = by_code "tainted-sink-argument" (Checkers.run precise) in
+        Alcotest.(check int) "precise: two sink calls flagged" 2
+          (List.length diags);
+        let _, conflated = taint_results ~strategy:"2obj+H" taint_src in
+        let diags' =
+          by_code "tainted-sink-argument" (Checkers.run conflated)
+        in
+        Alcotest.(check int) "conflated: spurious third flow" 3
+          (List.length diags');
+        List.iter
+          (fun (d : Diagnostic.t) ->
+            Alcotest.(check bool) "has a span" true (d.span <> None);
+            match d.witnesses with
+            | [ w ] ->
+              Alcotest.(check bool)
+                "witness names the source" true
+                (w.w_message = "source Sink.fetch/0 ret, declared here");
+              Alcotest.(check bool)
+                "witness points at the source method" true (w.w_span <> None);
+              Alcotest.(check bool)
+                "native witness carries the chain" true
+                (List.length w.w_detail >= 2)
+            | ws -> Alcotest.failf "expected one witness, got %d"
+                      (List.length ws))
+          diags);
+    Alcotest.test_case "sanitizer-bypassed on a discarded result" `Quick
+      (fun () ->
+        let _, r = taint_results ~strategy:"S-2obj+H" taint_src in
+        match by_code "sanitizer-bypassed" (Checkers.run r) with
+        | [ d ] ->
+          Alcotest.(check Alcotest.string)
+            "message"
+            "result of sanitizer Sink.scrub/1 is discarded; raw stays tainted"
+            d.message;
+          Alcotest.(check int) "sanitizer witness" 1 (List.length d.witnesses)
+        | ds -> Alcotest.failf "expected one bypass warning, got %d"
+                  (List.length ds));
+    Alcotest.test_case "taint checkers are silent without a spec" `Quick
+      (fun () ->
+        let diags = Checkers.run (results taint_src) in
+        Alcotest.(check int) "no sink diags" 0
+          (List.length (by_code "tainted-sink-argument" diags));
+        Alcotest.(check int) "no bypass diags" 0
+          (List.length (by_code "sanitizer-bypassed" diags)));
+    Alcotest.test_case "taint checker verdicts agree across engines" `Quick
+      (fun () ->
+        let program = Helpers.program taint_src in
+        let spec = Spec.compile program Spec.default in
+        let key (d : Diagnostic.t) =
+          ( d.code,
+            d.message,
+            pos_pair d.span,
+            List.map
+              (fun (w : Diagnostic.witness) -> (w.w_message, pos_pair w.w_span))
+              d.witnesses )
+        in
+        List.iter
+          (fun strat ->
+            let factory =
+              Option.get (Pta_context.Strategies.by_name strat)
+            in
+            let strategy = factory program in
+            let solver = Solver.solve program strategy in
+            let native =
+              Results.of_solver
+                ~taint:(Taint.summary (Taint.analyze solver spec))
+                solver
+            in
+            let refimpl = Pta_refimpl.Refimpl.run program strategy in
+            let reference =
+              Results.of_refimpl
+                ~taint:
+                  (Pta_taint.Taint_ref.summary
+                     (Pta_taint.Taint_ref.analyze program strategy refimpl spec))
+                program refimpl
+            in
+            let taint_only =
+              [ "tainted-sink-argument"; "sanitizer-bypassed" ]
+            in
+            Alcotest.(check bool)
+              (strat ^ ": same verdicts either engine")
+              true
+              (List.map key (Checkers.run ~only:taint_only native)
+              = List.map key (Checkers.run ~only:taint_only reference)))
+          [ "insens"; "2obj+H"; "S-2obj+H"; "CS" ]);
+    Alcotest.test_case "taint SARIF is byte-deterministic" `Quick (fun () ->
+        let doc () =
+          let _, r = taint_results ~strategy:"S-2obj+H" taint_src in
+          Sarif.to_string ~tool_version:"1.0.0" (Checkers.run r)
+        in
+        let d = doc () in
+        Alcotest.(check string) "identical documents" d (doc ());
+        let json = Result.get_ok (Json.of_string d) in
+        let rule_ids =
+          Option.bind (Json.member "runs" json) Json.to_list |> Option.get
+          |> List.hd
+          |> Json.member "results"
+          |> Fun.flip Option.bind Json.to_list
+          |> Option.get
+          |> List.filter_map (fun r ->
+                 Option.bind (Json.member "ruleId" r) Json.to_str)
+        in
+        Alcotest.(check bool)
+          "taint results exported" true
+          (List.mem "tainted-sink-argument" rule_ids
+          && List.mem "sanitizer-bypassed" rule_ids));
+  ]
+
+let tests =
+  span_tests @ checker_tests @ parity_tests @ sarif_tests @ taint_checker_tests

@@ -207,7 +207,9 @@ let lint_tests =
           ]
         in
         match Engine.lint rules with
-        | [ e ] ->
+        | e :: _ ->
+          (* (a trailing [Unused_relation] finding on [out] is
+             expected too — nothing reads it) *)
           Alcotest.(check bool)
             "kind" true
             (e.Engine.lint_kind = Engine.Unbound_head_var);
@@ -225,7 +227,7 @@ let lint_tests =
           Alcotest.(check bool)
             "names the relation" true
             (contains e.Engine.lint_message "out")
-        | es -> Alcotest.failf "expected one error, got %d" (List.length es));
+        | [] -> Alcotest.fail "expected at least one error");
     Alcotest.test_case "arity mismatch rejected on both sides" `Quick (fun () ->
         let bin = Relation.create ~name:"bin" ~arity:2 in
         let un = Relation.create ~name:"un" ~arity:1 in
@@ -241,8 +243,9 @@ let lint_tests =
           ]
         in
         Alcotest.(check bool)
-          "both flagged as Bad_arity" true
-          (lint_kinds rules = [ Engine.Bad_arity; Engine.Bad_arity ]));
+          "both flagged as Bad_arity (plus unused-relation info on un)" true
+          (lint_kinds rules
+          = [ Engine.Bad_arity; Engine.Bad_arity; Engine.Unused_relation ]));
     Alcotest.test_case "variable out of range rejected" `Quick (fun () ->
         let un = Relation.create ~name:"unr" ~arity:1 in
         ignore (Relation.add un [| 1 |]);
@@ -267,14 +270,19 @@ let lint_tests =
           ]
         in
         (match lint_kinds rules with
-        | [ Engine.Never_fires ] -> ()
-        | ks -> Alcotest.failf "expected [Never_fires], got %d finding(s)" (List.length ks));
+        | [ Engine.Never_fires; Engine.Unused_relation ] -> ()
+        | ks ->
+          Alcotest.failf "expected [Never_fires; Unused_relation], got %d finding(s)"
+            (List.length ks));
         Alcotest.(check bool)
           "soft" false
           (Engine.lint_is_hard Engine.Never_fires);
-        (* Feeding the EDB clears the finding. *)
+        (* Feeding the EDB clears the never-fires finding (the
+           unused-relation one on [outn] legitimately stays). *)
         ignore (Relation.add empty_edb [| 1 |]);
-        Alcotest.(check int) "clean once fed" 0 (List.length (Engine.lint rules)));
+        Alcotest.(check bool)
+          "never-fires cleared once fed" true
+          (lint_kinds rules = [ Engine.Unused_relation ]));
     Alcotest.test_case "derived-but-empty body is not never-fires" `Quick
       (fun () ->
         let a = Relation.create ~name:"a_rel" ~arity:1 in
@@ -292,6 +300,83 @@ let lint_tests =
           ]
         in
         Alcotest.(check int) "no findings" 0 (List.length (Engine.lint rules)));
+    Alcotest.test_case "unused relation is informational" `Quick (fun () ->
+        let src = Relation.create ~name:"src_u" ~arity:1 in
+        let sinka = Relation.create ~name:"sink_a" ~arity:1 in
+        let sinkb = Relation.create ~name:"sink_b" ~arity:1 in
+        ignore (Relation.add src [| 1 |]);
+        let derive name rel body =
+          rule name ~n_vars:1 [ { hrel = rel; hargs = [| Hv 0 |] } ] body
+        in
+        let once = [ { rel = src; args = [| V 0 |] } ] in
+        let twice = [ { rel = src; args = [| V 0 |] }; { rel = src; args = [| V 0 |] } ] in
+        (* Two (distinct) rules derive sink_a; it is still reported
+           once, on the first deriver. *)
+        let rules =
+          [ derive "da1" sinka once; derive "da2" sinka twice; derive "db" sinkb once ]
+        in
+        (match Engine.lint rules with
+        | [ ea; eb ] ->
+          Alcotest.(check bool)
+            "both unused" true
+            (ea.Engine.lint_kind = Engine.Unused_relation
+            && eb.Engine.lint_kind = Engine.Unused_relation);
+          Alcotest.(check bool) "soft" false
+            (Engine.lint_is_hard Engine.Unused_relation);
+          Alcotest.(check string) "first deriver blamed" "da1" ea.Engine.lint_rule;
+          Alcotest.(check string) "second relation's deriver" "db" eb.Engine.lint_rule
+        | es -> Alcotest.failf "expected two findings, got %d" (List.length es));
+        (* Reading the relation somewhere clears the finding. *)
+        let reader =
+          rule "reader" ~n_vars:1
+            [ { hrel = sinkb; hargs = [| Hv 0 |] } ]
+            [ { rel = sinka; args = [| V 0 |] } ]
+        in
+        Alcotest.(check bool)
+          "only sink_b left once sink_a is read" true
+          (lint_kinds (rules @ [ reader ]) = [ Engine.Unused_relation ]));
+    Alcotest.test_case "duplicate rule is informational" `Quick (fun () ->
+        let edge = Relation.create ~name:"edge_d" ~arity:2 in
+        let out = Relation.create ~name:"out_d" ~arity:2 in
+        ignore (Relation.add edge [| 1; 2 |]);
+        let mk name c =
+          rule name ~n_vars:2
+            [ { hrel = out; hargs = [| Hv 0; Hc c |] } ]
+            [
+              { rel = edge; args = [| V 0; V 1 |] };
+              { rel = out; args = [| V 1; V 0 |] };
+            ]
+        in
+        let rules = [ mk "orig" 7; mk "dup" 7; mk "not-dup" 8 ] in
+        (match
+           List.filter
+             (fun e -> e.Engine.lint_kind = Engine.Duplicate_rule)
+             (Engine.lint rules)
+         with
+        | [ e ] ->
+          Alcotest.(check bool) "soft" false
+            (Engine.lint_is_hard Engine.Duplicate_rule);
+          Alcotest.(check string) "later rule blamed" "dup" e.Engine.lint_rule;
+          let contains s sub =
+            let n = String.length sub and h = String.length s in
+            let rec at i = i + n <= h && (String.sub s i n = sub || at (i + 1)) in
+            n = 0 || at 0
+          in
+          Alcotest.(check bool)
+            "names the original" true
+            (contains e.Engine.lint_message "orig")
+        | es -> Alcotest.failf "expected one duplicate, got %d" (List.length es));
+        (* Rules with computed (Hf) head terms are never compared. *)
+        let hf name =
+          rule name ~n_vars:2
+            [ { hrel = out; hargs = [| Hv 0; Hf (fun env -> env.(1)) |] } ]
+            [ { rel = edge; args = [| V 0; V 1 |] } ]
+        in
+        Alcotest.(check bool)
+          "hf rules not flagged as duplicates" true
+          (List.for_all
+             (fun e -> e.Engine.lint_kind <> Engine.Duplicate_rule)
+             (Engine.lint [ hf "hf1"; hf "hf2" ])));
   ]
 
 let tests =

@@ -15,6 +15,7 @@ let () =
       ("clients", Test_clients.tests);
       ("checkers", Test_checkers.tests);
       ("differential", Test_differential.tests);
+      ("taint", Test_taint.tests);
       ("soundness", Test_soundness.tests);
       ("precision", Test_precision.tests);
       ("exceptions", Test_exceptions.tests);
