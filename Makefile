@@ -18,12 +18,16 @@ test:
 # Both gates are the same comparator invocation (lib/report/comparator,
 # one tolerance config: +15% time, +10% peak heap, 0.5s noise floor),
 # parameterized by baseline snapshot, cell subset and delta file.
-# Override tolerances per call with TIME_TOL= / HEAP_TOL= (percent),
-# e.g. `make bench-compare TIME_TOL=75 HEAP_TOL=25` on a noisy host.
+# Override tolerances per call with TIME_TOL= / HEAP_TOL= /
+# HEAP_COMPONENT_TOL= (percent), e.g. `make bench-compare TIME_TOL=75
+# HEAP_TOL=25` on a noisy host.  HEAP_COMPONENT_TOL gates the per-
+# component census bytes (points-to sets, edge lists, ...) recorded in
+# schema-v4 snapshots; it only bites when both snapshots carry a census.
 # ---------------------------------------------------------------------
 
 TOLERANCE_FLAGS = $(if $(TIME_TOL),--time-tol $(TIME_TOL)) \
-	$(if $(HEAP_TOL),--heap-tol $(HEAP_TOL))
+	$(if $(HEAP_TOL),--heap-tol $(HEAP_TOL)) \
+	$(if $(HEAP_COMPONENT_TOL),--heap-component-tol $(HEAP_COMPONENT_TOL))
 
 # $(call bench_gate,baseline.json,subset flags,delta.md)
 define bench_gate

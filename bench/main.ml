@@ -36,6 +36,7 @@ module Run_stats = Pta_obs.Run_stats
 module Trace = Pta_obs.Trace
 module Snapshot = Pta_report.Bench_snapshot
 module Comparator = Pta_report.Comparator
+module Census = Pta_obs.Census
 module Registry = Pta_metrics.Registry
 
 let timeout_s =
@@ -86,6 +87,13 @@ let runs : (string * string, outcome) Hashtbl.t = Hashtbl.create 256
    there into bench-history ledger records.  Kept out of [outcome] so the
    many pattern matches over it stay untouched. *)
 let cell_hists : (string * string, Snapshot.hist) Hashtbl.t = Hashtbl.create 256
+
+(* Per-cell reachable-heap census of the instrumented run's solved
+   state, taken after the timed re-runs so its [Gc.full_major] cannot
+   perturb them.  Snapshot cells carry it as the schema-v4
+   [heap_components] block. *)
+let cell_census : (string * string, Census.component list) Hashtbl.t =
+  Hashtbl.create 256
 
 let record_cell_hist key times =
   let reg = Registry.create () in
@@ -138,6 +146,8 @@ let run_one profile analysis_name =
         in
         let t2 = time (run_once ~collect:false ()) in
         let t3 = time (run_once ~collect:false ()) in
+        Hashtbl.replace cell_census key
+          (Solver.census r1.Driver.solver).Census.components;
         let best =
           min r1.Driver.wall_time_s (min t2 t3) *. handicap
         in
@@ -227,6 +237,9 @@ let current_snapshot () =
                 memory = stats.Run_stats.memory;
                 time_hist =
                   Hashtbl.find_opt cell_hists (profile.Profile.name, a);
+                heap_components =
+                  Option.value ~default:[]
+                    (Hashtbl.find_opt cell_census (profile.Profile.name, a));
               }
             | Timed_out abort ->
               {
@@ -238,6 +251,7 @@ let current_snapshot () =
                 nodes = Some abort.Pta_obs.Budget.nodes;
                 memory = None;
                 time_hist = None;
+                heap_components = [];
               })
           !selected_analyses)
       (profiles ())
@@ -856,7 +870,8 @@ let cmd_micro () =
 (* Regression gate: --baseline FILE --compare                          *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_compare ~baseline_file ~time_tol ~heap_tol ~delta_md ~snapshot_out () =
+let cmd_compare ~baseline_file ~time_tol ~heap_tol ~heap_component_tol
+    ~delta_md ~snapshot_out () =
   (* Fail early on an unreadable/unparseable baseline, but do NOT
      retain the parsed document across the measured grid: the cells'
      GC profile is a deterministic function of the process's allocation
@@ -892,6 +907,7 @@ let cmd_compare ~baseline_file ~time_tol ~heap_tol ~delta_md ~snapshot_out () =
       Snapshot.default_thresholds with
       Snapshot.time_tol_pct = time_tol;
       heap_tol_pct = heap_tol;
+      heap_component_tol_pct = heap_component_tol;
     }
   in
   Printf.printf "=== Regression report (vs %s) ===\n%!" baseline_file;
@@ -907,8 +923,8 @@ let usage () =
     "usage: bench \
      [table1|propbench|figure3|summary|ablation|scaling|futurework|micro|all]*\n\
     \       bench --baseline FILE --compare [--time-tol PCT] [--heap-tol PCT]\n\
-    \             [--benchmarks a,b,c] [--analyses x,y,z] [--delta-md FILE]\n\
-    \             [--snapshot-out FILE]\n";
+    \             [--heap-component-tol PCT] [--benchmarks a,b,c]\n\
+    \             [--analyses x,y,z] [--delta-md FILE] [--snapshot-out FILE]\n";
   exit 2
 
 let () =
@@ -916,6 +932,9 @@ let () =
   let compare_mode = ref false in
   let time_tol = ref Snapshot.default_thresholds.Snapshot.time_tol_pct in
   let heap_tol = ref Snapshot.default_thresholds.Snapshot.heap_tol_pct in
+  let heap_component_tol =
+    ref Snapshot.default_thresholds.Snapshot.heap_component_tol_pct
+  in
   let delta_md = ref None in
   let snapshot_out = ref None in
   let cmds = ref [] in
@@ -935,6 +954,9 @@ let () =
       parse rest
     | "--heap-tol" :: v :: rest ->
       heap_tol := float_arg v;
+      parse rest
+    | "--heap-component-tol" :: v :: rest ->
+      heap_component_tol := float_arg v;
       parse rest
     | "--delta-md" :: v :: rest ->
       delta_md := Some v;
@@ -980,7 +1002,8 @@ let () =
     | Some baseline_file ->
       if !cmds <> [] then usage ();
       cmd_compare ~baseline_file ~time_tol:!time_tol ~heap_tol:!heap_tol
-        ~delta_md:!delta_md ~snapshot_out:!snapshot_out ()
+        ~heap_component_tol:!heap_component_tol ~delta_md:!delta_md
+        ~snapshot_out:!snapshot_out ()
   end
   else begin
     let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in

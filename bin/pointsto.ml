@@ -12,6 +12,9 @@
      gen        — emit a synthetic benchmark's MJ source
      strategies — list available analyses
      metrics    — run one analysis, dump the metric registry as OpenMetrics
+     heapmap    — run one analysis, print the reachable-heap census
+                  (per-component retained/unshared words, set-sharing
+                  factor), or gate it against a blessed census JSON
      bench      — perf-trajectory tooling over the bench-history ledger:
                   history append/list/show, trend (report + --check gate),
                   bisect (first bad ledger record, optional git handoff)
@@ -32,6 +35,7 @@ module Observer = Pta_obs.Observer
 module Json = Pta_obs.Json
 module Run_stats = Pta_obs.Run_stats
 module Trace = Pta_obs.Trace
+module Census = Pta_obs.Census
 module Registry = Pta_metrics.Registry
 module Version = Pta_version.Version
 module Snapshot = Pta_report.Bench_snapshot
@@ -807,10 +811,31 @@ let profile_cmd =
     in
     Arg.(value & flag & info [ "datalog" ] ~doc)
   in
-  let run files analysis no_stdlib timeout_s trace_file top datalog =
+  let sort_arg =
+    let doc = "Order rows by cumulative $(b,time) or $(b,alloc)ation." in
+    let sort_conv =
+      Arg.conv
+        ( (fun s ->
+            match Pta_report.Hotspots.sort_of_string s with
+            | Ok v -> Ok v
+            | Error e -> Error (`Msg e)),
+          fun ppf s ->
+            Format.pp_print_string ppf
+              (match s with
+              | Pta_report.Hotspots.By_time -> "time"
+              | Pta_report.Hotspots.By_alloc -> "alloc") )
+    in
+    Arg.(
+      value
+      & opt sort_conv Pta_report.Hotspots.By_time
+      & info [ "sort" ] ~docv:"KEY" ~doc)
+  in
+  let run files analysis no_stdlib timeout_s trace_file top datalog sort =
     (* Always trace — the profile is read off the sink's aggregates —
-       but only write the event timeline when --trace asks for it. *)
-    let trace = Trace.create () in
+       but only write the event timeline when --trace asks for it.  GC
+       accounting is on so the alloc column (and the alloc sort) have
+       something to show. *)
+    let trace = Trace.create ~alloc:true () in
     let ppf = report_ppf ~machine_on_stdout:(stdout_dest trace_file) in
     let wall_time_s =
       let t0 = Unix.gettimeofday () in
@@ -844,6 +869,7 @@ let profile_cmd =
                 events = s.events;
                 delta = s.delta;
                 seconds = s.seconds;
+                alloc_words = Trace.stat_alloc_words s;
               }
           else None)
         (Trace.profile trace)
@@ -851,19 +877,20 @@ let profile_cmd =
     let title = if datalog then "rule" else "edge kind" in
     Format.fprintf ppf "analysis: %s (%s)@." analysis
       (if datalog then "reference Datalog engine" else "native solver");
-    Format.fprintf ppf "%s" (Pta_report.Hotspots.render ~top ~title rows);
+    Format.fprintf ppf "%s" (Pta_report.Hotspots.render ~top ~sort ~title rows);
     Format.fprintf ppf "elapsed: %.3fs@." wall_time_s;
     emit_trace trace_file trace
   in
   let doc =
     "Run one analysis under the tracer and print its hot-spot table \
-     (per-Datalog-rule with $(b,--datalog), per-edge-kind otherwise)."
+     (per-Datalog-rule with $(b,--datalog), per-edge-kind otherwise), with \
+     cumulative wall time and allocation per row."
   in
   Cmd.v
     (Cmd.info "profile" ~doc ~exits:common_exits)
     Term.(
       const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
-      $ trace_arg $ top_arg $ datalog_arg)
+      $ trace_arg $ top_arg $ datalog_arg $ sort_arg)
 
 let decompile_cmd =
   let run files no_stdlib =
@@ -1003,6 +1030,137 @@ let metrics_cmd =
       const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
       $ output_arg $ datalog_arg)
 
+let heapmap_cmd =
+  let format_arg =
+    let doc = "Output format: $(b,text) (table) or $(b,json)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let output_arg =
+    let doc = "Write the census to $(docv) ($(b,-) = stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let compare_arg =
+    let doc =
+      "Gate the census against a blessed census JSON (as written by \
+       $(b,--format json)): exit 4 if any component's retained words grew \
+       by more than $(b,--tol) percent."
+    in
+    Arg.(value & opt (some string) None & info [ "compare" ] ~docv:"FILE" ~doc)
+  in
+  let tol_arg =
+    let doc = "Per-component growth tolerance for $(b,--compare), percent." in
+    Arg.(
+      value
+      & opt float Snapshot.default_thresholds.Snapshot.heap_component_tol_pct
+      & info [ "tol" ] ~docv:"PCT" ~doc)
+  in
+  let datalog_arg =
+    let doc =
+      "Census the reference Datalog implementation's relations instead of \
+       the native solver's supergraph."
+    in
+    Arg.(value & flag & info [ "datalog" ] ~doc)
+  in
+  let run files analysis no_stdlib timeout_s datalog format output
+      compare_file tol =
+    let census =
+      if datalog then begin
+        let program =
+          handle (Driver.load_program ~stdlib:(not no_stdlib) (sources_of files))
+        in
+        let strategy = handle (Driver.strategy_of_name program analysis) in
+        let budget = Pta_obs.Budget.of_seconds_opt timeout_s in
+        match Pta_refimpl.Refimpl.run ~budget program strategy with
+        | r -> Pta_refimpl.Refimpl.census r
+        | exception Pta_obs.Budget.Exhausted abort ->
+          Driver.report_and_exit (Driver.Timed_out { analysis; abort })
+      end
+      else
+        let config = config_of ?timeout_s ~progress:false () in
+        let _program, r =
+          handle
+            (Driver.load_and_run ~stdlib:(not no_stdlib) ~config ~analysis
+               (sources_of files))
+        in
+        Solver.census r.Driver.solver
+    in
+    (match format with
+    | `Text -> write_output output (Format.asprintf "%a" Census.pp census)
+    | `Json ->
+      write_output output
+        (Json.to_string (stamp_build (Census.to_json census)) ^ "\n"));
+    match compare_file with
+    | None -> ()
+    | Some path -> (
+      let contents =
+        match open_in_bin path with
+        | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        | exception Sys_error msg ->
+          Printf.eprintf "pointsto: cannot read %s: %s\n" path msg;
+          exit 2
+      in
+      let baseline =
+        match Result.bind (Json.of_string contents) Census.of_json with
+        | Ok c -> c
+        | Error e ->
+          Printf.eprintf "pointsto: %s: %s\n" path e;
+          exit 2
+      in
+      match
+        Census.compare_components ~tol_pct:tol
+          ~baseline:baseline.Census.components
+          ~current:census.Census.components
+      with
+      | [] ->
+        Printf.eprintf "heapmap: all components within %.1f%% of %s\n" tol path
+      | breaches ->
+        List.iter
+          (fun (b : Census.breach) ->
+            Printf.eprintf
+              "heapmap: %s retained %d words, baseline %d (+%.1f%% > %.1f%%)\n"
+              b.Census.b_name b.Census.b_cur_words b.Census.b_base_words
+              b.Census.b_pct tol)
+          breaches;
+        exit 4)
+  in
+  let heapmap_exits =
+    Cmd.Exit.info 4
+      ~doc:"($(b,--compare)) when any component breaches the tolerance."
+    :: common_exits
+  in
+  let doc =
+    "Run one analysis and print the reachable-heap census: live words \
+     attributed to named solver components (points-to sets, edge lists, \
+     context tables, ...), with retained vs unshared words and the \
+     structural-sharing factor per component, plus the points-to set \
+     population histogram."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The census runs after the solve, walks the reachable heap with \
+         physical-identity awareness (a block shared between components is \
+         charged once, to the first component that reaches it), and is \
+         byte-deterministic: two runs on the same input produce \
+         cmp-identical JSON.  $(b,--compare) gates the fresh census \
+         against a blessed one, flagging components whose retained words \
+         grew beyond the tolerance — the one-shot form of the per-component \
+         check that $(b,bench trend --check) applies over the ledger.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "heapmap" ~doc ~man ~exits:heapmap_exits)
+    Term.(
+      const run $ files_arg $ analysis_arg $ no_stdlib_arg $ timeout_arg
+      $ datalog_arg $ format_arg $ output_arg $ compare_arg $ tol_arg)
+
 (* ------------------------------------------------------------------ *)
 (* bench: the perf-trajectory commands                                  *)
 (* ------------------------------------------------------------------ *)
@@ -1085,13 +1243,24 @@ let heap_tol_arg =
   Arg.(value & opt float Snapshot.default_thresholds.Snapshot.heap_tol_pct
        & info [ "heap-tol" ] ~docv:"PCT" ~doc)
 
+let heap_component_tol_arg =
+  let doc =
+    "Relative floor for the per-census-component retained-heap thresholds, \
+     percent over the median."
+  in
+  Arg.(
+    value
+    & opt float Snapshot.default_thresholds.Snapshot.heap_component_tol_pct
+    & info [ "heap-component-tol" ] ~docv:"PCT" ~doc)
+
 let min_time_arg =
   let doc = "Noise floor: skip the time check when the median is below $(docv) seconds." in
   Arg.(value & opt float Snapshot.default_thresholds.Snapshot.min_time_s
        & info [ "min-time" ] ~docv:"SECONDS" ~doc)
 
 let params_term =
-  let make window min_points mad_k time_tol heap_tol min_time =
+  let make window min_points mad_k time_tol heap_tol heap_component_tol
+      min_time =
     {
       Htrend.window;
       min_points;
@@ -1100,13 +1269,14 @@ let params_term =
         {
           Snapshot.time_tol_pct = time_tol;
           heap_tol_pct = heap_tol;
+          heap_component_tol_pct = heap_component_tol;
           min_time_s = min_time;
         };
     }
   in
   Term.(
     const make $ window_arg $ min_points_arg $ mad_k_arg $ time_tol_arg
-    $ heap_tol_arg $ min_time_arg)
+    $ heap_tol_arg $ heap_component_tol_arg $ min_time_arg)
 
 let history_append_cmd =
   let snapshot_arg =
@@ -1278,11 +1448,19 @@ let bisect_cmd =
       required & opt (some string) None & info [ "cell" ] ~docv:"B/A" ~doc)
   in
   let metric_arg =
-    let doc = "Metric to bisect: $(b,time) or $(b,heap)." in
-    Arg.(
-      value
-      & opt (enum [ ("time", Htrend.Time); ("heap", Htrend.Heap) ]) Htrend.Time
-      & info [ "metric" ] ~docv:"METRIC" ~doc)
+    let doc =
+      "Metric to bisect: $(b,time), $(b,heap), or \
+       $(b,heap:)$(i,COMPONENT) for one census component's retained words."
+    in
+    let metric_conv =
+      Arg.conv
+        ( (fun s ->
+            match Htrend.metric_of_string s with
+            | Ok m -> Ok m
+            | Error e -> Error (`Msg e)),
+          fun ppf m -> Format.pp_print_string ppf (Htrend.metric_name m) )
+    in
+    Arg.(value & opt metric_conv Htrend.Time & info [ "metric" ] ~docv:"METRIC" ~doc)
   in
   let git_arg =
     let doc =
@@ -1419,7 +1597,7 @@ let main_cmd =
       analyze_cmd; compare_cmd; check_cmd; taint_cmd; profile_cmd; query_cmd;
       why_cmd; casts_cmd; exceptions_cmd; callgraph_cmd; stats_cmd;
       dump_ir_cmd; decompile_cmd; gen_cmd; strategies_cmd; metrics_cmd;
-      bench_cmd; version_cmd;
+      heapmap_cmd; bench_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -379,13 +379,14 @@ let run ?(observer = Pta_obs.Observer.null) ?(budget = Pta_obs.Budget.unlimited 
              sequence, so the fact-count difference is attributable). *)
           let before = total_facts () in
           let t0 = if Trace.is_null trace then 0. else Trace.now_us trace in
+          let a0 = Trace.alloc_mark trace in
           eval ();
           let derived = total_facts () - before in
           if metered then
             Registry.add (Hashtbl.find rule_counters rule.rname) derived;
           if not (Trace.is_null trace) then
-            Trace.complete trace ~delta:derived ~cat:"rule" ~name:rule.rname
-              ~t0_us:t0
+            Trace.complete trace ~alloc:a0 ~delta:derived ~cat:"rule"
+              ~name:rule.rname ~t0_us:t0
               ~dur_us:(Trace.now_us trace -. t0)
         end)
       rules;

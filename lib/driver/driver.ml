@@ -88,6 +88,35 @@ let record_memory metrics ~phase (d : Memstats.delta) =
       d.Memstats.peak_heap_words
   end
 
+(* The census exposes bytes (not words) so dashboards need no word-size
+   context, one gauge per component plus the Intset sharing factor over
+   the points-to sets.  Everything here is structural — reachable words
+   of deterministic data structures — so a metered run's exposition
+   stays byte-stable. *)
+let record_census metrics (census : Pta_obs.Census.t) =
+  if not (Registry.is_null metrics) then begin
+    let module Census = Pta_obs.Census in
+    List.iter
+      (fun (c : Census.component) ->
+        Registry.set
+          (Registry.gauge metrics
+             ~help:"Retained bytes attributed to a solver component"
+             ~labels:[ ("component", c.Census.comp_name) ]
+             "pta_heap_component_bytes")
+          (float_of_int (Census.bytes_of_words census c.Census.retained_words)))
+      census.Census.components;
+    match Census.find census "points-to-sets" with
+    | None -> ()
+    | Some c ->
+      Registry.set
+        (Registry.gauge metrics
+           ~help:
+             "Intset structural sharing over points-to sets: unshared / \
+              retained words"
+           "pta_intset_sharing_factor")
+        (Census.sharing_factor c)
+  end
+
 let load_program ?(stdlib = true) ?(metrics = Registry.null) sources =
   match
     let named =
@@ -195,12 +224,22 @@ let run ?(config = Solver.Config.default) ?(collect_stats = false) program
         Some (Memstats.start_tracking ())
       else None
     in
+    (* Hand the tracker to the solver so the fixpoint loop samples the
+       peak between major collections (the alarm alone misses
+       alarm-free stretches). *)
+    let config =
+      match tracker with
+      | None -> config
+      | Some t -> { config with Solver.Config.mem_tracker = Some t }
+    in
     let clock = Clock.create () in
     match Solver.solve ~config program strategy with
     | solver ->
       let wall_time_s = Clock.elapsed_s clock in
       let memory = Option.map Memstats.finish tracker in
       Option.iter (record_memory metrics ~phase:"solve") memory;
+      if not (Registry.is_null metrics) then
+        record_census metrics (Solver.census solver);
       emit_gauges config.Solver.Config.trace program solver;
       let stats =
         Option.map

@@ -158,6 +158,7 @@ let baseline_snapshot (r : Record.t) ~benchmark ~analysis =
               nodes = c.Record.nodes;
               memory;
               time_hist = c.Record.time_hist;
+              heap_components = c.Record.heap_components;
             };
           ];
       }
@@ -196,15 +197,18 @@ let git_script o ~ledger ~baseline_file =
         "benchmark, analysis or baseline path contains characters that would \
          need shell quoting; refusing to generate a script"
     else
-      (* Gate only the bisected metric: the other one gets a tolerance
+      (* Gate only the bisected metric: the others get a tolerance
          wide enough to never fire. *)
       let rel_pct =
         ((o.anchor.Trend.threshold /. o.anchor.Trend.median) -. 1.) *. 100.
       in
-      let time_tol, heap_tol =
+      let wide = "1000000" in
+      let time_tol, heap_tol, comp_tol =
+        let pct = Printf.sprintf "%.1f" rel_pct in
         match o.metric with
-        | Trend.Time -> (Printf.sprintf "%.1f" rel_pct, "1000000")
-        | Trend.Heap -> ("1000000", Printf.sprintf "%.1f" rel_pct)
+        | Trend.Time -> (pct, wide, wide)
+        | Trend.Heap -> (wide, pct, wide)
+        | Trend.Heap_component _ -> (wide, wide, pct)
       in
       Ok
         (String.concat "\n"
@@ -229,8 +233,9 @@ let git_script o ~ledger ~baseline_file =
              Printf.sprintf
                "git bisect run sh -c 'dune build bench/main.exe || exit 125; \
                 dune exec bench/main.exe -- --benchmarks %s --analyses %s \
-                --compare --baseline %s --time-tol %s --heap-tol %s'"
-               o.benchmark o.analysis baseline_file time_tol heap_tol;
+                --compare --baseline %s --time-tol %s --heap-tol %s \
+                --heap-component-tol %s'"
+               o.benchmark o.analysis baseline_file time_tol heap_tol comp_tol;
              "git bisect reset";
              "";
            ])

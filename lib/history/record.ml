@@ -1,7 +1,10 @@
 module Json = Pta_obs.Json
 module Snapshot = Pta_report.Bench_snapshot
+module Census = Pta_obs.Census
 
-let current_schema_version = 1
+(* v2 adds the optional per-cell [heap_components] census block; v1
+   records load with it empty. *)
+let current_schema_version = 2
 
 type build = {
   semver : string;
@@ -36,6 +39,7 @@ type cell = {
   nodes : int option;
   peak_heap_words : int option;
   time_hist : Snapshot.hist option;
+  heap_components : Census.component list;  (* v2; [] when absent *)
 }
 
 type t = {
@@ -84,10 +88,13 @@ let cell_to_json c =
     @ (match c.peak_heap_words with
       | None -> []
       | Some w -> [ ("peak_heap_words", Json.Int w) ])
+    @ (match c.time_hist with
+      | None -> []
+      | Some h -> [ ("time_hist", Snapshot.hist_to_json h) ])
     @
-    match c.time_hist with
-    | None -> []
-    | Some h -> [ ("time_hist", Snapshot.hist_to_json h) ])
+    match c.heap_components with
+    | [] -> []
+    | cs -> [ ("heap_components", Census.components_to_json cs) ])
 
 let to_json t =
   Json.Obj
@@ -144,6 +151,11 @@ let cell_of_json json =
     | None -> Ok None
     | Some j -> Result.map Option.some (Snapshot.hist_of_json j)
   in
+  let* heap_components =
+    match Json.member "heap_components" json with
+    | None -> Ok []
+    | Some j -> Census.components_of_json_list j
+  in
   Ok
     {
       benchmark;
@@ -154,6 +166,7 @@ let cell_of_json json =
       nodes;
       peak_heap_words;
       time_hist;
+      heap_components;
     }
 
 let of_json json =
@@ -255,6 +268,7 @@ let of_snapshot ~seq ?timestamp ?note ~host (snap : Snapshot.t) =
               (fun m -> m.Pta_obs.Memstats.peak_heap_words)
               c.Snapshot.memory;
           time_hist = c.Snapshot.time_hist;
+          heap_components = c.Snapshot.heap_components;
         })
       snap.Snapshot.cells
   in

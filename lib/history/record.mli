@@ -15,7 +15,8 @@ module Json := Pta_obs.Json
 module Snapshot := Pta_report.Bench_snapshot
 
 val current_schema_version : int
-(** 1. *)
+(** 2.  v2 adds the optional per-cell [heap_components] census block;
+    v1 records load with it empty. *)
 
 type build = {
   semver : string;
@@ -51,6 +52,9 @@ type cell = {
   time_hist : Snapshot.hist option;
       (** distribution of the individual timed solves (exponential
           buckets, {!Pta_metrics.Registry.time_buckets} ladder) *)
+  heap_components : Pta_obs.Census.component list;
+      (** v2: reachable-heap census of the solved state; [[]] when the
+          run (or a v1 record) carried none *)
 }
 
 type t = {

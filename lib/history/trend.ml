@@ -1,14 +1,22 @@
 module Snapshot = Pta_report.Bench_snapshot
 module Trend_page = Pta_report.Trend_page
 
-type metric = Time | Heap
+type metric = Time | Heap | Heap_component of string
 
-let metric_name = function Time -> "time" | Heap -> "heap"
+let metric_name = function
+  | Time -> "time"
+  | Heap -> "heap"
+  | Heap_component name -> "heap:" ^ name
 
 let metric_of_string = function
   | "time" -> Ok Time
   | "heap" -> Ok Heap
-  | s -> Error (Printf.sprintf "unknown metric %S (expected time or heap)" s)
+  | s when String.length s > 5 && String.sub s 0 5 = "heap:" ->
+    Ok (Heap_component (String.sub s 5 (String.length s - 5)))
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown metric %S (expected time, heap or heap:<component>)" s)
 
 type params = {
   window : int;
@@ -26,6 +34,11 @@ let default_params =
   }
 
 type stats = { median : float; mad : float; threshold : float }
+
+(* Components smaller than this (words) are skipped by the trend test:
+   a bookkeeping table growing from 50 to 80 words is not a memory
+   regression worth a red mark. *)
+let heap_component_noise_words = 1024.
 
 (* Consistency constant for the normal distribution: 1.4826 * MAD
    estimates the standard deviation. *)
@@ -47,6 +60,9 @@ let window_stats p metric values =
       match metric with
       | Time -> (p.tolerances.Snapshot.time_tol_pct, p.tolerances.Snapshot.min_time_s)
       | Heap -> (p.tolerances.Snapshot.heap_tol_pct, 0.)
+      | Heap_component _ ->
+        ( p.tolerances.Snapshot.heap_component_tol_pct,
+          heap_component_noise_words )
     in
     if median < noise_floor then None
     else
@@ -61,6 +77,14 @@ let cell_value metric (c : Record.cell) =
     match metric with
     | Time -> Some c.Record.time_s
     | Heap -> Option.map float_of_int c.Record.peak_heap_words
+    | Heap_component name ->
+      Option.map
+        (fun (comp : Pta_obs.Census.component) ->
+          float_of_int comp.Pta_obs.Census.retained_words)
+        (List.find_opt
+           (fun (comp : Pta_obs.Census.component) ->
+             String.equal comp.Pta_obs.Census.comp_name name)
+           c.Record.heap_components)
 
 (* The up-to-[window] most recent finished observations among the
    records strictly before index [i]. *)
@@ -130,7 +154,11 @@ let check_cell p records i ~benchmark ~analysis =
                      stats;
                    })
             | _ -> None))
-        [ Time; Heap ]
+        (Time :: Heap
+        :: List.map
+             (fun (comp : Pta_obs.Census.component) ->
+               Heap_component comp.Pta_obs.Census.comp_name)
+             c.Record.heap_components)
 
 let check_latest ?(params = default_params) records =
   match records with
@@ -230,6 +258,31 @@ let fmt_time v = Printf.sprintf "%.2f" v
 let fmt_nodes v = string_of_int (int_of_float v)
 let fmt_heap_mw v = Printf.sprintf "%.1fM" (v /. 1_000_000.)
 
+let fmt_heap_words v =
+  if v >= 1e6 then Printf.sprintf "%.1fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else string_of_int (int_of_float v)
+
+(* Census component names present anywhere in one cell's history, in
+   first-appearance order — the page grows one column per component. *)
+let component_universe ~benchmark ~analysis records =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Record.t) ->
+      match Record.cell_find r ~benchmark ~analysis with
+      | None -> ()
+      | Some c ->
+        List.iter
+          (fun (comp : Pta_obs.Census.component) ->
+            let name = comp.Pta_obs.Census.comp_name in
+            if not (Hashtbl.mem seen name) then (
+              Hashtbl.add seen name ();
+              order := name :: !order))
+          c.Record.heap_components)
+    records;
+  List.rev !order
+
 let subtitle ~ledger records =
   match (records, List.rev records) with
   | first :: _, last :: _ ->
@@ -272,7 +325,18 @@ let page ?(params = default_params) ~ledger records =
                   series_of params Heap ~fmt:fmt_heap_mw ~benchmark ~analysis
                     records;
               };
-            ];
+            ]
+            @ List.map
+                (fun name ->
+                  {
+                    Trend_page.m_name =
+                      Printf.sprintf "heap:%s (words)" name;
+                    m_fmt = fmt_heap_words;
+                    m_series =
+                      series_of params (Heap_component name)
+                        ~fmt:fmt_heap_words ~benchmark ~analysis records;
+                  })
+                (component_universe ~benchmark ~analysis records);
         })
       (cell_universe records)
   in

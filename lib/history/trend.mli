@@ -19,9 +19,17 @@
 
 module Snapshot := Pta_report.Bench_snapshot
 
-type metric = Time | Heap
+type metric =
+  | Time
+  | Heap
+  | Heap_component of string
+      (** one census component's retained words (v2 ledger records);
+          tested with [heap_component_tol_pct] and a 1024-word noise
+          floor *)
 
 val metric_name : metric -> string
+(** ["time"], ["heap"], or ["heap:<component>"]. *)
+
 val metric_of_string : string -> (metric, string) result
 
 type params = {
@@ -82,5 +90,6 @@ val cell_value : metric -> Record.cell -> float option
 val page : ?params:params -> ledger:string -> Record.t list -> Pta_report.Trend_page.page
 (** The full trend-page model: one row per (benchmark, analysis) in
     first-appearance order, columns time / supergraph nodes / peak
-    heap, breach marks from {!flag_mask}, dirty builds marked from the
-    records' build stamps. *)
+    heap plus one column per census component seen in the cell's
+    history, breach marks from {!flag_mask}, dirty builds marked from
+    the records' build stamps. *)

@@ -42,7 +42,13 @@ let diff ?peak ~before ~after () =
     major_collections_delta = after.major_collections - before.major_collections;
     compactions_delta = after.compactions - before.compactions;
     heap_words_after = after.heap_words;
-    peak_heap_words = Option.value ~default:after.heap_words peak;
+    (* An interval's peak can never be below the heap at either of its
+       endpoints: a stale sampled peak (e.g. an alarm that never fired)
+       is clamped up rather than reported as an impossible value. *)
+    peak_heap_words =
+      max
+        (Option.value ~default:after.heap_words peak)
+        (max before.heap_words after.heap_words);
   }
 
 (* ------------------------------------------------------------------ *)

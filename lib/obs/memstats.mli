@@ -40,6 +40,9 @@ type delta = {
 }
 
 val diff : ?peak:int -> before:snapshot -> after:snapshot -> unit -> delta
+(** [peak] is clamped up to at least the heap size at both endpoints —
+    a sampled peak can lag (no alarm fired in the interval) but never
+    legitimately undercut what the endpoints saw. *)
 
 (** {1 Peak tracking} *)
 

@@ -37,10 +37,31 @@ val null : t
 
 val is_null : t -> bool
 
-val create : ?limit:int -> unit -> t
+val create : ?limit:int -> ?alloc:bool -> unit -> t
 (** A fresh sink whose ring buffer retains at most [limit] events
     (default [262144]); beyond that the oldest events are overwritten
-    and counted by {!dropped}.  Aggregates are unaffected by drops. *)
+    and counted by {!dropped}.  Aggregates are unaffected by drops.
+
+    [alloc] (default [false]) turns on span-scoped allocation
+    accounting: every [begin_span]/[end_span] pair additionally captures
+    a GC-counter delta (minor/promoted/major allocated words) into the
+    span's aggregate and into the Chrome-trace args of its closing
+    event.  The minor component reads [Gc.minor_words] — the allocation
+    pointer, exact even when no minor collection ran inside the span.
+    Caller-timed {!complete} spans participate by passing an
+    {!alloc_mark}.  Reading GC counters itself perturbs nothing, but an
+    alloc-enabled sink is for profiling runs: it reads the counters
+    twice per span. *)
+
+val alloc_enabled : t -> bool
+
+type alloc_mark
+(** A GC-counter reading taken at span begin.  On a sink without
+    allocation accounting (and on {!null}) {!alloc_mark} returns a
+    shared static mark that makes every later accounting step a no-op,
+    so guarded hot paths stay allocation-free. *)
+
+val alloc_mark : t -> alloc_mark
 
 val now_us : t -> float
 (** Microseconds since the sink's epoch, clamped monotone.  Only for
@@ -63,11 +84,13 @@ val span : t -> cat:string -> string -> (unit -> 'a) -> 'a
     exactly [f ()]. *)
 
 val complete :
-  ?delta:int -> t -> cat:string -> name:string -> t0_us:float -> dur_us:float ->
-  unit
+  ?delta:int -> ?alloc:alloc_mark -> t -> cat:string -> name:string ->
+  t0_us:float -> dur_us:float -> unit
 (** A span timed by the caller (one ["X"] trace event).  For hot paths
     that avoid closure allocation: guard on {!is_null}, read {!now_us}
-    twice, then report. *)
+    twice, then report.  Pass the {!alloc_mark} taken before the region
+    to attach its allocation delta; the mark from an accounting-off sink
+    degrades to a no-op. *)
 
 val instant : t -> cat:string -> string -> unit
 val counter : t -> cat:string -> string -> float -> unit
@@ -81,7 +104,14 @@ type stat = {
   events : int;  (** completed spans with this (cat, name) *)
   delta : int;  (** cumulative [delta] across them *)
   seconds : float;  (** cumulative time across them *)
+  minor_words : float;  (** cumulative minor-heap allocation, if captured *)
+  promoted_words : float;  (** cumulative minor-to-major promotion *)
+  major_words : float;  (** cumulative major-heap allocation *)
 }
+
+val stat_alloc_words : stat -> float
+(** Fresh words allocated: [minor + major - promoted] (promotions would
+    otherwise be counted on both sides). *)
 
 val profile : t -> stat list
 (** Per-(category, name) aggregates over {e all} spans ever completed

@@ -66,3 +66,10 @@ val fold_reachable :
 val n_var_points_to : t -> int
 val n_call_edges : t -> int
 val n_reachable : t -> int
+
+val census : t -> Pta_obs.Census.t
+(** A reachable-heap census of the solved EDB/IDB state: one component
+    per result relation (["var-points-to"], ["call-graph"],
+    ["reachable"], ["throw-points-to"]) plus ["context-tables"].  Runs
+    [Gc.full_major] and walks the reachable heap — call it once after
+    {!run}, never inside a timed region. *)

@@ -1,7 +1,8 @@
 module Json = Pta_obs.Json
 module Memstats = Pta_obs.Memstats
+module Census = Pta_obs.Census
 
-let current_schema_version = 3
+let current_schema_version = 4
 
 type hist = {
   bounds : float list;  (* strictly increasing upper bounds, no +Inf *)
@@ -18,6 +19,8 @@ type cell = {
   nodes : int option;
   memory : Memstats.delta option;
   time_hist : hist option;
+  heap_components : Census.component list;
+      (* v4: per-component retained/unshared words; [] when absent *)
 }
 
 type t = {
@@ -89,10 +92,13 @@ let cell_to_json c =
     @ (match c.memory with
       | None -> []
       | Some m -> [ ("memory", Memstats.to_json m) ])
+    @ (match c.time_hist with
+      | None -> []
+      | Some h -> [ ("time_hist", hist_to_json h) ])
     @
-    match c.time_hist with
-    | None -> []
-    | Some h -> [ ("time_hist", hist_to_json h) ])
+    match c.heap_components with
+    | [] -> []
+    | cs -> [ ("heap_components", Census.components_to_json cs) ])
 
 let to_json t =
   Json.Obj
@@ -131,9 +137,18 @@ let cell_of_json json =
     | None -> Ok None
     | Some j -> Result.map Option.some (hist_of_json j)
   in
+  (* v4 field; absent in v1-v3 snapshots. *)
+  let* heap_components =
+    match Json.member "heap_components" json with
+    | None -> Ok []
+    | Some j ->
+      Result.map_error
+        (fun e -> "bench snapshot: " ^ e)
+        (Census.components_of_json_list j)
+  in
   Ok
     { benchmark; analysis; timed_out; time_s; iterations; nodes; memory;
-      time_hist }
+      time_hist; heap_components }
 
 let of_json json =
   let* schema_version = field json "schema_version" Json.to_int in
@@ -167,22 +182,31 @@ let of_string s =
 type thresholds = {
   time_tol_pct : float;
   heap_tol_pct : float;
+  heap_component_tol_pct : float;
   min_time_s : float;
 }
 
 let default_thresholds =
-  { time_tol_pct = 15.; heap_tol_pct = 10.; min_time_s = 0.5 }
+  {
+    time_tol_pct = 15.;
+    heap_tol_pct = 10.;
+    heap_component_tol_pct = 25.;
+    min_time_s = 0.5;
+  }
 
 type verdict =
   | Time_regression of { base_s : float; cur_s : float; pct : float }
   | Heap_regression of { base_w : int; cur_w : int; pct : float }
+  | Component_regression of Census.breach
   | New_timeout
   | Fixed_timeout
   | Missing_cell
   | New_cell
 
 let verdict_is_regression = function
-  | Time_regression _ | Heap_regression _ | New_timeout | Missing_cell -> true
+  | Time_regression _ | Heap_regression _ | Component_regression _
+  | New_timeout | Missing_cell ->
+    true
   | Fixed_timeout | New_cell -> false
 
 type delta = {
@@ -234,7 +258,15 @@ let compare_cells th (base : cell) (cur : cell) =
         else []
       | _ -> []  (* v1 baseline has no memory figures: nothing to gate on *)
     in
-    time_v @ heap_v
+    let comp_v =
+      (* v1-v3 cells carry no components, so the list is empty and the
+         gate is silent — same lenient posture as the heap gate. *)
+      List.map
+        (fun b -> Component_regression b)
+        (Census.compare_components ~tol_pct:th.heap_component_tol_pct
+           ~baseline:base.heap_components ~current:cur.heap_components)
+    in
+    time_v @ heap_v @ comp_v
 
 let compare ?(thresholds = default_thresholds) ~baseline ~current () =
   let key c = (c.benchmark, c.analysis) in
@@ -284,6 +316,8 @@ let compare ?(thresholds = default_thresholds) ~baseline ~current () =
 let verdict_label = function
   | Time_regression { pct; _ } -> Printf.sprintf "TIME +%.1f%%" pct
   | Heap_regression { pct; _ } -> Printf.sprintf "HEAP +%.1f%%" pct
+  | Component_regression b ->
+    Printf.sprintf "HEAP[%s] +%.1f%%" b.Census.b_name b.Census.b_pct
   | New_timeout -> "NEW TIMEOUT"
   | Fixed_timeout -> "fixed timeout"
   | Missing_cell -> "MISSING"
@@ -311,10 +345,10 @@ let to_markdown r =
   Buffer.add_string buf "# Benchmark regression report\n\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "Thresholds: time +%.0f%%, peak heap +%.0f%% (cells under %.2fs \
-        skipped for time).\n\n"
+       "Thresholds: time +%.0f%%, peak heap +%.0f%%, heap component +%.0f%% \
+        (cells under %.2fs skipped for time).\n\n"
        r.thresholds.time_tol_pct r.thresholds.heap_tol_pct
-       r.thresholds.min_time_s);
+       r.thresholds.heap_component_tol_pct r.thresholds.min_time_s);
   let n_reg = List.length (regressions r) in
   Buffer.add_string buf
     (if n_reg = 0 then "**No regressions.**\n\n"

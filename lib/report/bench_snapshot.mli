@@ -8,7 +8,10 @@
     {!to_json}) adds an optional per-cell [time_hist] — the distribution
     of the individual timed solves behind the reported min, recorded on
     an exponential-bucket {!Pta_metrics.Registry} histogram and carried
-    into bench-history ledger records.  {!of_json} reads all three
+    into bench-history ledger records.  Schema v4 adds an optional
+    per-cell [heap_components] block — the retained/unshared word
+    attribution of a {!Pta_obs.Census} walk over the solved state — and
+    a per-component regression gate.  {!of_json} reads all four
     versions; older cells simply come back with the newer fields absent,
     so a regression gate against an old baseline still checks time and
     iterations. *)
@@ -16,7 +19,7 @@
 module Json := Pta_obs.Json
 
 val current_schema_version : int
-(** The version {!to_json} writes: 3. *)
+(** The version {!to_json} writes: 4. *)
 
 type hist = {
   bounds : float list;  (** strictly increasing upper bounds, no +Inf *)
@@ -34,6 +37,8 @@ type cell = {
   nodes : int option;  (** v2: supergraph nodes (also at abort) *)
   memory : Pta_obs.Memstats.delta option;  (** v2: instrumented-run GC profile *)
   time_hist : hist option;  (** v3: per-run solve-time distribution *)
+  heap_components : Pta_obs.Census.component list;
+      (** v4: reachable-heap census components; [[]] when absent *)
 }
 
 type t = {
@@ -67,25 +72,31 @@ val hist_count : hist -> int
 type thresholds = {
   time_tol_pct : float;  (** flag cells slower by more than this *)
   heap_tol_pct : float;  (** flag cells with a fatter peak heap *)
+  heap_component_tol_pct : float;
+      (** flag census components whose retained words grew by more than
+          this (skipped when either side lacks census data) *)
   min_time_s : float;
       (** baseline cells faster than this skip the relative-time check
           (sub-noise-floor timings) *)
 }
 
 val default_thresholds : thresholds
-(** +15% time, +10% peak heap, 0.5s floor. *)
+(** +15% time, +10% peak heap, +25% per heap component, 0.5s floor. *)
 
 type verdict =
   | Time_regression of { base_s : float; cur_s : float; pct : float }
   | Heap_regression of { base_w : int; cur_w : int; pct : float }
+  | Component_regression of Pta_obs.Census.breach
+      (** one census component's retained words grew past tolerance *)
   | New_timeout  (** finished in the baseline, times out now *)
   | Fixed_timeout  (** the reverse: an improvement, never a failure *)
   | Missing_cell  (** in the baseline but absent from the current run *)
   | New_cell  (** in the current run but absent from the baseline *)
 
 val verdict_is_regression : verdict -> bool
-(** [Time_regression], [Heap_regression], [New_timeout] and
-    [Missing_cell] fail the gate; the rest are informational. *)
+(** [Time_regression], [Heap_regression], [Component_regression],
+    [New_timeout] and [Missing_cell] fail the gate; the rest are
+    informational. *)
 
 type delta = {
   d_benchmark : string;

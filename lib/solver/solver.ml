@@ -7,6 +7,8 @@ module Shortcut = Pta_context.Shortcut
 module Observer = Pta_obs.Observer
 module Budget = Pta_obs.Budget
 module Trace = Pta_obs.Trace
+module Memstats = Pta_obs.Memstats
+module Census = Pta_obs.Census
 module Registry = Pta_metrics.Registry
 open Ir
 
@@ -609,8 +611,9 @@ let attach_load st base_node trigger =
     Intset.iter (fun hobj -> fire_load st trigger hobj) n.all
   else begin
     let t0 = Trace.now_us st.trace in
+    let a0 = Trace.alloc_mark st.trace in
     Intset.iter (fun hobj -> fire_load st trigger hobj) n.all;
-    Trace.complete st.trace
+    Trace.complete st.trace ~alloc:a0
       ~delta:(Intset.cardinal n.all)
       ~cat:"solver" ~name:"load" ~t0_us:t0
       ~dur_us:(Trace.now_us st.trace -. t0)
@@ -623,8 +626,9 @@ let attach_store st base_node trigger =
     Intset.iter (fun hobj -> fire_store st trigger hobj) n.all
   else begin
     let t0 = Trace.now_us st.trace in
+    let a0 = Trace.alloc_mark st.trace in
     Intset.iter (fun hobj -> fire_store st trigger hobj) n.all;
-    Trace.complete st.trace
+    Trace.complete st.trace ~alloc:a0
       ~delta:(Intset.cardinal n.all)
       ~cat:"solver" ~name:"store" ~t0_us:t0
       ~dur_us:(Trace.now_us st.trace -. t0)
@@ -637,8 +641,9 @@ let attach_vcall st base_node vc =
     Intset.iter (fun hobj -> dispatch st vc hobj) n.all
   else begin
     let t0 = Trace.now_us st.trace in
+    let a0 = Trace.alloc_mark st.trace in
     Intset.iter (fun hobj -> dispatch st vc hobj) n.all;
-    Trace.complete st.trace
+    Trace.complete st.trace ~alloc:a0
       ~delta:(Intset.cardinal n.all)
       ~cat:"solver" ~name:"vcall" ~t0_us:t0
       ~dur_us:(Trace.now_us st.trace -. t0)
@@ -769,13 +774,15 @@ and process_instr st ~ctx ~ctx_value ~exc_target instr =
     end
     else begin
       let t0 = Trace.now_us st.trace in
+      let a0 = Trace.alloc_mark st.trace in
       let callee_ctx =
         intern_ctx st
           (st.strategy.Strategy.merge_static ~invo ~callee ~ctx:ctx_value)
       in
       wire_call st ~invo ~caller_ctx:ctx ~callee ~callee_ctx ~args ~ret_target
         ~exc_target ~cut;
-      Trace.complete st.trace ~delta:1 ~cat:"solver" ~name:"scall" ~t0_us:t0
+      Trace.complete st.trace ~alloc:a0 ~delta:1 ~cat:"solver" ~name:"scall"
+        ~t0_us:t0
         ~dur_us:(Trace.now_us st.trace -. t0)
     end
   | Static_load { target; field } ->
@@ -829,35 +836,39 @@ let process_node st nid =
       let tr = st.trace in
       if n.succs <> [] then begin
         let t0 = Trace.now_us tr in
+        let a0 = Trace.alloc_mark tr in
         List.iter
           (fun e -> push st e.dst (filter_set st delta e.filter))
           n.succs;
-        Trace.complete tr ~delta:card ~cat:"solver" ~name:"move" ~t0_us:t0
-          ~dur_us:(Trace.now_us tr -. t0)
+        Trace.complete tr ~alloc:a0 ~delta:card ~cat:"solver" ~name:"move"
+          ~t0_us:t0 ~dur_us:(Trace.now_us tr -. t0)
       end;
       if n.vcalls <> [] then begin
         let t0 = Trace.now_us tr in
+        let a0 = Trace.alloc_mark tr in
         List.iter
           (fun vc -> Intset.iter (fun hobj -> dispatch st vc hobj) delta)
           n.vcalls;
-        Trace.complete tr ~delta:card ~cat:"solver" ~name:"vcall" ~t0_us:t0
-          ~dur_us:(Trace.now_us tr -. t0)
+        Trace.complete tr ~alloc:a0 ~delta:card ~cat:"solver" ~name:"vcall"
+          ~t0_us:t0 ~dur_us:(Trace.now_us tr -. t0)
       end;
       if n.loads <> [] then begin
         let t0 = Trace.now_us tr in
+        let a0 = Trace.alloc_mark tr in
         List.iter
           (fun ld -> Intset.iter (fun hobj -> fire_load st ld hobj) delta)
           n.loads;
-        Trace.complete tr ~delta:card ~cat:"solver" ~name:"load" ~t0_us:t0
-          ~dur_us:(Trace.now_us tr -. t0)
+        Trace.complete tr ~alloc:a0 ~delta:card ~cat:"solver" ~name:"load"
+          ~t0_us:t0 ~dur_us:(Trace.now_us tr -. t0)
       end;
       if n.stores <> [] then begin
         let t0 = Trace.now_us tr in
+        let a0 = Trace.alloc_mark tr in
         List.iter
           (fun stg -> Intset.iter (fun hobj -> fire_store st stg hobj) delta)
           n.stores;
-        Trace.complete tr ~delta:card ~cat:"solver" ~name:"store" ~t0_us:t0
-          ~dur_us:(Trace.now_us tr -. t0)
+        Trace.complete tr ~alloc:a0 ~delta:card ~cat:"solver" ~name:"store"
+          ~t0_us:t0 ~dur_us:(Trace.now_us tr -. t0)
       end
     end
   end
@@ -875,7 +886,11 @@ module Config = struct
     observer : Observer.t;
     trace : Trace.t;
     metrics : Registry.t;
+    mem_tracker : Memstats.tracker option;
+    mem_sample_every : int;
   }
+
+  let default_mem_sample_every = 1024
 
   let default =
     {
@@ -884,16 +899,21 @@ module Config = struct
       observer = Observer.null;
       trace = Trace.null;
       metrics = Registry.null;
+      mem_tracker = None;
+      mem_sample_every = default_mem_sample_every;
     }
 
   let make ?timeout_s ?(field_based = false) ?(observer = Observer.null)
-      ?(trace = Trace.null) ?(metrics = Registry.null) () =
+      ?(trace = Trace.null) ?(metrics = Registry.null) ?mem_tracker
+      ?(mem_sample_every = default_mem_sample_every) () =
     {
       budget = Budget.of_seconds_opt timeout_s;
       field_based;
       observer;
       trace;
       metrics;
+      mem_tracker;
+      mem_sample_every = max 1 mem_sample_every;
     }
 end
 
@@ -932,6 +952,81 @@ let record_final_metrics st =
     g "pta_solver_sensitive_vpt_size"
       "Paper metric: total context-sensitive var points-to size" !vpt
   end
+
+(* ------------------------------------------------------------------ *)
+(* Reachable-heap census                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Census component order is an ownership order: a block reachable from
+   several components is retained by the earliest one listed, so the
+   points-to sets come first (they are the cost the paper's Table 1 is
+   about), then the supergraph structure, then bookkeeping.  Every root
+   below is closure-free data (records, lists, arrays, hashtables), so
+   no component accidentally retains captured environments.
+
+   SCC collapse makes unified node ids alias one shared record; roots
+   are taken once per canonical id so the unshared view does not count
+   a merged class once per member. *)
+let census st =
+  let n = Vec.length st.nodes in
+  let canonical = Array.make (max n 1) false in
+  for nid = 0 to n - 1 do
+    canonical.(Unify.find st.unify nid) <- true
+  done;
+  let fold_canonical f acc =
+    let acc = ref acc in
+    for nid = 0 to n - 1 do
+      if canonical.(nid) then acc := f !acc (Vec.get st.nodes nid)
+    done;
+    !acc
+  in
+  let sets =
+    fold_canonical
+      (fun acc nd -> Obj.repr nd.all :: Obj.repr nd.pending :: acc)
+      []
+  in
+  let edges =
+    fold_canonical
+      (fun acc nd ->
+        Obj.repr nd.succs :: Obj.repr nd.vcalls :: Obj.repr nd.loads
+        :: Obj.repr nd.stores :: acc)
+      []
+  in
+  let cardinals =
+    fold_canonical (fun acc nd -> Intset.cardinal nd.all :: acc) []
+  in
+  let set_hist =
+    Census.hist_of_values ~bounds:(Census.pow2_bounds 14) cardinals
+  in
+  Census.survey ~set_hist
+    [
+      ("points-to-sets", sets);
+      ("edge-lists", edges);
+      ( "node-tables",
+        [
+          Obj.repr st.nodes;
+          Obj.repr st.var_nodes;
+          Obj.repr st.fld_nodes;
+          Obj.repr st.static_fld_nodes;
+          Obj.repr st.throw_nodes;
+          Obj.repr st.edge_seen;
+        ] );
+      ("context-tables", [ Obj.repr st.ctx_store; Obj.repr st.hctx_store ]);
+      ( "hobj-tables",
+        [
+          Obj.repr st.hobj_table;
+          Obj.repr st.hobj_heaps;
+          Obj.repr st.hobj_hctxs;
+          Obj.repr st.hobj_types;
+        ] );
+      ("unification-forest", [ Obj.repr st.unify ]);
+      ("call-graph-facts", [ Obj.repr st.reachable; Obj.repr st.call_edges ]);
+      ("worklists", [ Obj.repr st.pq; Obj.repr st.meth_queue ]);
+      ( "memos",
+        [
+          Obj.repr st.ci_vpt; Obj.repr st.ci_targets; Obj.repr st.node_kinds;
+        ] );
+    ]
 
 let solve_outcome ?(config = Config.default) program strategy =
   let obs = config.Config.observer in
@@ -986,10 +1081,28 @@ let solve_outcome ?(config = Config.default) program strategy =
     Observer.phase obs "fixpoint" @@ fun () ->
     Trace.span trace ~cat:"phase" "fixpoint" @@ fun () ->
     let metered = st.meters.m_live in
+    (* Periodic peak-heap sampling: the tracker's [Gc.alarm] only fires
+       at major-cycle ends, so a long alarm-free stretch (e.g. one huge
+       allocation that never triggers a cycle) would under-report the
+       peak.  Gated on iteration count; [None] costs one match per
+       iteration. *)
+    let mem_every = config.Config.mem_sample_every in
+    let mem_countdown = ref mem_every in
+    let mem_tick () =
+      match config.Config.mem_tracker with
+      | None -> ()
+      | Some t ->
+        decr mem_countdown;
+        if !mem_countdown <= 0 then begin
+          Memstats.sample t;
+          mem_countdown := mem_every
+        end
+    in
     let rec loop () =
       if not (Queue.is_empty st.meth_queue) then begin
         Budget.tick budget;
         Observer.iteration obs;
+        mem_tick ();
         let meth, ctx = Queue.pop st.meth_queue in
         process_method st meth ctx;
         loop ()
@@ -997,6 +1110,7 @@ let solve_outcome ?(config = Config.default) program strategy =
       else if not (Pqueue.is_empty st.pq) then begin
         Budget.tick budget;
         Observer.iteration obs;
+        mem_tick ();
         if st.copy_edges_since_scc >= st.scc_threshold then
           collapse_and_reprioritize st;
         if not (Pqueue.is_empty st.pq) then begin

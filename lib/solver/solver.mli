@@ -69,11 +69,24 @@ module Config : sig
             plus size gauges ([pta_solver_contexts],
             [pta_solver_heap_contexts], [pta_solver_hobjs],
             [pta_solver_nodes], [pta_solver_sensitive_vpt_size]). *)
+    mem_tracker : Pta_obs.Memstats.tracker option;
+        (** When set, the fixpoint loop folds the current major-heap
+            size into the tracker's peak every [mem_sample_every]
+            iterations — catching peaks between major collections that
+            the tracker's GC alarm alone would miss.  [None] (default)
+            costs one match per iteration. *)
+    mem_sample_every : int;
+        (** sampling period in fixpoint iterations; clamped to [>= 1]
+            by {!make} (default {!default_mem_sample_every}) *)
   }
+
+  val default_mem_sample_every : int
+  (** [1024] — frequent enough to catch allocation spikes, cheap enough
+      ([Gc.quick_stat] reads no heap) to leave timings unchanged. *)
 
   val default : t
   (** Unlimited budget, field-sensitive, no observer, no trace, no
-      metrics. *)
+      metrics, no memory tracker. *)
 
   val make :
     ?timeout_s:float ->
@@ -81,6 +94,8 @@ module Config : sig
     ?observer:Pta_obs.Observer.t ->
     ?trace:Pta_obs.Trace.t ->
     ?metrics:Pta_metrics.Registry.t ->
+    ?mem_tracker:Pta_obs.Memstats.tracker ->
+    ?mem_sample_every:int ->
     unit ->
     t
 end
@@ -221,3 +236,24 @@ val node_succs_passing : t -> node_id -> hobj -> node_id list
 
 val var_node_ids : t -> Pta_ir.Ir.Var_id.t -> node_id list
 (** All (var, context) nodes of a variable. *)
+
+(** {1 Memory census} *)
+
+val census : t -> Pta_obs.Census.t
+(** A reachable-heap census of the solver state, attributing live words
+    to named components — in ownership order: ["points-to-sets"] (the
+    [Intset]s of every canonical node, [all] and [pending]),
+    ["edge-lists"] (successor/trigger lists), ["node-tables"],
+    ["context-tables"], ["hobj-tables"], ["unification-forest"],
+    ["call-graph-facts"], ["worklists"], ["memos"].  The census's set
+    histogram is the points-to population distribution over canonical
+    nodes (power-of-two buckets).
+
+    The ["points-to-sets"] sharing factor (unshared / retained words)
+    measures how much structural sharing the Patricia-tree sets achieve:
+    a factor of 3 means materializing every set privately would cost 3x
+    the memory actually retained.
+
+    Runs [Gc.full_major] and walks the reachable heap — milliseconds to
+    seconds on big workloads; call it once after {!solve}, never inside
+    a timed region. *)

@@ -10,9 +10,11 @@ module Record = Pta_bench_history.Record
 module Ledger = Pta_bench_history.Ledger
 module Trend = Pta_bench_history.Trend
 module Bisect = Pta_bench_history.Bisect
+module Census = Pta_obs.Census
 
 let clean_fixture = "history/clean.jsonl"
 let regressed_fixture = "history/regressed.jsonl"
+let regressed_component_fixture = "history/regressed_component.jsonl"
 
 let load_fixture path =
   match Ledger.load path with
@@ -25,8 +27,8 @@ let build ?(dirty = false) commit =
 let host =
   { Record.os_type = "Unix"; word_size = 64; hostname = "testhost" }
 
-let cell ?(timed_out = false) ?nodes ?peak_heap_words ?time_hist ~time_s
-    benchmark analysis =
+let cell ?(timed_out = false) ?nodes ?peak_heap_words ?time_hist
+    ?(heap_components = []) ~time_s benchmark analysis =
   {
     Record.benchmark;
     analysis;
@@ -36,6 +38,7 @@ let cell ?(timed_out = false) ?nodes ?peak_heap_words ?time_hist ~time_s
     nodes;
     peak_heap_words;
     time_hist;
+    heap_components;
   }
 
 let record ?timestamp ?note ~seq ?(dirty = false) ~commit cells =
@@ -67,13 +70,21 @@ let step_records ?(cellname = ("bench", "ana")) ~good ~n_good ~bad ~n_bad () =
 (* Record codec                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let comps =
+  [
+    { Census.comp_name = "points-to-sets"; retained_words = 100_000;
+      unshared_words = 320_000 };
+    { Census.comp_name = "edge-lists"; retained_words = 50_000;
+      unshared_words = 50_000 };
+  ]
+
 let record_roundtrip_test () =
   let hist = { Snapshot.bounds = [ 0.5; 1.0 ]; counts = [ 1; 2; 0 ]; sum = 2.4 } in
   let r =
     record ~seq:3 ~timestamp:1700000000. ~note:"ci" ~dirty:true ~commit:"abc1234"
       [
         cell ~time_s:1.5 ~nodes:4000 ~peak_heap_words:2_000_000 ~time_hist:hist
-          "antlr" "S-2obj+H";
+          ~heap_components:comps "antlr" "S-2obj+H";
         cell ~timed_out:true ~time_s:90. "antlr" "2full+H";
       ]
   in
@@ -147,6 +158,7 @@ let of_snapshot_test () =
       nodes = Some 100;
       memory = None;
       time_hist = None;
+      heap_components = [];
     }
   in
   (* Stamp-less snapshots are refused: the record would be untraceable. *)
@@ -268,6 +280,23 @@ let fixtures_load_test () =
   in
   Alcotest.(check int) "2obj+H appears late" 3 (List.length with_2objh)
 
+(* A v1 ledger line (no heap_components) must decode into the v2
+   record shape with an empty component list. *)
+let v1_record_compat_test () =
+  let v1 =
+    {|{"schema_version":1,"seq":0,"timeout_s":90.0,
+       "build":{"semver":"1.0.0","commit":"abc","dirty":false,
+                "ocaml":"5.1.0","profile":"release"},
+       "host":{"os_type":"Unix","word_size":64,"hostname":"h"},
+       "cells":[{"benchmark":"b","analysis":"a","timed_out":false,
+                 "time_s":1.0,"iterations":10}]}|}
+  in
+  match Result.bind (Json.of_string v1) Record.of_json with
+  | Error e -> Alcotest.failf "v1 record rejected: %s" e
+  | Ok r ->
+    let c = List.hd r.Record.cells in
+    Alcotest.(check bool) "no components" true (c.Record.heap_components = [])
+
 (* ------------------------------------------------------------------ *)
 (* Changepoint detection                                               *)
 (* ------------------------------------------------------------------ *)
@@ -331,6 +360,59 @@ let check_regressed_test () =
     in
     Alcotest.(check bool) "new timeout flagged" true timeout_flagged;
     Alcotest.(check int) "nothing else flagged" 2 (List.length flags)
+
+(* The component fixture plants a points-to-sets growth in its latest
+   record while time and peak heap stay flat: the only flag must be the
+   census-component metric. *)
+let check_component_test () =
+  let records = load_fixture regressed_component_fixture in
+  match Trend.check_latest records with
+  | Error e -> Alcotest.failf "check failed: %s" e
+  | Ok flags -> (
+    Alcotest.(check int) "exactly one flag" 1 (List.length flags);
+    match flags with
+    | [ Trend.Breach f ] ->
+      Alcotest.(check bool)
+        "component metric" true
+        (f.metric = Trend.Heap_component "points-to-sets");
+      Alcotest.(check string) "metric name" "heap:points-to-sets"
+        (Trend.metric_name f.metric);
+      Alcotest.(check int) "flagged at the head" 5 f.seq
+    | _ -> Alcotest.fail "expected a Breach flag")
+
+let metric_of_string_test () =
+  Alcotest.(check bool) "time" true (Trend.metric_of_string "time" = Ok Trend.Time);
+  Alcotest.(check bool) "heap" true (Trend.metric_of_string "heap" = Ok Trend.Heap);
+  Alcotest.(check bool)
+    "heap:component" true
+    (Trend.metric_of_string "heap:points-to-sets"
+    = Ok (Trend.Heap_component "points-to-sets"));
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (Result.is_error (Trend.metric_of_string "walrus"))
+
+(* Bisecting the component metric over the same fixture must find the
+   planted step, and its git handoff must gate only that metric. *)
+let bisect_component_test () =
+  let records = load_fixture regressed_component_fixture in
+  let metric = Trend.Heap_component "points-to-sets" in
+  match
+    Bisect.run ~metric ~benchmark:"antlr" ~analysis:"S-2obj+H" records
+  with
+  | Error e -> Alcotest.failf "bisect: %s" e
+  | Ok None -> Alcotest.fail "component bisect saw no regression"
+  | Ok (Some o) ->
+    Alcotest.(check int) "first bad is the planted step" 5
+      o.Bisect.first_bad.Record.seq;
+    (match Bisect.git_script o ~ledger:"l.jsonl" ~baseline_file:"base.json" with
+    | Error e -> Alcotest.failf "git script: %s" e
+    | Ok script ->
+      Alcotest.(check bool)
+        "script gates the component tolerance" true
+        (Helpers.contains_substring script "--heap-component-tol");
+      Alcotest.(check bool)
+        "other metrics wide open" true
+        (Helpers.contains_substring script "--time-tol 1000000"))
 
 let check_new_analysis_test () =
   (* A cell with < min_points history must pass, whatever its value. *)
@@ -502,14 +584,20 @@ let tests =
     Alcotest.test_case "record JSON round-trip" `Quick record_roundtrip_test;
     Alcotest.test_case "record codec rejects" `Quick record_rejects_test;
     Alcotest.test_case "record from snapshot" `Quick of_snapshot_test;
+    Alcotest.test_case "v1 record back-compat" `Quick v1_record_compat_test;
     Alcotest.test_case "ledger append re-stamps seq" `Quick ledger_append_test;
     Alcotest.test_case "ledger load is strict" `Quick ledger_strict_test;
     Alcotest.test_case "committed fixtures load" `Quick fixtures_load_test;
     Alcotest.test_case "window stats" `Quick window_stats_test;
     Alcotest.test_case "clean fixture passes check" `Quick check_clean_test;
     Alcotest.test_case "planted regression flagged" `Quick check_regressed_test;
+    Alcotest.test_case "component regression flagged" `Quick
+      check_component_test;
+    Alcotest.test_case "metric names parse" `Quick metric_of_string_test;
     Alcotest.test_case "new analysis not flagged" `Quick check_new_analysis_test;
     Alcotest.test_case "bisect finds the step" `Quick bisect_finds_step_test;
+    Alcotest.test_case "bisect the component metric" `Quick
+      bisect_component_test;
     Alcotest.test_case "bisect on clean history" `Quick bisect_clean_test;
     Alcotest.test_case "bisect error cases" `Quick bisect_errors_test;
     Alcotest.test_case "git handoff script" `Quick git_script_test;

@@ -8,6 +8,7 @@ module Snapshot = Pta_report.Bench_snapshot
 module Solver = Pta_solver.Solver
 module Intset = Pta_solver.Intset
 module Memstats = Pta_obs.Memstats
+module Census = Pta_obs.Census
 module Json = Pta_obs.Json
 module Metrics = Pta_clients.Metrics
 
@@ -338,10 +339,10 @@ let mem : Memstats.delta =
   }
 
 let cell ?(timed_out = false) ?(time_s = 1.0) ?(iterations = 100) ?nodes
-    ?memory ?time_hist benchmark analysis =
+    ?memory ?time_hist ?(heap_components = []) benchmark analysis =
   {
     Snapshot.benchmark; analysis; timed_out; time_s; iterations; nodes; memory;
-    time_hist;
+    time_hist; heap_components;
   }
 
 let snap ?pointsto cells =
@@ -352,6 +353,14 @@ let snap ?pointsto cells =
     cells;
   }
 
+let comps =
+  [
+    { Census.comp_name = "points-to-sets"; retained_words = 100_000;
+      unshared_words = 320_000 };
+    { Census.comp_name = "edge-lists"; retained_words = 50_000;
+      unshared_words = 50_000 };
+  ]
+
 let v2_roundtrip_test () =
   let hist =
     { Snapshot.bounds = [ 0.5; 1.0 ]; counts = [ 2; 1; 0 ]; sum = 1.9 }
@@ -360,7 +369,8 @@ let v2_roundtrip_test () =
     snap
       ~pointsto:(Json.Obj [ ("commit", Json.String "abc123") ])
       [
-        cell ~nodes:1234 ~memory:mem ~time_hist:hist "antlr" "2obj+H";
+        cell ~nodes:1234 ~memory:mem ~time_hist:hist ~heap_components:comps
+          "antlr" "2obj+H";
         cell ~timed_out:true ~time_s:60.2 ~iterations:999 "bloat" "2obj+H";
       ]
   in
@@ -376,6 +386,10 @@ let v2_roundtrip_test () =
       Alcotest.(check bool) "memory survives" true (c1.Snapshot.memory = Some mem);
       Alcotest.(check bool) "hist survives" true
         (c1.Snapshot.time_hist = Some hist);
+      Alcotest.(check bool) "components survive" true
+        (c1.Snapshot.heap_components = comps);
+      Alcotest.(check bool) "absent components read back empty" true
+        (c2.Snapshot.heap_components = []);
       Alcotest.(check bool) "timeout cell" true c2.Snapshot.timed_out;
       Alcotest.(check bool) "timeout cell has no hist" true
         (c2.Snapshot.time_hist = None);
@@ -398,6 +412,35 @@ let v1_compat_test () =
     let c = List.hd t.Snapshot.cells in
     Alcotest.(check (option int)) "no nodes" None c.Snapshot.nodes;
     Alcotest.(check bool) "no memory" true (c.Snapshot.memory = None)
+
+(* v2 (memory, no hist) and v3 (hist, no heap_components) snapshots
+   predate the census block; both must still load. *)
+let v2_v3_compat_test () =
+  let v2 =
+    {|{"schema_version": 2, "timeout_s": 60.0, "cells": [
+        {"benchmark": "antlr", "analysis": "insens", "timed_out": false,
+         "time_s": 0.5, "iterations": 42, "nodes": 10,
+         "memory": {"minor_allocated_words": 1.0, "promoted_words": 0.0,
+                    "major_allocated_words": 0.0, "minor_collections": 0,
+                    "major_collections": 0, "compactions": 0,
+                    "heap_words": 100, "peak_heap_words": 200}}]}|}
+  in
+  let v3 =
+    {|{"schema_version": 3, "timeout_s": 60.0, "cells": [
+        {"benchmark": "antlr", "analysis": "insens", "timed_out": false,
+         "time_s": 0.5, "iterations": 42,
+         "time_hist": {"bounds": [1.0], "counts": [1, 0], "sum": 0.5}}]}|}
+  in
+  List.iter
+    (fun (label, src) ->
+      match Snapshot.of_string src with
+      | Error e -> Alcotest.failf "%s rejected: %s" label e
+      | Ok t ->
+        let c = List.hd t.Snapshot.cells in
+        Alcotest.(check bool)
+          (label ^ ": no components") true
+          (c.Snapshot.heap_components = []))
+    [ ("v2", v2); ("v3", v3) ]
 
 let unsupported_schema_test () =
   match Snapshot.of_string {|{"schema_version": 99, "timeout_s": 1, "cells": []}|} with
@@ -465,6 +508,46 @@ let cell_presence_test () =
   Alcotest.(check bool) "new cell passes" false (Snapshot.has_regression r);
   Alcotest.(check int) "new cell reported" 1 (List.length r.Snapshot.deltas)
 
+(* Per-component gating: a census component growing past the tolerance
+   must fail the comparison even when time and peak heap are flat. *)
+let component_verdict_test () =
+  let base = cell ~heap_components:comps "a" "x" in
+  let grown =
+    cell
+      ~heap_components:
+        (List.map
+           (fun (c : Census.component) ->
+             if c.Census.comp_name = "points-to-sets" then
+               { c with Census.retained_words = 150_000 }
+             else c)
+           comps)
+      "a" "x"
+  in
+  let r = compare_cells [ base ] [ grown ] in
+  Alcotest.(check bool) "component regression" true (Snapshot.has_regression r);
+  let verdicts = (List.hd r.Snapshot.deltas).Snapshot.verdicts in
+  Alcotest.(check bool)
+    "names the component" true
+    (List.exists
+       (function
+         | Snapshot.Component_regression b ->
+           b.Census.b_name = "points-to-sets"
+         | _ -> false)
+       verdicts);
+  (* A loosened component tolerance lets the same growth through. *)
+  let thresholds =
+    { Snapshot.default_thresholds with Snapshot.heap_component_tol_pct = 100. }
+  in
+  let r =
+    Snapshot.compare ~thresholds ~baseline:(snap [ base ])
+      ~current:(snap [ grown ]) ()
+  in
+  Alcotest.(check bool) "loosened gate passes" false (Snapshot.has_regression r);
+  (* Baselines without census blocks (v1-v3) have nothing to gate on. *)
+  let r = compare_cells [ cell "a" "x" ] [ grown ] in
+  Alcotest.(check bool) "component-less baseline passes" false
+    (Snapshot.has_regression r)
+
 let custom_thresholds_test () =
   let thresholds =
     { Snapshot.default_thresholds with Snapshot.time_tol_pct = 50. }
@@ -510,10 +593,13 @@ let tests =
     Alcotest.test_case "registry validation" `Quick registry_validation_test;
     Alcotest.test_case "snapshot v2 round-trip" `Quick v2_roundtrip_test;
     Alcotest.test_case "snapshot v1 compat" `Quick v1_compat_test;
+    Alcotest.test_case "snapshot v2/v3 compat" `Quick v2_v3_compat_test;
     Alcotest.test_case "unsupported schema" `Quick unsupported_schema_test;
     Alcotest.test_case "time regression verdicts" `Quick
       regression_verdicts_test;
     Alcotest.test_case "heap regression verdict" `Quick heap_verdict_test;
+    Alcotest.test_case "component regression verdict" `Quick
+      component_verdict_test;
     Alcotest.test_case "timeout verdicts" `Quick timeout_verdicts_test;
     Alcotest.test_case "missing / new cells" `Quick cell_presence_test;
     Alcotest.test_case "custom thresholds" `Quick custom_thresholds_test;

@@ -142,6 +142,174 @@ let refimpl_observed_test () =
     (Recorder.nodes recorder >= Pta_refimpl.Refimpl.n_var_points_to t);
   Alcotest.(check bool) "rounds observed" true (Recorder.iterations recorder > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Memory: Memstats clamping / codec / exception safety, loop sampling *)
+(* ------------------------------------------------------------------ *)
+
+module Memstats = Pta_obs.Memstats
+module Census = Pta_obs.Census
+
+let snap_with heap : Memstats.snapshot =
+  {
+    Memstats.minor_words = 0.;
+    promoted_words = 0.;
+    major_words = 0.;
+    minor_collections = 0;
+    major_collections = 0;
+    compactions = 0;
+    heap_words = heap;
+    top_heap_words = heap;
+  }
+
+(* A sampled peak can lag (no alarm fired) but never undercut what the
+   interval's endpoints saw. *)
+let memstats_clamp_test () =
+  let before = snap_with 1000 and after = snap_with 500 in
+  let d = Memstats.diff ~peak:100 ~before ~after () in
+  Alcotest.(check int) "clamped to endpoints" 1000 d.Memstats.peak_heap_words;
+  let d = Memstats.diff ~before ~after () in
+  Alcotest.(check int) "no sample: endpoints" 1000 d.Memstats.peak_heap_words;
+  let d = Memstats.diff ~peak:9999 ~before ~after () in
+  Alcotest.(check int) "genuine peak kept" 9999 d.Memstats.peak_heap_words
+
+let memstats_roundtrip_test () =
+  let d =
+    {
+      Memstats.minor_allocated_words = 12345.5;
+      promoted_delta_words = 100.;
+      major_allocated_words = 600.25;
+      minor_collections_delta = 3;
+      major_collections_delta = 1;
+      compactions_delta = 0;
+      heap_words_after = 4096;
+      peak_heap_words = 8192;
+    }
+  in
+  match Memstats.of_json (Memstats.to_json d) with
+  | Error e -> Alcotest.failf "memstats round-trip: %s" e
+  | Ok d' -> Alcotest.(check bool) "identical" true (d = d')
+
+let memstats_tracked_exn_test () =
+  Alcotest.check_raises "re-raises" Exit (fun () ->
+      ignore (Memstats.tracked (fun () -> raise Exit)));
+  (* The alarm must be gone: a fresh tracked call still works. *)
+  let x, d = Memstats.tracked (fun () -> 42) in
+  Alcotest.(check int) "value" 42 x;
+  Alcotest.(check bool) "sane delta" true (d.Memstats.peak_heap_words > 0)
+
+(* A large major-heap allocation that lives only between two major
+   collections must be caught by the fixpoint loop's periodic sample:
+   the observer plants a ~2M-word block at iteration 3 and drops it a
+   few iterations later, and the tracker's peak must include it. *)
+let solver_peak_sampling_test () =
+  let program = tiny_program () in
+  let factory = Option.get (Pta_context.Strategies.by_name "S-2obj+H") in
+  let tracker = Memstats.start_tracking () in
+  let planted_words = 2_000_000 in
+  let planted = ref None in
+  let iterations = ref 0 in
+  let observer =
+    Observer.make
+      ~on_iteration:(fun () ->
+        incr iterations;
+        if !iterations = 3 then
+          planted := Some (Bytes.create (planted_words * (Sys.word_size / 8)));
+        if !iterations = 8 then begin
+          planted := None;
+          Gc.compact ()
+        end)
+      ()
+  in
+  let config =
+    Solver.Config.make ~observer ~mem_tracker:tracker ~mem_sample_every:1 ()
+  in
+  ignore (Solver.solve ~config program (factory program));
+  ignore !planted;
+  let d = Memstats.finish tracker in
+  Alcotest.(check bool)
+    "peak saw the planted block" true
+    (d.Memstats.peak_heap_words >= planted_words)
+
+(* ------------------------------------------------------------------ *)
+(* Census                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let solve_for_census ?(workload = "tiny") ?(analysis = "S-2obj+H") () =
+  let program =
+    Pta_workloads.Workloads.program
+      (Option.get (Pta_workloads.Profile.by_name workload))
+  in
+  let factory = Option.get (Pta_context.Strategies.by_name analysis) in
+  Solver.solve program (factory program)
+
+let census_invariants_test () =
+  let solver = solve_for_census () in
+  let c = Solver.census solver in
+  Alcotest.(check bool) "has components" true (c.Census.components <> []);
+  List.iter
+    (fun (comp : Census.component) ->
+      Alcotest.(check bool)
+        (comp.Census.comp_name ^ " retained >= 0")
+        true
+        (comp.Census.retained_words >= 0);
+      Alcotest.(check bool)
+        (comp.Census.comp_name ^ " retained <= unshared")
+        true
+        (comp.Census.retained_words <= comp.Census.unshared_words))
+    c.Census.components;
+  (* The retained figures are one deduplicated walk, bounded by the
+     live major heap at walk time. *)
+  Alcotest.(check bool)
+    "sum retained <= live heap" true
+    (Census.total_retained_words c <= c.Census.live_heap_words);
+  (* The flagship components must own something on a solved state. *)
+  List.iter
+    (fun name ->
+      match Census.find c name with
+      | None -> Alcotest.failf "component %s missing" name
+      | Some comp ->
+        Alcotest.(check bool) (name ^ " non-empty") true
+          (comp.Census.retained_words > 0))
+    [ "points-to-sets"; "node-tables"; "context-tables" ];
+  match c.Census.set_hist with
+  | None -> Alcotest.fail "set histogram missing"
+  | Some h -> Alcotest.(check bool) "hist populated" true (Census.hist_total h > 0)
+
+(* Two independent solves must census identically (same components,
+   same word counts, same histogram): the walk sees only deterministic
+   structure, never addresses or clocks.  [live_heap_words] is
+   process-global state and is excluded — the CLI determinism test
+   (two fresh processes) covers the full document. *)
+let census_deterministic_test () =
+  let survey () =
+    let c = Solver.census (solve_for_census ()) in
+    ( Json.to_string (Census.components_to_json c.Census.components),
+      c.Census.set_hist )
+  in
+  let comps1, hist1 = survey () in
+  let comps2, hist2 = survey () in
+  Alcotest.(check string) "components byte-identical" comps1 comps2;
+  Alcotest.(check bool) "histograms identical" true (hist1 = hist2)
+
+(* The [cyclic] workload funnels many variables through shared copy
+   structure, so its Patricia-tree points-to sets must exhibit real
+   structural sharing: materializing every set privately (unshared)
+   would cost strictly more than what is retained. *)
+let census_sharing_test () =
+  let solver = solve_for_census ~workload:"cyclic" () in
+  let c = Solver.census solver in
+  match Census.find c "points-to-sets" with
+  | None -> Alcotest.fail "points-to-sets component missing"
+  | Some comp ->
+    Alcotest.(check bool) "sharing factor > 1" true
+      (Census.sharing_factor comp > 1.)
+
+let census_json_roundtrip_test () =
+  let c = Solver.census (solve_for_census ()) in
+  match Census.of_json (Census.to_json c) with
+  | Error e -> Alcotest.failf "census round-trip: %s" e
+  | Ok c' -> Alcotest.(check bool) "identical" true (c = c')
+
 let refimpl_budget_test () =
   let program = tiny_program () in
   let strategy = Pta_context.Strategies.get "S-2obj+H" program in
@@ -159,4 +327,17 @@ let tests =
     Alcotest.test_case "json round-trip" `Quick json_roundtrip_test;
     Alcotest.test_case "refimpl observed" `Quick refimpl_observed_test;
     Alcotest.test_case "refimpl budget" `Quick refimpl_budget_test;
+    Alcotest.test_case "memstats peak clamping" `Quick memstats_clamp_test;
+    Alcotest.test_case "memstats JSON round-trip" `Quick
+      memstats_roundtrip_test;
+    Alcotest.test_case "memstats tracked re-raises" `Quick
+      memstats_tracked_exn_test;
+    Alcotest.test_case "solver loop samples the peak" `Quick
+      solver_peak_sampling_test;
+    Alcotest.test_case "census invariants" `Quick census_invariants_test;
+    Alcotest.test_case "census deterministic" `Quick census_deterministic_test;
+    Alcotest.test_case "census set sharing on cyclic" `Quick
+      census_sharing_test;
+    Alcotest.test_case "census JSON round-trip" `Quick
+      census_json_roundtrip_test;
   ]

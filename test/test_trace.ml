@@ -151,6 +151,65 @@ let null_sink_transparent_test () =
   Alcotest.(check bool) "null sink transparent" true (bare = with_null);
   Alcotest.(check bool) "live sink transparent" true (bare = with_live)
 
+(* Span-scoped allocation accounting: an alloc-enabled sink must
+   attribute a span's fresh words to its aggregate and carry them into
+   the Chrome-trace args of the closing event. *)
+let alloc_accounting_test () =
+  let trace = Trace.create ~alloc:true () in
+  Alcotest.(check bool) "alloc enabled" true (Trace.alloc_enabled trace);
+  let sink = ref [] in
+  Trace.span trace ~cat:"t" "hungry" (fun () ->
+      sink := List.init 10_000 (fun i -> i));
+  Alcotest.(check bool) "sink lives" true (List.length !sink = 10_000);
+  (match Trace.profile trace with
+  | [ s ] ->
+    Alcotest.(check bool)
+      "allocation attributed" true
+      (Trace.stat_alloc_words s >= 3. *. 10_000.)
+  | stats -> Alcotest.failf "expected one aggregate, got %d" (List.length stats));
+  let events =
+    match Trace.to_chrome_json trace with
+    | Json.List evs -> evs
+    | _ -> Alcotest.fail "expected a JSON array"
+  in
+  Alcotest.(check bool)
+    "closing event carries alloc args" true
+    (List.exists
+       (fun ev ->
+         match Option.bind (Json.member "args" ev) (Json.member "alloc_minor_w") with
+         | Some (Json.Float w) -> w > 0.
+         | _ -> false)
+       events)
+
+(* The null sink's guarded operations must allocate nothing at all: the
+   minor-words cost of a loop of null-sink calls must equal the cost of
+   an empty loop measured the same way (the measurement itself boxes a
+   constant number of floats, identical in both runs). *)
+let null_zero_alloc_test () =
+  let minor_cost f =
+    let a = Gc.minor_words () in
+    f ();
+    let b = Gc.minor_words () in
+    b -. a
+  in
+  let n = 10_000 in
+  let empty () = for _ = 1 to n do () done in
+  let null_ops () =
+    for _ = 1 to n do
+      Trace.begin_span Trace.null ~cat:"t" "x";
+      Trace.end_span Trace.null;
+      Trace.instant Trace.null ~cat:"t" "x";
+      Trace.counter Trace.null ~cat:"t" "x" 1.0;
+      ignore (Trace.alloc_mark Trace.null)
+    done
+  in
+  (* Warm both closures so neither run pays one-time setup. *)
+  empty ();
+  null_ops ();
+  let baseline = minor_cost empty in
+  let cost = minor_cost null_ops in
+  Alcotest.(check (float 0.)) "null path allocation-free" baseline cost
+
 (* Once the ring hits its limit the oldest events are evicted — but the
    per-name aggregates must keep counting every completed span. *)
 let ring_drops_exact_aggregates_test () =
@@ -208,6 +267,9 @@ let tests =
     Alcotest.test_case "datalog rule counts deterministic" `Quick
       datalog_determinism_test;
     Alcotest.test_case "null sink transparent" `Quick null_sink_transparent_test;
+    Alcotest.test_case "span allocation accounting" `Quick
+      alloc_accounting_test;
+    Alcotest.test_case "null path allocation-free" `Quick null_zero_alloc_test;
     Alcotest.test_case "ring drops, aggregates exact" `Quick
       ring_drops_exact_aggregates_test;
     Alcotest.test_case "fixpoint gauges emitted" `Quick gauges_test;
