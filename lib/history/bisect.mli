@@ -20,6 +20,7 @@ module Snapshot := Pta_report.Bench_snapshot
 type outcome = {
   benchmark : string;
   analysis : string;
+  jobs : int;  (** the bisected cell's worklist domain count *)
   metric : Trend.metric;
   anchor : Trend.stats;  (** baseline over the first finished window *)
   first_bad : Record.t;
@@ -30,6 +31,7 @@ type outcome = {
 
 val run :
   ?params:Trend.params ->
+  ?jobs:int ->
   metric:Trend.metric ->
   benchmark:string ->
   analysis:string ->
@@ -37,11 +39,19 @@ val run :
   (outcome option, string) result
 (** [Ok None] when the latest record is within threshold (nothing to
     bisect).  [Error] when the cell is absent, never finished often
-    enough to anchor, or the noise floor suppresses the metric. *)
+    enough to anchor, or the noise floor suppresses the metric.
+    [jobs] (default 1) selects the (benchmark, analysis, jobs) cell;
+    records measured on a host whose core count differs from the
+    latest record's are excluded from both the anchor and the bad
+    predicate — timings never compare across core counts. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-val baseline_snapshot : Record.t -> benchmark:string -> analysis:string ->
+val baseline_snapshot :
+  ?jobs:int ->
+  Record.t ->
+  benchmark:string ->
+  analysis:string ->
   (Snapshot.t, string) result
 (** A single-cell snapshot reconstructed from the last-good record, fit
     to serve as the [--compare] baseline inside a [git bisect run]

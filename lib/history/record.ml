@@ -3,8 +3,11 @@ module Snapshot = Pta_report.Bench_snapshot
 module Census = Pta_obs.Census
 
 (* v2 adds the optional per-cell [heap_components] census block; v1
-   records load with it empty. *)
-let current_schema_version = 2
+   records load with it empty.  v3 adds per-cell [jobs]/[domains] (the
+   parallel drain's requested and effective domain counts) and the
+   host's [cores]; older records load with jobs = domains = 1 and
+   cores = None. *)
+let current_schema_version = 3
 
 type build = {
   semver : string;
@@ -20,15 +23,23 @@ type host = {
   os_type : string;
   word_size : int;
   hostname : string;
+  cores : int option;  (* v3; None in older records *)
 }
 
-let current_host () =
+let current_host ?cores () =
   let hostname =
     match Sys.getenv_opt "PTA_BENCH_HOST" with
     | Some h when h <> "" -> h
     | _ -> ( try Unix.gethostname () with Unix.Unix_error _ -> "unknown")
   in
-  { os_type = Sys.os_type; word_size = Sys.word_size; hostname }
+  (* Like PTA_BENCH_HOST: lets CI and the golden tests pin a stable
+     core count regardless of the machine the test happens to run on. *)
+  let cores =
+    match Option.bind (Sys.getenv_opt "PTA_BENCH_CORES") int_of_string_opt with
+    | Some n when n >= 1 -> Some n
+    | _ -> cores
+  in
+  { os_type = Sys.os_type; word_size = Sys.word_size; hostname; cores }
 
 type cell = {
   benchmark : string;
@@ -40,6 +51,8 @@ type cell = {
   peak_heap_words : int option;
   time_hist : Snapshot.hist option;
   heap_components : Census.component list;  (* v2; [] when absent *)
+  jobs : int;  (* v3; 1 in older records *)
+  domains : int;  (* v3; 1 in older records *)
 }
 
 type t = {
@@ -69,11 +82,12 @@ let build_to_json b =
 
 let host_to_json h =
   Json.Obj
-    [
-      ("os_type", Json.String h.os_type);
-      ("word_size", Json.Int h.word_size);
-      ("hostname", Json.String h.hostname);
-    ]
+    ([
+       ("os_type", Json.String h.os_type);
+       ("word_size", Json.Int h.word_size);
+       ("hostname", Json.String h.hostname);
+     ]
+    @ match h.cores with None -> [] | Some n -> [ ("cores", Json.Int n) ])
 
 let cell_to_json c =
   Json.Obj
@@ -91,10 +105,12 @@ let cell_to_json c =
     @ (match c.time_hist with
       | None -> []
       | Some h -> [ ("time_hist", Snapshot.hist_to_json h) ])
+    @ (match c.heap_components with
+      | [] -> []
+      | cs -> [ ("heap_components", Census.components_to_json cs) ])
     @
-    match c.heap_components with
-    | [] -> []
-    | cs -> [ ("heap_components", Census.components_to_json cs) ])
+    if c.jobs = 1 && c.domains = 1 then []
+    else [ ("jobs", Json.Int c.jobs); ("domains", Json.Int c.domains) ])
 
 let to_json t =
   Json.Obj
@@ -134,7 +150,8 @@ let host_of_json json =
   let* os_type = field json "os_type" Json.to_str in
   let* word_size = field json "word_size" Json.to_int in
   let* hostname = field json "hostname" Json.to_str in
-  Ok { os_type; word_size; hostname }
+  let cores = Option.bind (Json.member "cores" json) Json.to_int in
+  Ok { os_type; word_size; hostname; cores }
 
 let cell_of_json json =
   let* benchmark = field json "benchmark" Json.to_str in
@@ -156,18 +173,29 @@ let cell_of_json json =
     | None -> Ok []
     | Some j -> Census.components_of_json_list j
   in
-  Ok
-    {
-      benchmark;
-      analysis;
-      timed_out;
-      time_s;
-      iterations;
-      nodes;
-      peak_heap_words;
-      time_hist;
-      heap_components;
-    }
+  let jobs =
+    Option.value ~default:1 (Option.bind (Json.member "jobs" json) Json.to_int)
+  in
+  let domains =
+    Option.value ~default:1
+      (Option.bind (Json.member "domains" json) Json.to_int)
+  in
+  if jobs < 1 || domains < 1 then Error "jobs and domains must be >= 1"
+  else
+    Ok
+      {
+        benchmark;
+        analysis;
+        timed_out;
+        time_s;
+        iterations;
+        nodes;
+        peak_heap_words;
+        time_hist;
+        heap_components;
+        jobs;
+        domains;
+      }
 
 let of_json json =
   let* schema_version = field json "schema_version" Json.to_int in
@@ -253,6 +281,13 @@ let of_snapshot ~seq ?timestamp ?note ~host (snap : Snapshot.t) =
          be traceable to the build that measured it"
     | Some stamp -> build_of_stamp stamp
   in
+  (* The snapshot's own core stamp wins: it names the host that
+     measured, which is what parallel timings must be keyed on. *)
+  let host =
+    match snap.Snapshot.host_cores with
+    | Some _ as cores -> { host with cores }
+    | None -> host
+  in
   let cells =
     List.map
       (fun (c : Snapshot.cell) ->
@@ -269,6 +304,8 @@ let of_snapshot ~seq ?timestamp ?note ~host (snap : Snapshot.t) =
               c.Snapshot.memory;
           time_hist = c.Snapshot.time_hist;
           heap_components = c.Snapshot.heap_components;
+          jobs = c.Snapshot.jobs;
+          domains = c.Snapshot.domains;
         })
       snap.Snapshot.cells
   in
@@ -284,8 +321,10 @@ let of_snapshot ~seq ?timestamp ?note ~host (snap : Snapshot.t) =
       cells;
     }
 
-let cell_find t ~benchmark ~analysis =
+let cell_find ?(jobs = 1) t ~benchmark ~analysis =
   List.find_opt
     (fun c ->
-      String.equal c.benchmark benchmark && String.equal c.analysis analysis)
+      String.equal c.benchmark benchmark
+      && String.equal c.analysis analysis
+      && c.jobs = jobs)
     t.cells

@@ -15,8 +15,10 @@ module Json := Pta_obs.Json
 module Snapshot := Pta_report.Bench_snapshot
 
 val current_schema_version : int
-(** 2.  v2 adds the optional per-cell [heap_components] census block;
-    v1 records load with it empty. *)
+(** 3.  v2 adds the optional per-cell [heap_components] census block;
+    v3 adds per-cell [jobs]/[domains] and the host's [cores].  Older
+    records load with the newer fields at their sequential defaults
+    (jobs = domains = 1, cores = None). *)
 
 type build = {
   semver : string;
@@ -33,13 +35,19 @@ type host = {
   os_type : string;  (** [Sys.os_type] *)
   word_size : int;  (** [Sys.word_size] *)
   hostname : string;
+  cores : int option;  (** v3: core count; [None] in older records *)
 }
 (** A coarse host fingerprint: timings from different machines must
     never be silently compared, and this is how the trend tooling tells
     them apart.  [hostname] honours [$PTA_BENCH_HOST] so CI and tests
-    can pin a stable name. *)
+    can pin a stable name.  [cores] extends the rule to parallel cells:
+    the trend and bisect tooling skip records whose core count differs
+    from the one under test. *)
 
-val current_host : unit -> host
+val current_host : ?cores:int -> unit -> host
+(** [cores] is the caller's estimate of the machine's core count
+    (e.g. {!Pta_solver.Par.recommended_domains}); [$PTA_BENCH_CORES]
+    overrides it, like [$PTA_BENCH_HOST] does the hostname. *)
 
 type cell = {
   benchmark : string;
@@ -55,6 +63,8 @@ type cell = {
   heap_components : Pta_obs.Census.component list;
       (** v2: reachable-heap census of the solved state; [[]] when the
           run (or a v1 record) carried none *)
+  jobs : int;  (** v3: requested worklist domains; 1 in older records *)
+  domains : int;  (** v3: effective domain count; 1 in older records *)
 }
 
 type t = {
@@ -88,4 +98,8 @@ val of_snapshot :
     ["-dirty"]-suffixed commit or an explicit [dirty] flag in the stamp
     both mark the record dirty. *)
 
-val cell_find : t -> benchmark:string -> analysis:string -> cell option
+val cell_find :
+  ?jobs:int -> t -> benchmark:string -> analysis:string -> cell option
+(** The cell measured at [jobs] worklist domains (default 1, the
+    sequential drain) — (benchmark, analysis, jobs) is the cell key
+    from v3 on. *)

@@ -1,0 +1,30 @@
+(** Portable shim over OCaml 5 [Domain], selected at build time.
+
+    The solver's parallel drain is written against this tiny surface so
+    the same code compiles on the whole CI matrix: on OCaml >= 5.0 the
+    implementation is [par_backend_domains.mlp] (real domains); on 4.14
+    it is [par_backend_fallback.mlp], where {!available} is [false] and
+    the solver clamps [jobs] to 1 — [--jobs 4] degrades gracefully to
+    the sequential drain instead of failing to build.  [Atomic] exists
+    on both sides (stdlib since 4.12), so only domain spawning and
+    [cpu_relax] need to live behind the shim. *)
+
+val available : bool
+(** [true] iff this build can actually run multiple domains. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()] on OCaml 5; [1] on 4.14.
+    An upper bound worth respecting, not a target. *)
+
+type handle
+(** A running domain (OCaml 5) or nothing (4.14). *)
+
+val spawn : (unit -> unit) -> handle
+(** Start a worker.  The fallback runs [f] inline — callers must not
+    reach [spawn] when {!available} is [false] (the solver never does;
+    it clamps the domain count first). *)
+
+val join : handle -> unit
+
+val cpu_relax : unit -> unit
+(** Spin-wait hint ([Domain.cpu_relax] on OCaml 5, no-op on 4.14). *)
